@@ -1,0 +1,38 @@
+// Section 6.2: the alpha microbenchmark (streaming vs non-streaming
+// memory access cost) and its effect on the Eq. 5/6 thread mapping.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/alpha.h"
+#include "core/threading.h"
+
+using namespace ndirect;
+using namespace ndirect::bench;
+
+int main() {
+  print_header("Section 6.2: alpha microbenchmark");
+  for (std::size_t mb : {4u, 16u, 64u}) {
+    const AlphaResult r = measure_alpha(mb << 20);
+    std::printf(
+        "  working set %3zu MiB: streaming %6.2f GB/s, strided %6.2f "
+        "GB/s  ->  alpha = %.2f\n",
+        mb, r.streaming_gbps, r.strided_gbps, r.alpha);
+  }
+  const double alpha = host_alpha();
+  std::printf("  cached host alpha: %.2f\n", alpha);
+
+  print_header("Thread mappings derived from alpha (Eq. 5/6), PT = 64");
+  const std::vector<int> w = {6, 24, 10, 8, 8};
+  print_row({"layer", "shape", "PTn*", "PTn", "PTk"}, w);
+  for (const ConvLayer& layer : table4_resnet_layers(64)) {
+    const ThreadMapping m = solve_thread_mapping(layer.params, alpha, 64);
+    print_row({std::to_string(layer.id), layer.params.to_string().substr(0, 23),
+               fmt(ptn_continuous(layer.params, alpha), 1),
+               std::to_string(m.ptn), std::to_string(m.ptk)},
+              w);
+  }
+  std::printf(
+      "\nshape check: batch-/space-heavy layers (large N*H*W vs K*R*S) "
+      "get large PTn; K-heavy 1x1 layers shift threads to PTk.\n");
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Sections 3.3 and 10.1: datatype and vector-width portability.
+//
+// Prints (a) the Eq. 3/4 register blocks the solver derives for each
+// datatype/ISA instance the paper names, and (b) measured host
+// throughput of the FP32 / FP64 / FP16-storage / INT16-quantized
+// convolution paths on a ResNet layer, with correctness deltas against
+// their references.
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/conv_fp16.h"
+#include "core/conv_fp64.h"
+#include "core/fai.h"
+#include "core/ndirect.h"
+#include "core/quantized.h"
+#include "runtime/timer.h"
+#include "tensor/rng.h"
+
+using namespace ndirect;
+using namespace ndirect::bench;
+
+int main() {
+  const BenchConfig cfg = BenchConfig::from_env();
+
+  print_header(
+      "Eq. 3/4 register blocks across datatypes and vector widths");
+  const std::vector<int> w = {16, 8, 8, 8, 8, 12};
+  print_row({"ISA instance", "lanes", "regs", "Vw", "Vk", "FAI(3x3)"}, w);
+  struct Isa {
+    const char* name;
+    int lanes, regs;
+  };
+  const Isa isas[] = {
+      {"ARMv8 FP64", 2, 32},    {"ARMv8 FP32", 4, 32},
+      {"ARMv8.2 FP16", 8, 32},  {"SVE-256 FP32", 8, 32},
+      {"SVE-512 FP32", 16, 32}, {"AVX-512 FP32", 16, 32},
+  };
+  for (const Isa& isa : isas) {
+    const RegisterBlock b = solve_register_block(3, isa.lanes, isa.regs);
+    print_row({isa.name, std::to_string(isa.lanes),
+               std::to_string(isa.regs), std::to_string(b.vw),
+               std::to_string(b.vk), fmt(fai_microkernel(b.vw, b.vk, 3), 2)},
+              w);
+  }
+  std::printf("(the paper's instantiation is the ARMv8 FP32 row: "
+              "Vw=12, Vk=8)\n");
+
+  // Measured datatype paths on a scaled ResNet layer 10.
+  const ConvParams p = scale_layer(table4_layer(10, 1).params, cfg);
+  std::printf("\n[measured] host, layer 10 scaled to %s:\n",
+              p.to_string().c_str());
+  const std::vector<int> w2 = {16, 12, 16};
+  print_row({"datatype", "GFLOPS", "max err vs ref"}, w2);
+  const double flops = static_cast<double>(p.flops());
+
+  // FP32 (the paper's engine).
+  {
+    Tensor in = make_input_nchw(p.N, p.C, p.H, p.W);
+    Tensor flt = make_filter_kcrs(p.K, p.C, p.R, p.S);
+    fill_random(in, 1);
+    fill_random(flt, 2);
+    const NdirectConv conv(p, {.threads = cfg.threads});
+    const double g = time_gflops([&] { (void)conv.run(in, flt); }, flops,
+                                 cfg.min_seconds);
+    print_row({"FP32", fmt(g, 2), "-"}, w2);
+  }
+
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+
+  // FP64.
+  {
+    std::vector<double> in(static_cast<std::size_t>(p.input_elems()));
+    std::vector<double> flt(static_cast<std::size_t>(p.filter_elems()));
+    std::vector<double> out(static_cast<std::size_t>(p.output_elems()));
+    std::vector<double> ref(out.size());
+    for (double& v : in) v = dist(rng);
+    for (double& v : flt) v = dist(rng);
+    const double g = time_gflops(
+        [&] { ndirect_conv_fp64(in.data(), flt.data(), out.data(), p); },
+        flops, cfg.min_seconds);
+    naive_conv_fp64(in.data(), flt.data(), ref.data(), p);
+    double err = 0;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      err = std::max(err, std::fabs(out[i] - ref[i]));
+    }
+    print_row({"FP64", fmt(g, 2), fmt(err, 12)}, w2);
+  }
+
+  // FP16 storage / FP32 compute.
+  {
+    std::vector<fp16_t> in(static_cast<std::size_t>(p.input_elems()));
+    std::vector<fp16_t> flt(static_cast<std::size_t>(p.filter_elems()));
+    std::vector<fp16_t> out(static_cast<std::size_t>(p.output_elems()));
+    for (fp16_t& v : in) v = fp32_to_fp16(static_cast<float>(dist(rng)));
+    for (fp16_t& v : flt) v = fp32_to_fp16(static_cast<float>(dist(rng)));
+    const double g = time_gflops(
+        [&] { ndirect_conv_fp16(in.data(), flt.data(), out.data(), p); },
+        flops, cfg.min_seconds);
+    print_row({"FP16 storage", fmt(g, 2), "(~1e-2 rel, see tests)"}, w2);
+  }
+
+  // INT16 quantized.
+  {
+    Tensor in = make_input_nchw(p.N, p.C, p.H, p.W);
+    Tensor flt = make_filter_kcrs(p.K, p.C, p.R, p.S);
+    fill_random(in, 4);
+    fill_random(flt, 5);
+    const std::int32_t qmax =
+        choose_qmax(std::int64_t{p.C} * p.R * p.S);
+    const QuantizedTensor qin = quantize_tensor(
+        in.data(), static_cast<std::size_t>(p.input_elems()), qmax);
+    const QuantizedTensor qflt = quantize_tensor(
+        flt.data(), static_cast<std::size_t>(p.filter_elems()), qmax);
+    std::vector<std::int32_t> acc(
+        static_cast<std::size_t>(p.output_elems()));
+    const double g = time_gflops(
+        [&] {
+          ndirect_conv_int16(qin.values.data(), qflt.values.data(),
+                             acc.data(), p);
+        },
+        flops, cfg.min_seconds);
+    print_row({"INT16 (qmax=" + std::to_string(qmax) + ")", fmt(g, 2),
+               "exact int32"},
+              w2);
+  }
+  std::printf(
+      "\n(FP64/FP16/INT16 run clarity-first generic kernels; FP32 "
+      "carries the hand-unrolled Algorithm 3 forms.)\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Fig. 1b: motivation — % of theoretical peak achieved by prior conv
+// implementations on the 64-core Phytium 2000+ (ResNet-50 layers 1-20,
+// batch = core count).
+//
+// [modelled] reproduces the published figure's setting; [measured] runs
+// the same methods on this host.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "platform/specs.h"
+
+using namespace ndirect;
+using namespace ndirect::bench;
+
+int main() {
+  const BenchConfig cfg = BenchConfig::from_env();
+
+  print_header(
+      "Fig. 1b [modelled]: % of peak on Phytium 2000+ (64 cores, N=64)");
+  const PlatformSpec& phytium = platform_by_name("Phytium 2000+");
+  const std::vector<int> w = {6, 13, 10, 10, 8, 10, 12, 9};
+  print_row({"layer", "im2col+GEMM", "XNNPACK", "LIBXSMM", "Ansor",
+             "ACL_GEMM", "ACL_DIRECT", "NDIRECT"},
+            w);
+  std::vector<std::vector<double>> sums(7);
+  for (const ConvLayer& layer : table4_resnet_layers(phytium.cores)) {
+    std::vector<std::string> cells = {std::to_string(layer.id)};
+    int mi = 0;
+    for (ConvMethod m :
+         {ConvMethod::Im2colGemm, ConvMethod::XnnpackStyle,
+          ConvMethod::LibxsmmStyle, ConvMethod::AnsorTuned,
+          ConvMethod::AclGemm, ConvMethod::AclDirect,
+          ConvMethod::Ndirect}) {
+      const PerfEstimate e =
+          estimate_conv_perf(phytium, layer.params, m, phytium.cores);
+      cells.push_back(fmt(e.pct_peak));
+      sums[static_cast<std::size_t>(mi++)].push_back(e.pct_peak);
+    }
+    print_row(cells, w);
+  }
+  std::vector<std::string> geo = {"Geo"};
+  for (auto& v : sums) geo.push_back(fmt(geomean(v)));
+  print_row(geo, w);
+
+  print_header("Fig. 1b [measured]: % of host peak (same methods)");
+  std::printf("host, batch=%d, spatial/%d, threads=%d\n", cfg.batch,
+              cfg.spatial_divisor, cfg.threads);
+  const double host_peak = host_platform().peak_gflops;
+  print_row({"layer", "im2col+GEMM", "XNNPACK", "LIBXSMM", "Ansor",
+             "ACL_GEMM", "ACL_DIRECT", "NDIRECT"},
+            w);
+  for (const ConvLayer& layer : table4_resnet_layers(1)) {
+    const ConvParams p = scale_layer(layer.params, cfg);
+    std::vector<std::string> cells = {std::to_string(layer.id)};
+    for (ConvMethod m :
+         {ConvMethod::Im2colGemm, ConvMethod::XnnpackStyle,
+          ConvMethod::LibxsmmStyle, ConvMethod::AnsorTuned,
+          ConvMethod::AclGemm, ConvMethod::AclDirect,
+          ConvMethod::Ndirect}) {
+      const double g = measure_method_gflops(m, p, cfg);
+      cells.push_back(fmt(100 * g / host_peak));
+    }
+    print_row(cells, w);
+  }
+  return 0;
+}

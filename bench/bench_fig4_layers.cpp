@@ -1,0 +1,89 @@
+// Fig. 4: multi-core convolution throughput (GFLOPS) of im2col+GEMM,
+// XNNPACK, LIBXSMM and NDIRECT over the 28 Table 4 layers, plus
+// nDirect's % of peak, on Phytium 2000+/KP920/ThunderX2 (batch = cores).
+//
+// Paper claims: nDirect improves over the best baseline by 1.32x /
+// 1.34x / 1.07x on the three platforms; 70-80% of peak on stride-1
+// layers; stride-2 layers dip.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "platform/specs.h"
+
+using namespace ndirect;
+using namespace ndirect::bench;
+
+namespace {
+
+const std::vector<int> kWidths = {6, 13, 10, 10, 9, 11};
+
+void modelled_panel(const char* platform_name) {
+  const PlatformSpec& spec = platform_by_name(platform_name);
+  std::printf("\n[modelled] %s (%d cores, N=%d), GFLOPS:\n",
+              platform_name, spec.cores, spec.cores);
+  print_row({"layer", "im2col+GEMM", "XNNPACK", "LIBXSMM", "NDIRECT",
+             "nd %peak"},
+            kWidths);
+  std::vector<double> nd, best_baseline;
+  for (const ConvLayer& layer : table4_layers(spec.cores)) {
+    double best = 0;
+    std::vector<std::string> cells = {std::to_string(layer.id)};
+    for (ConvMethod m : {ConvMethod::Im2colGemm, ConvMethod::XnnpackStyle,
+                         ConvMethod::LibxsmmStyle}) {
+      const double g =
+          estimate_conv_perf(spec, layer.params, m, spec.cores).gflops;
+      best = std::max(best, g);
+      cells.push_back(fmt(g));
+    }
+    const PerfEstimate e = estimate_conv_perf(
+        spec, layer.params, ConvMethod::Ndirect, spec.cores);
+    cells.push_back(fmt(e.gflops));
+    cells.push_back(fmt(e.pct_peak));
+    print_row(cells, kWidths);
+    nd.push_back(e.gflops);
+    best_baseline.push_back(e.gflops / best);
+  }
+  std::printf("  geomean NDIRECT improvement over best baseline: %.2fx\n",
+              geomean(best_baseline));
+}
+
+}  // namespace
+
+int main() {
+  const BenchConfig cfg = BenchConfig::from_env();
+
+  print_header("Fig. 4: multi-core convolution performance");
+  for (const char* name : {"Phytium 2000+", "KP920", "ThunderX2"}) {
+    modelled_panel(name);
+  }
+
+  std::printf("\n[measured] host (batch=%d, spatial/%d, threads=%d), "
+              "GFLOPS:\n",
+              cfg.batch, cfg.spatial_divisor, cfg.threads);
+  const double host_peak = host_platform().peak_gflops;
+  print_row({"layer", "im2col+GEMM", "XNNPACK", "LIBXSMM", "NDIRECT",
+             "nd %peak"},
+            kWidths);
+  std::vector<double> improvements;
+  for (const ConvLayer& layer : table4_layers(1)) {
+    const ConvParams p = scale_layer(layer.params, cfg);
+    double best = 0;
+    std::vector<std::string> cells = {std::to_string(layer.id)};
+    for (ConvMethod m : {ConvMethod::Im2colGemm, ConvMethod::XnnpackStyle,
+                         ConvMethod::LibxsmmStyle}) {
+      const double g = measure_method_gflops(m, p, cfg);
+      best = std::max(best, g);
+      cells.push_back(fmt(g));
+    }
+    const double nd =
+        measure_method_gflops(ConvMethod::Ndirect, p, cfg);
+    cells.push_back(fmt(nd));
+    cells.push_back(fmt(100 * nd / host_peak));
+    print_row(cells, kWidths);
+    improvements.push_back(nd / best);
+  }
+  std::printf("  geomean NDIRECT improvement over best baseline: %.2fx "
+              "(paper: 1.32x/1.34x/1.07x on its platforms)\n",
+              geomean(improvements));
+  return 0;
+}

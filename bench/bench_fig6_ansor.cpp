@@ -1,0 +1,65 @@
+// Fig. 6: nDirect speedup over Ansor-tuned direct convolution on
+// ResNet-50 layers 1-20.
+//
+// [modelled]: analytical estimates on the paper's three HPC platforms
+// (paper averages: 1.92x, 1.82x, 1.51x). [measured]: on this host,
+// nDirect vs the evolutionary schedule tuner (tuning time excluded, as
+// the paper excludes Ansor's search overhead).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "platform/specs.h"
+
+using namespace ndirect;
+using namespace ndirect::bench;
+
+int main() {
+  const BenchConfig cfg = BenchConfig::from_env();
+
+  print_header("Fig. 6 [modelled]: nDirect speedup over Ansor");
+  const std::vector<int> w = {6, 15, 10, 12};
+  print_row({"layer", "Phytium 2000+", "KP920", "ThunderX2"}, w);
+  std::vector<std::vector<double>> per_platform(3);
+  for (const ConvLayer& proto : table4_resnet_layers(1)) {
+    std::vector<std::string> cells = {std::to_string(proto.id)};
+    int pi = 0;
+    for (const char* name : {"Phytium 2000+", "KP920", "ThunderX2"}) {
+      const PlatformSpec& spec = platform_by_name(name);
+      ConvParams p = proto.params;
+      p.N = spec.cores;
+      const double nd =
+          estimate_conv_perf(spec, p, ConvMethod::Ndirect, spec.cores)
+              .gflops;
+      const double ansor =
+          estimate_conv_perf(spec, p, ConvMethod::AnsorTuned, spec.cores)
+              .gflops;
+      cells.push_back(fmt(nd / ansor, 2) + "x");
+      per_platform[static_cast<std::size_t>(pi++)].push_back(nd / ansor);
+    }
+    print_row(cells, w);
+  }
+  print_row({"Geo", fmt(geomean(per_platform[0]), 2) + "x",
+             fmt(geomean(per_platform[1]), 2) + "x",
+             fmt(geomean(per_platform[2]), 2) + "x"},
+            w);
+  std::printf("  (paper: 1.92x, 1.82x, 1.51x)\n");
+
+  print_header("Fig. 6 [measured]: host, nDirect vs schedule tuner");
+  std::printf("batch=%d, spatial/%d, threads=%d (tuning time excluded)\n",
+              cfg.batch, cfg.spatial_divisor, cfg.threads);
+  const std::vector<int> w2 = {6, 12, 12, 10};
+  print_row({"layer", "NDIRECT", "tuned", "speedup"}, w2);
+  std::vector<double> speedups;
+  for (const ConvLayer& layer : table4_resnet_layers(1)) {
+    const ConvParams p = scale_layer(layer.params, cfg);
+    const double nd = measure_method_gflops(ConvMethod::Ndirect, p, cfg);
+    const double tuned =
+        measure_method_gflops(ConvMethod::AnsorTuned, p, cfg);
+    speedups.push_back(nd / tuned);
+    print_row({std::to_string(layer.id), fmt(nd, 2), fmt(tuned, 2),
+               fmt(nd / tuned, 2) + "x"},
+              w2);
+  }
+  std::printf("  geomean speedup: %.2fx\n", geomean(speedups));
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Fig. 8: convolution performance on the embedded platform (RPi 4):
+// (a) single-core and (b) 4-core GFLOPS over ResNet-50 layers 1-20,
+// batch 1 (single) / 4 (multi).
+//
+// Paper claims: nDirect outperforms everywhere; the best baseline is
+// XNNPACK single-core and LIBXSMM multi-core; nDirect's geomean gain is
+// 1.15x over XNNPACK (1 core) and 1.19x over LIBXSMM (4 cores).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "platform/specs.h"
+#include "runtime/thread_pool.h"
+
+using namespace ndirect;
+using namespace ndirect::bench;
+
+namespace {
+
+const std::vector<int> kW = {6, 13, 10, 10, 11};
+
+void modelled_panel(int threads, int batch) {
+  const PlatformSpec& rpi = platform_by_name("RPi 4");
+  std::printf("\n[modelled] RPi 4, %d thread(s), N=%d, GFLOPS:\n", threads,
+              batch);
+  print_row({"layer", "im2col+GEMM", "XNNPACK", "LIBXSMM", "NDIRECT"}, kW);
+  std::vector<double> vs_best;
+  for (const ConvLayer& proto : table4_resnet_layers(batch)) {
+    std::vector<std::string> cells = {std::to_string(proto.id)};
+    double best = 0;
+    for (ConvMethod m : {ConvMethod::Im2colGemm, ConvMethod::XnnpackStyle,
+                         ConvMethod::LibxsmmStyle}) {
+      const double g =
+          estimate_conv_perf(rpi, proto.params, m, threads).gflops;
+      best = std::max(best, g);
+      cells.push_back(fmt(g, 2));
+    }
+    const double nd =
+        estimate_conv_perf(rpi, proto.params, ConvMethod::Ndirect, threads)
+            .gflops;
+    cells.push_back(fmt(nd, 2));
+    print_row(cells, kW);
+    vs_best.push_back(nd / best);
+  }
+  std::printf("  geomean NDIRECT / best baseline: %.2fx\n",
+              geomean(vs_best));
+}
+
+void measured_panel(const BenchConfig& base, int threads) {
+  BenchConfig cfg = base;
+  cfg.threads = threads;
+  std::printf("\n[measured] host, %d thread(s), batch=%d, spatial/%d, "
+              "GFLOPS:\n",
+              threads, cfg.batch, cfg.spatial_divisor);
+  print_row({"layer", "im2col+GEMM", "XNNPACK", "LIBXSMM", "NDIRECT"}, kW);
+  std::vector<double> vs_best;
+  for (const ConvLayer& layer : table4_resnet_layers(1)) {
+    const ConvParams p = scale_layer(layer.params, cfg);
+    std::vector<std::string> cells = {std::to_string(layer.id)};
+    double best = 0;
+    for (ConvMethod m : {ConvMethod::Im2colGemm, ConvMethod::XnnpackStyle,
+                         ConvMethod::LibxsmmStyle}) {
+      const double g = measure_method_gflops(m, p, cfg);
+      best = std::max(best, g);
+      cells.push_back(fmt(g, 2));
+    }
+    const double nd = measure_method_gflops(ConvMethod::Ndirect, p, cfg);
+    cells.push_back(fmt(nd, 2));
+    print_row(cells, kW);
+    vs_best.push_back(nd / best);
+  }
+  std::printf("  geomean NDIRECT / best baseline: %.2fx (paper: 1.15x "
+              "single-core, 1.19x multi-core)\n",
+              geomean(vs_best));
+}
+
+}  // namespace
+
+int main() {
+  const BenchConfig cfg = BenchConfig::from_env();
+  print_header("Fig. 8: embedded platform (RPi 4)");
+  modelled_panel(1, 1);   // (a) single core
+  modelled_panel(4, 4);   // (b) 4 cores
+  measured_panel(cfg, 1);
+  const int multi = static_cast<int>(ThreadPool::global().size());
+  if (multi > 1) {
+    measured_panel(cfg, multi);
+  } else {
+    std::printf(
+        "\n[measured] host has a single hardware thread; the multi-core "
+        "panel equals the single-core one and is skipped.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Fig. 9: convolution performance with hyper-threading enabled
+// (ThunderX2: 4 hardware threads per core, batch = logical cores).
+//
+// Paper claim: nDirect outperforms XNNPACK (the best baseline under
+// SMT) by a geomean of 1.28x.
+//
+// [modelled]: the analytical model with the SMT latency-hiding kappa
+// reduction at threads = 4 x cores. [measured]: the host pool is
+// oversubscribed 4 tasks per worker, which exercises the same
+// round-robin task stacking the engine uses for SMT.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "platform/specs.h"
+#include "runtime/thread_pool.h"
+
+using namespace ndirect;
+using namespace ndirect::bench;
+
+int main() {
+  const BenchConfig cfg = BenchConfig::from_env();
+  print_header("Fig. 9: impact of hyper-threading (ThunderX2, 4 SMT)");
+
+  const PlatformSpec& tx2 = platform_by_name("ThunderX2");
+  const int logical = tx2.cores * tx2.smt_per_core;
+  std::printf("\n[modelled] ThunderX2, %d logical threads, N=%d, GFLOPS:\n",
+              logical, logical);
+  const std::vector<int> w = {6, 13, 10, 10, 11};
+  print_row({"layer", "im2col+GEMM", "XNNPACK", "LIBXSMM", "NDIRECT"}, w);
+  std::vector<double> vs_xnn;
+  for (const ConvLayer& proto : table4_resnet_layers(logical)) {
+    std::vector<std::string> cells = {std::to_string(proto.id)};
+    double xnn = 0;
+    for (ConvMethod m : {ConvMethod::Im2colGemm, ConvMethod::XnnpackStyle,
+                         ConvMethod::LibxsmmStyle}) {
+      const double g =
+          estimate_conv_perf(tx2, proto.params, m, logical).gflops;
+      if (m == ConvMethod::XnnpackStyle) xnn = g;
+      cells.push_back(fmt(g));
+    }
+    const double nd =
+        estimate_conv_perf(tx2, proto.params, ConvMethod::Ndirect, logical)
+            .gflops;
+    cells.push_back(fmt(nd));
+    print_row(cells, w);
+    vs_xnn.push_back(nd / xnn);
+  }
+  std::printf("  geomean NDIRECT / XNNPACK: %.2fx (paper: 1.28x)\n",
+              geomean(vs_xnn));
+
+  // Measured: oversubscribe the host pool 4x.
+  BenchConfig smt = cfg;
+  smt.threads = static_cast<int>(ThreadPool::global().size()) * 4;
+  std::printf("\n[measured] host, %d logical tasks on %zu worker(s), "
+              "batch=%d, GFLOPS:\n",
+              smt.threads, ThreadPool::global().size(), smt.batch);
+  print_row({"layer", "im2col+GEMM", "XNNPACK", "LIBXSMM", "NDIRECT"}, w);
+  std::vector<double> m_vs_xnn;
+  for (const ConvLayer& layer : table4_resnet_layers(1)) {
+    const ConvParams p = scale_layer(layer.params, smt);
+    std::vector<std::string> cells = {std::to_string(layer.id)};
+    double xnn = 0;
+    for (ConvMethod m : {ConvMethod::Im2colGemm, ConvMethod::XnnpackStyle,
+                         ConvMethod::LibxsmmStyle}) {
+      const double g = measure_method_gflops(m, p, smt);
+      if (m == ConvMethod::XnnpackStyle) xnn = g;
+      cells.push_back(fmt(g, 2));
+    }
+    const double nd = measure_method_gflops(ConvMethod::Ndirect, p, smt);
+    cells.push_back(fmt(nd, 2));
+    print_row(cells, w);
+    m_vs_xnn.push_back(nd / xnn);
+  }
+  std::printf("  geomean NDIRECT / XNNPACK: %.2fx\n", geomean(m_vs_xnn));
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Table 3: hardware platforms used in evaluation.
+// Prints the paper's platform specs plus the probed host machine
+// (measured single-core peak, stream bandwidth, caches) and the alpha
+// coefficient (Section 6.2) used by the thread-mapping model.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/alpha.h"
+#include "platform/specs.h"
+#include "simd/vec128.h"
+
+using namespace ndirect;
+using namespace ndirect::bench;
+
+int main() {
+  print_header("Table 3: hardware platforms used in evaluation");
+  const std::vector<int> w = {16, 8, 10, 12, 12, 9, 9, 9};
+  print_row({"platform", "cores", "freq", "peakGF", "BW GiB/s", "L1KB",
+             "L2KB", "L3MB"},
+            w);
+  auto row = [&](const PlatformSpec& s) {
+    print_row({s.name, std::to_string(s.cores),
+               s.freq_ghz > 0 ? fmt(s.freq_ghz, 1) : "-",
+               fmt(s.peak_gflops, 1), fmt(s.bandwidth_gibs, 1),
+               std::to_string(s.cache.l1d / 1024),
+               std::to_string(s.cache.l2 / 1024),
+               s.cache.l3 > 0 ? std::to_string(s.cache.l3 / (1 << 20))
+                              : "-"},
+              w);
+  };
+  for (const PlatformSpec& s : table3_platforms()) row(s);
+
+  std::printf("\n[host] probing this machine (SIMD backend: %s)...\n",
+              simd_backend_name());
+  row(host_platform());
+
+  const AlphaResult alpha = measure_alpha(16u << 20);
+  std::printf(
+      "\n[host] Section 6.2 alpha microbenchmark: streaming %.1f GB/s, "
+      "non-streaming %.1f GB/s -> alpha = %.2f\n",
+      alpha.streaming_gbps, alpha.strided_gbps, alpha.alpha);
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Compare every convolution implementation in the repository on one
+// layer: correctness against Algorithm 1 first, then throughput. This
+// is the per-layer view behind the paper's Fig. 4, runnable on any
+// shape from the command line:
+//
+//   $ ./examples/compare_methods              # default: Table 4 layer 3
+//   $ ./examples/compare_methods N C H W K R S str pad
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/acl_direct.h"
+#include "baselines/im2col_conv.h"
+#include "baselines/indirect_conv.h"
+#include "baselines/naive_conv.h"
+#include "baselines/nchwc_conv.h"
+#include "core/ndirect.h"
+#include "runtime/timer.h"
+#include "tensor/compare.h"
+#include "tensor/rng.h"
+#include "tensor/transforms.h"
+
+using namespace ndirect;
+
+namespace {
+
+double best_rep_gflops(const std::function<void()>& fn, double flops) {
+  fn();
+  double best = 1e30;
+  WallTimer total;
+  do {
+    WallTimer t;
+    fn();
+    best = std::min(best, t.seconds());
+  } while (total.seconds() < 0.25);
+  return flops / best / 1e9;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ConvParams p{.N = 1, .C = 64, .H = 56, .W = 56, .K = 64,
+               .R = 3, .S = 3, .str = 1, .pad = 1};
+  if (argc == 10) {
+    int* fields[] = {&p.N, &p.C, &p.H, &p.W, &p.K, &p.R, &p.S, &p.str,
+                     &p.pad};
+    for (int i = 0; i < 9; ++i) *fields[i] = std::atoi(argv[i + 1]);
+  } else if (argc != 1) {
+    std::fprintf(stderr, "usage: %s [N C H W K R S str pad]\n", argv[0]);
+    return 2;
+  }
+  if (!p.valid()) {
+    std::fprintf(stderr, "invalid convolution: %s\n", p.to_string().c_str());
+    return 2;
+  }
+
+  std::printf("layer: %s  (%.2f GFLOP)\n", p.to_string().c_str(),
+              static_cast<double>(p.flops()) / 1e9);
+
+  Tensor input = make_input_nchw(p.N, p.C, p.H, p.W);
+  Tensor filter = make_filter_kcrs(p.K, p.C, p.R, p.S);
+  fill_random(input, 1);
+  fill_random(filter, 2);
+  const Tensor reference = naive_conv_nchw(input, filter, p);
+  const double flops = static_cast<double>(p.flops());
+
+  std::printf("\n%-22s %10s  %s\n", "method", "GFLOPS", "max |err|");
+
+  auto report = [&](const char* name, const Tensor& out, double gflops) {
+    const CompareResult diff = compare_tensors(out, reference);
+    std::printf("%-22s %10.2f  %.2e%s\n", name, gflops, diff.max_abs_err,
+                allclose(out, reference) ? "" : "  <-- MISMATCH");
+  };
+
+  {
+    const NdirectConv conv(p);
+    report("ndirect", conv.run(input, filter),
+           best_rep_gflops([&] { (void)conv.run(input, filter); }, flops));
+  }
+  report("im2col+gemm", im2col_conv_nchw(input, filter, p),
+         best_rep_gflops([&] { (void)im2col_conv_nchw(input, filter, p); },
+                         flops));
+  {
+    // LIBXSMM-style on its native blocked layout (transform excluded).
+    const NchwcConvConfig cfg{};
+    const Tensor in_b = nchwc_transform_input(input, p, cfg.c_block);
+    const Tensor f_b =
+        nchwc_transform_filter(filter, p, cfg.c_block, cfg.k_block);
+    report("libxsmm-style (NCHWc)",
+           nchwc_to_nchw(nchwc_conv_blocked(in_b, f_b, p, cfg), p.K),
+           best_rep_gflops(
+               [&] { (void)nchwc_conv_blocked(in_b, f_b, p, cfg); },
+               flops));
+  }
+  {
+    // XNNPACK-style on its native NHWC layout (operator setup excluded).
+    const Tensor in_nhwc = nchw_to_nhwc(input);
+    const IndirectConvOperator op(kcrs_to_krsc(filter), p);
+    report("xnnpack-style (NHWC)", nhwc_to_nchw(op.run(in_nhwc)),
+           best_rep_gflops([&] { (void)op.run(in_nhwc); }, flops));
+  }
+  report("acl-style direct", acl_direct_conv_nchw(input, filter, p),
+         best_rep_gflops(
+             [&] { (void)acl_direct_conv_nchw(input, filter, p); }, flops));
+  return 0;
+}

@@ -1,0 +1,98 @@
+#include "autotune/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/threading.h"
+
+namespace ndirect {
+namespace {
+
+// Waste from a partial final iteration: useful fraction of ceil-tiling
+// `extent` by `tile`.
+double remainder_efficiency(std::int64_t extent, std::int64_t tile) {
+  if (extent <= 0 || tile <= 0) return 0.0;
+  const std::int64_t tiles = (extent + tile - 1) / tile;
+  return static_cast<double>(extent) / static_cast<double>(tiles * tile);
+}
+
+// Soft cache-fit factor: 1 while the working set fits, decaying with
+// the overflow ratio beyond capacity.
+double fit_factor(double working_set, double capacity) {
+  if (capacity <= 0) return 1.0;
+  if (working_set <= capacity) return 1.0;
+  return capacity / working_set;
+}
+
+}  // namespace
+
+double CostModel::score(const Schedule& s, const ConvParams& p) const {
+  // Register-tile FAI with the stride-aware load count (cf. Eq. 4).
+  const double packw = (s.vw - 1) * p.str + p.S;
+  const double fai =
+      2.0 * p.S * s.vw * s.vk / (packw + static_cast<double>(p.S) * s.vk);
+
+  // Register-pressure penalty: tiles whose accumulators exceed the 32
+  // NEON-model registers spill every iteration.
+  const double regs = std::ceil(packw / 4.0) + s.vk / 4.0 +
+                      static_cast<double>(s.vw) * s.vk / 4.0;
+  const double spill = regs <= 32 ? 1.0 : 32.0 / regs;
+
+  // Eq. 1 working set in L1: input rows + 2 filter slices.
+  const double l1_set =
+      (static_cast<double>(p.R) * s.tc * packw +
+       2.0 * s.vk * s.tc * p.R * p.S) *
+      sizeof(float);
+  // Eq. 2 working set in L2: filter tile + 2 input slices.
+  const double l2_set = (static_cast<double>(s.tk) * s.tc * p.R * p.S +
+                         2.0 * p.R * s.tc * packw) *
+                        sizeof(float);
+  const double cache_fit = fit_factor(l1_set, 0.9 * cache.l1d) *
+                           fit_factor(l2_set, 0.75 * cache.l2);
+
+  // Loop-remainder waste across the four tiled dimensions.
+  const double waste = remainder_efficiency(p.Q(), s.vw) *
+                       remainder_efficiency(p.K, s.vk) *
+                       remainder_efficiency(p.C, s.tc) *
+                       remainder_efficiency(p.P(), s.th);
+
+  // Thread-level FAI of the chosen split (Eq. 5), normalized by the
+  // best possible split so the factor is in (0, 1].
+  double thread_factor = 1.0;
+  if (threads > 1) {
+    const double chosen = thread_fai(p, alpha, s.ptn);
+    double best = 0.0;
+    for (int d = 1; d <= threads; ++d) {
+      if (threads % d == 0) best = std::max(best, thread_fai(p, alpha, d));
+    }
+    thread_factor = best > 0 ? chosen / best : 1.0;
+    // Idle thread groups when a dimension is shorter than its split.
+    const double rows = static_cast<double>(p.N) * p.P();
+    thread_factor *= std::min(1.0, rows / s.ptn);
+    thread_factor *=
+        std::min(1.0, static_cast<double>(p.K) / (threads / s.ptn));
+  }
+
+  // Filter-transform overhead: the on-the-fly transform re-runs per
+  // (n, row-tile); ahead-of-time pays once but streams a K-sized
+  // tensor without tile locality. Model both lightly.
+  const double transforms_otf =
+      static_cast<double>(p.N) * std::ceil(1.0 * p.P() / s.th);
+  const double flt_bytes = 4.0 * p.filter_elems();
+  const double flops = static_cast<double>(p.flops());
+  const double transform_penalty =
+      s.aot_filter
+          ? 1.0 / (1.0 + flt_bytes / flops)
+          : 1.0 / (1.0 + transforms_otf * flt_bytes / flops);
+
+  // Every C tile after the first re-loads and re-stores the output
+  // tile (the accumulate path), so fewer, larger C passes are better
+  // as long as Eq. 1 holds (cache_fit already penalizes overshoot).
+  const double c_passes = std::ceil(static_cast<double>(p.C) / s.tc);
+  const double output_revisit = 1.0 / (1.0 + 0.15 * (c_passes - 1.0));
+
+  return fai * spill * cache_fit * waste * thread_factor *
+         transform_penalty * output_revisit;
+}
+
+}  // namespace ndirect

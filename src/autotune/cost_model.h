@@ -1,0 +1,28 @@
+// Analytical cost model guiding the evolutionary search.
+//
+// Ansor ranks candidates with a learned model and only measures the
+// most promising ones. We rank with a first-principles score built from
+// the same quantities the paper's analytical models use:
+//   * the register tile's stride-aware FAI (flops per loaded element),
+//   * cache-fit factors for the Eq. 1/2 working sets,
+//   * loop-remainder waste (Q % vw, K % vk, P % th, C % tc),
+//   * the Eq. 5 per-thread FAI of the chosen ptn split.
+// The score is a relative throughput proxy (higher is better); only its
+// ordering matters to the tuner.
+#pragma once
+
+#include "autotune/schedule.h"
+#include "runtime/cpu_info.h"
+
+namespace ndirect {
+
+struct CostModel {
+  CacheInfo cache;
+  double alpha = 2.0;
+  int threads = 1;
+
+  /// Relative throughput proxy; > 0 for valid schedules.
+  double score(const Schedule& s, const ConvParams& p) const;
+};
+
+}  // namespace ndirect

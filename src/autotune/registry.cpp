@@ -1,0 +1,83 @@
+#include "autotune/registry.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace ndirect {
+
+std::string ScheduleRegistry::key(const ConvParams& shape) {
+  return shape.to_string();
+}
+
+void ScheduleRegistry::put(const ConvParams& shape, const Entry& entry,
+                           bool keep_best) {
+  const std::string k = key(shape);
+  auto it = entries_.find(k);
+  if (it != entries_.end() && keep_best &&
+      it->second.second.gflops >= entry.gflops) {
+    return;
+  }
+  entries_[k] = {shape, entry};
+}
+
+std::optional<ScheduleRegistry::Entry> ScheduleRegistry::find(
+    const ConvParams& shape) const {
+  auto it = entries_.find(key(shape));
+  if (it == entries_.end()) return std::nullopt;
+  return it->second.second;
+}
+
+bool ScheduleRegistry::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "# ndirect schedule registry v1\n"
+      << "# N C H W K R S str pad  vw vk tc tk th ptn aot  threads gflops\n";
+  for (const auto& [_, value] : entries_) {
+    const ConvParams& p = value.first;
+    const Entry& e = value.second;
+    const Schedule& s = e.schedule;
+    out << p.N << ' ' << p.C << ' ' << p.H << ' ' << p.W << ' ' << p.K
+        << ' ' << p.R << ' ' << p.S << ' ' << p.str << ' ' << p.pad << ' '
+        << s.vw << ' ' << s.vk << ' ' << s.tc << ' ' << s.tk << ' ' << s.th
+        << ' ' << s.ptn << ' ' << (s.aot_filter ? 1 : 0) << ' '
+        << e.threads << ' ' << e.gflops << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+ScheduleRegistry ScheduleRegistry::load(const std::string& path,
+                                        int* skipped) {
+  ScheduleRegistry reg;
+  int bad = 0;
+  std::ifstream in(path);
+  if (!in) {
+    if (skipped != nullptr) *skipped = 0;
+    return reg;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    ConvParams p;
+    Schedule s;
+    Entry e;
+    int aot = 0;
+    if (!(fields >> p.N >> p.C >> p.H >> p.W >> p.K >> p.R >> p.S >>
+          p.str >> p.pad >> s.vw >> s.vk >> s.tc >> s.tk >> s.th >>
+          s.ptn >> aot >> e.threads >> e.gflops)) {
+      ++bad;
+      continue;
+    }
+    s.aot_filter = aot != 0;
+    if (!p.valid() || !schedule_valid(s, p, e.threads)) {
+      ++bad;
+      continue;
+    }
+    e.schedule = s;
+    reg.put(p, e);
+  }
+  if (skipped != nullptr) *skipped = bad;
+  return reg;
+}
+
+}  // namespace ndirect

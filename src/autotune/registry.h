@@ -1,0 +1,53 @@
+// Persistent registry of tuned schedules.
+//
+// Ansor-style tuning is expensive (Section 7.3: 1,000-20,000 trials);
+// production deployments tune once and ship the schedules. This
+// registry maps convolution shapes to their best-found schedules and
+// round-trips through a human-readable text file, so benches, examples
+// and users can reuse search results across processes.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "autotune/schedule.h"
+#include "tensor/conv_params.h"
+
+namespace ndirect {
+
+class ScheduleRegistry {
+ public:
+  struct Entry {
+    Schedule schedule;
+    double gflops = 0;  ///< throughput recorded at tuning time
+    int threads = 1;    ///< thread count the schedule was tuned for
+  };
+
+  /// Insert or overwrite the entry for a shape. Keeps the faster entry
+  /// when `keep_best` and one already exists for the same shape.
+  void put(const ConvParams& shape, const Entry& entry,
+           bool keep_best = true);
+
+  /// Exact-shape lookup (N included: schedules are batch-specific).
+  std::optional<Entry> find(const ConvParams& shape) const;
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Serialize to a text file (one line per entry). Returns false on
+  /// I/O failure.
+  bool save(const std::string& path) const;
+
+  /// Parse a file produced by save(). Lines that fail to parse or
+  /// describe invalid schedules are skipped (count reported via
+  /// `skipped` when non-null). A missing file yields an empty registry.
+  static ScheduleRegistry load(const std::string& path,
+                               int* skipped = nullptr);
+
+ private:
+  static std::string key(const ConvParams& shape);
+  std::map<std::string, std::pair<ConvParams, Entry>> entries_;
+};
+
+}  // namespace ndirect

@@ -1,0 +1,45 @@
+// Schedule representation for the search-based optimizer (the repo's
+// Ansor substitute, Section 2.4 of the paper).
+//
+// Ansor searches a hierarchical space of loop tilings, annotations and
+// thread bindings and compiles each candidate with a generic code
+// generator. Our equivalent space is the parameterization of the direct
+// convolution loop nest: the register tile (vw, vk), the three cache
+// tiles (tc, tk, th), the thread split ptn, and whether input windows
+// are packed. Candidates execute through the *runtime-parameterized*
+// kernel (never the hand-unrolled Algorithm 3 form), which stands in
+// for compiler-emitted code: the search can find a good schedule but
+// not the packed sliding-window instruction pattern.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "tensor/conv_params.h"
+
+namespace ndirect {
+
+struct Schedule {
+  int vw = 8;    ///< register tile width (output positions)
+  int vk = 8;    ///< register tile depth (output channels), %4 == 0
+  int tc = 8;    ///< C cache tile
+  int tk = 8;    ///< K cache tile, multiple of vk
+  int th = 4;    ///< output-row tile
+  int ptn = 1;   ///< thread-grid rows (ptk = threads / ptn)
+  bool aot_filter = false;  ///< transform the whole filter up front
+
+  std::string to_string() const {
+    return "vw" + std::to_string(vw) + " vk" + std::to_string(vk) +
+           " tc" + std::to_string(tc) + " tk" + std::to_string(tk) +
+           " th" + std::to_string(th) + " ptn" + std::to_string(ptn) +
+           (aot_filter ? " aot" : " otf");
+  }
+
+  bool operator==(const Schedule&) const = default;
+};
+
+/// Structural validity of a schedule for a problem and thread count
+/// (register-budget feasibility, divisibility, bounds).
+bool schedule_valid(const Schedule& s, const ConvParams& p, int threads);
+
+}  // namespace ndirect

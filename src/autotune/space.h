@@ -1,0 +1,46 @@
+// Search-space sampling and mutation for the schedule tuner.
+#pragma once
+
+#include <random>
+#include <vector>
+
+#include "autotune/schedule.h"
+
+namespace ndirect {
+
+/// Generates random valid schedules and mutates existing ones within
+/// the space described in schedule.h.
+class ScheduleSpace {
+ public:
+  ScheduleSpace(const ConvParams& p, int threads, std::uint64_t seed);
+
+  const ConvParams& params() const { return params_; }
+  int threads() const { return threads_; }
+
+  /// A uniformly random valid schedule.
+  Schedule sample();
+
+  /// Mutate one dimension of `s` (resampling until valid).
+  Schedule mutate(const Schedule& s);
+
+  /// Single-point crossover of two parents (field-wise choice).
+  Schedule crossover(const Schedule& a, const Schedule& b);
+
+  /// Number of candidate values per dimension (for space-size stats).
+  std::size_t approximate_size() const;
+
+ private:
+  Schedule sample_once();
+
+  ConvParams params_;
+  int threads_;
+  std::mt19937_64 rng_;
+  std::vector<int> vw_choices_;
+  std::vector<int> vk_choices_;
+  std::vector<int> tc_choices_;
+  std::vector<int> tk_mult_choices_;  ///< tk = mult * vk
+  std::vector<int> th_choices_;
+  std::vector<int> ptn_choices_;      ///< divisors of threads
+};
+
+}  // namespace ndirect

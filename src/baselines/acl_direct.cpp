@@ -1,0 +1,99 @@
+#include "baselines/acl_direct.h"
+
+#include <cassert>
+
+#include "simd/vec128.h"
+
+namespace ndirect {
+namespace {
+
+// Compute output row (n, k, oj) for stride-1 interior columns with SIMD
+// over 4 output positions; borders and strided cases fall back to scalar.
+void conv_row(const float* image, const float* kflt, float* out_row,
+              const ConvParams& p, int oj) {
+  const int Q = p.Q();
+  const std::int64_t hw = std::int64_t{p.H} * p.W;
+
+  auto scalar_at = [&](int oi) {
+    float sum = 0.0f;
+    for (int c = 0; c < p.C; ++c) {
+      const float* chan = image + c * hw;
+      const float* frow = kflt + std::int64_t{c} * p.R * p.S;
+      for (int r = 0; r < p.R; ++r) {
+        const int ij = p.str * oj + r - p.pad;
+        if (ij < 0 || ij >= p.H) continue;
+        for (int s = 0; s < p.S; ++s) {
+          const int ii = p.str * oi + s - p.pad;
+          if (ii < 0 || ii >= p.W) continue;
+          sum += chan[std::int64_t{ij} * p.W + ii] * frow[r * p.S + s];
+        }
+      }
+    }
+    return sum;
+  };
+
+  if (p.str != 1) {
+    for (int oi = 0; oi < Q; ++oi) out_row[oi] = scalar_at(oi);
+    return;
+  }
+
+  // Stride 1: columns [lo, hi) read no horizontally padded element.
+  const int lo = p.pad;
+  const int hi = std::max(lo, std::min(Q, p.W - p.S + 1 + p.pad));
+  for (int oi = 0; oi < lo; ++oi) out_row[oi] = scalar_at(oi);
+  int oi = lo;
+  for (; oi + 4 <= hi; oi += 4) {
+    vec128f acc = vzero();
+    for (int c = 0; c < p.C; ++c) {
+      const float* chan = image + c * hw;
+      const float* frow = kflt + std::int64_t{c} * p.R * p.S;
+      for (int r = 0; r < p.R; ++r) {
+        const int ij = oj + r - p.pad;
+        if (ij < 0 || ij >= p.H) continue;
+        const float* in_row = chan + std::int64_t{ij} * p.W - p.pad;
+        for (int s = 0; s < p.S; ++s) {
+          acc = vfma(acc, vload(in_row + oi + s), vdup(frow[r * p.S + s]));
+        }
+      }
+    }
+    vstore(out_row + oi, acc);
+  }
+  for (; oi < Q; ++oi) out_row[oi] = scalar_at(oi);
+}
+
+}  // namespace
+
+Tensor acl_direct_conv_nchw(const Tensor& input, const Tensor& filter,
+                            const ConvParams& p, ThreadPool* pool) {
+  assert(p.valid());
+  assert(input.layout() == Layout::NCHW && filter.layout() == Layout::KCRS);
+  ThreadPool& tp = pool != nullptr ? *pool : ThreadPool::global();
+
+  const int P = p.P(), Q = p.Q();
+  Tensor out = make_output_nchw(p.N, p.K, P, Q);
+
+  // The criticized strategy: threads split K; N and H stay sequential
+  // inside every thread.
+  tp.parallel_for(
+      static_cast<std::size_t>(p.K),
+      [&](std::size_t k_begin, std::size_t k_end) {
+        for (std::size_t k = k_begin; k < k_end; ++k) {
+          const float* kflt =
+              filter.data() + static_cast<std::int64_t>(k) * p.C * p.R * p.S;
+          for (int n = 0; n < p.N; ++n) {
+            const float* image =
+                input.data() + std::int64_t{n} * p.C * p.H * p.W;
+            float* out_plane =
+                out.data() +
+                (std::int64_t{n} * p.K + static_cast<std::int64_t>(k)) * P *
+                    Q;
+            for (int oj = 0; oj < P; ++oj) {
+              conv_row(image, kflt, out_plane + std::int64_t{oj} * Q, p, oj);
+            }
+          }
+        }
+      });
+  return out;
+}
+
+}  // namespace ndirect

@@ -1,0 +1,23 @@
+// ACL-style direct convolution baseline.
+//
+// Reproduces the behaviour the paper criticizes in Section 3.2: the ARM
+// Compute Library's direct convolution parallelizes only the K (output
+// channel) dimension, ignoring batch size and input shape, so multi-batch
+// work accumulates linearly per thread and utilization collapses (~5% of
+// peak on Phytium 2000+ in the paper). The inner loop is still SIMD
+// (vectorized over output width), so the gap measured against it comes
+// from the parallelization strategy, not from scalar code.
+#pragma once
+
+#include "runtime/thread_pool.h"
+#include "tensor/conv_params.h"
+#include "tensor/tensor.h"
+
+namespace ndirect {
+
+/// input NCHW, filter KCRS -> output NCHW. Parallel over K only.
+Tensor acl_direct_conv_nchw(const Tensor& input, const Tensor& filter,
+                            const ConvParams& p,
+                            ThreadPool* pool = nullptr);
+
+}  // namespace ndirect

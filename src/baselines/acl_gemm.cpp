@@ -1,0 +1,53 @@
+#include "baselines/acl_gemm.h"
+
+#include <cassert>
+
+#include "baselines/im2col_conv.h"
+#include "gemm/gemm.h"
+#include "runtime/aligned_buffer.h"
+#include "runtime/partition.h"
+
+namespace ndirect {
+
+Tensor acl_gemm_conv_nchw(const Tensor& input, const Tensor& filter,
+                          const ConvParams& p, ThreadPool* pool) {
+  assert(p.valid());
+  assert(input.layout() == Layout::NCHW && filter.layout() == Layout::KCRS);
+  ThreadPool& tp = pool != nullptr ? *pool : ThreadPool::global();
+
+  const int P = p.P(), Q = p.Q();
+  const std::int64_t gemm_k = std::int64_t{p.C} * p.R * p.S;
+  const std::int64_t gemm_n = std::int64_t{P} * Q;
+  Tensor out = make_output_nchw(p.N, p.K, P, Q);
+  const bool identity = im2col_is_identity(p);
+
+  AlignedBuffer<float> col;
+  if (!identity) col.reset(static_cast<std::size_t>(gemm_k * gemm_n));
+
+  for (int n = 0; n < p.N; ++n) {
+    const float* image =
+        input.data() + static_cast<std::int64_t>(n) * p.C * p.H * p.W;
+    const float* b = image;
+    if (!identity) {
+      im2col_nchw(image, p, col.data());
+      b = col.data();
+    }
+    float* c = out.data() + static_cast<std::int64_t>(n) * p.K * gemm_n;
+    // Parallel over output-channel row strips, simple GEMM per strip.
+    tp.parallel_for(
+        static_cast<std::size_t>(p.K),
+        [&](std::size_t k_begin, std::size_t k_end) {
+          const std::int64_t rows =
+              static_cast<std::int64_t>(k_end - k_begin);
+          sgemm_simple(rows, gemm_n, gemm_k,
+                       filter.data() +
+                           static_cast<std::int64_t>(k_begin) * gemm_k,
+                       gemm_k, b, gemm_n,
+                       c + static_cast<std::int64_t>(k_begin) * gemm_n,
+                       gemm_n);
+        });
+  }
+  return out;
+}
+
+}  // namespace ndirect

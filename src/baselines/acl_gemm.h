@@ -1,0 +1,20 @@
+// ACL_GEMM baseline (the sixth method in the paper's Fig. 1b).
+//
+// The ARM Compute Library's GEMM-based convolution: the same
+// im2col lowering as the MXNet/OpenBLAS pipeline, but driven by a
+// library-generic GEMM (no operand packing, no Goto register tile),
+// parallelized over output rows. It sits between ACL_DIRECT and
+// im2col+OpenBLAS in the paper's motivation figure.
+#pragma once
+
+#include "runtime/thread_pool.h"
+#include "tensor/conv_params.h"
+#include "tensor/tensor.h"
+
+namespace ndirect {
+
+/// input NCHW, filter KCRS -> output NCHW.
+Tensor acl_gemm_conv_nchw(const Tensor& input, const Tensor& filter,
+                          const ConvParams& p, ThreadPool* pool = nullptr);
+
+}  // namespace ndirect

@@ -1,0 +1,96 @@
+#include "baselines/im2col_conv.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "runtime/aligned_buffer.h"
+
+namespace ndirect {
+
+void im2col_nchw(const float* image, const ConvParams& p, float* col) {
+  const int P = p.P(), Q = p.Q();
+  const std::int64_t col_width = std::int64_t{P} * Q;
+  // Row (c, r, s) of the column matrix holds, for every output position
+  // (oj, oi), the input element I[c][oj*str + r - pad][oi*str + s - pad].
+  for (int c = 0; c < p.C; ++c) {
+    const float* channel =
+        image + static_cast<std::int64_t>(c) * p.H * p.W;
+    for (int r = 0; r < p.R; ++r) {
+      for (int s = 0; s < p.S; ++s) {
+        float* row =
+            col + ((static_cast<std::int64_t>(c) * p.R + r) * p.S + s) *
+                      col_width;
+        for (int oj = 0; oj < P; ++oj) {
+          const int ij = p.str * oj + r - p.pad;
+          float* dst = row + static_cast<std::int64_t>(oj) * Q;
+          if (ij < 0 || ij >= p.H) {
+            std::memset(dst, 0, sizeof(float) * static_cast<std::size_t>(Q));
+            continue;
+          }
+          const float* src_row = channel + static_cast<std::int64_t>(ij) * p.W;
+          if (p.str == 1) {
+            // Contiguous span with zero borders on both ends.
+            const int ii0 = s - p.pad;  // input col for oi = 0
+            int oi = 0;
+            for (; oi < Q && ii0 + oi < 0; ++oi) dst[oi] = 0.0f;
+            int oi_hi = Q;
+            while (oi_hi > oi && ii0 + (oi_hi - 1) >= p.W) --oi_hi;
+            if (oi_hi > oi) {
+              std::memcpy(dst + oi, src_row + ii0 + oi,
+                          sizeof(float) *
+                              static_cast<std::size_t>(oi_hi - oi));
+            }
+            for (oi = oi_hi; oi < Q; ++oi) dst[oi] = 0.0f;
+          } else {
+            for (int oi = 0; oi < Q; ++oi) {
+              const int ii = p.str * oi + s - p.pad;
+              dst[oi] = (ii < 0 || ii >= p.W) ? 0.0f : src_row[ii];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor im2col_conv_nchw(const Tensor& input, const Tensor& filter,
+                        const ConvParams& p, const Im2colOptions* opts) {
+  assert(p.valid());
+  assert(input.layout() == Layout::NCHW && filter.layout() == Layout::KCRS);
+  static const Im2colOptions default_opts{};
+  const Im2colOptions& o = opts != nullptr ? *opts : default_opts;
+
+  const int P = p.P(), Q = p.Q();
+  const std::int64_t gemm_k = std::int64_t{p.C} * p.R * p.S;
+  const std::int64_t gemm_n = std::int64_t{P} * Q;
+  Tensor out = make_output_nchw(p.N, p.K, P, Q);
+
+  GemmContext gemm_ctx = o.gemm;
+  gemm_ctx.phase_timer = o.phase_timer;
+
+  const bool identity = im2col_is_identity(p);
+  AlignedBuffer<float> col;
+  if (!identity) {
+    col.reset(static_cast<std::size_t>(gemm_k * gemm_n));
+  }
+
+  for (int n = 0; n < p.N; ++n) {
+    const float* image =
+        input.data() + static_cast<std::int64_t>(n) * p.C * p.H * p.W;
+    const float* b = image;
+    if (!identity) {
+      WallTimer t;
+      im2col_nchw(image, p, col.data());
+      if (o.phase_timer != nullptr) o.phase_timer->add("im2col", t.seconds());
+      b = col.data();
+    }
+    float* c = out.data() + static_cast<std::int64_t>(n) * p.K * gemm_n;
+    // filter viewed as the [K, C*R*S] matrix (KCRS is already row-major
+    // in exactly that order).
+    sgemm(p.K, gemm_n, gemm_k, filter.data(), gemm_k, b, gemm_n, c, gemm_n,
+          /*accumulate=*/false, &gemm_ctx);
+  }
+  return out;
+}
+
+}  // namespace ndirect

@@ -1,0 +1,34 @@
+// The im2col+GEMM convolution baseline (MXNet/Caffe convention):
+// for each image, the input patch tensor is flattened into a
+// [C*R*S, P*Q] column matrix and multiplied by the [K, C*R*S] filter
+// matrix using the Goto SGEMM. 1x1 stride-1 unpadded convolutions skip
+// the im2col stage entirely (they are already GEMM-shaped), matching the
+// paper's observation about ResNet layers 19-20.
+#pragma once
+
+#include "gemm/gemm.h"
+#include "tensor/conv_params.h"
+#include "tensor/tensor.h"
+
+namespace ndirect {
+
+/// Expand one image (C x H x W floats at `image`) into the column matrix
+/// `col` of shape [C*R*S, P*Q] (row-major), inserting zeros for padding.
+void im2col_nchw(const float* image, const ConvParams& p, float* col);
+
+/// Whether the im2col stage can be skipped (input already GEMM-shaped).
+inline bool im2col_is_identity(const ConvParams& p) {
+  return p.R == 1 && p.S == 1 && p.str == 1 && p.pad == 0;
+}
+
+struct Im2colOptions {
+  GemmContext gemm{};               ///< blocking/pool for the SGEMM
+  PhaseTimer* phase_timer = nullptr;  ///< adds "im2col" + GEMM phases
+};
+
+/// input NCHW, filter KCRS -> output NCHW.
+Tensor im2col_conv_nchw(const Tensor& input, const Tensor& filter,
+                        const ConvParams& p,
+                        const Im2colOptions* opts = nullptr);
+
+}  // namespace ndirect

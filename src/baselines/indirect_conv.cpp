@@ -1,0 +1,169 @@
+#include "baselines/indirect_conv.h"
+
+#include <cassert>
+
+#include "simd/vec128.h"
+#include "tensor/transforms.h"
+
+namespace ndirect {
+namespace {
+
+// Micro-kernel: mn (<= kMR) output positions x kNR output channels.
+// ptrs[m*RS + rs] = C-contiguous input row for position m, window cell rs.
+// packed filter rows: [rs][c][k_padded], k-slice at column k0.
+void indirect_microkernel(int mn, int rs_count, int C,
+                          const float* const* ptrs,
+                          const float* packed_filter,
+                          std::int64_t k_padded, std::int64_t k0,
+                          float* out, std::int64_t ldo, int kn) {
+  constexpr int kMR = IndirectConvOperator::kMR;
+  vec128f acc[kMR][2];
+  for (int m = 0; m < kMR; ++m) acc[m][0] = acc[m][1] = vzero();
+
+  for (int rs = 0; rs < rs_count; ++rs) {
+    const float* fbase =
+        packed_filter + static_cast<std::int64_t>(rs) * C * k_padded + k0;
+    for (int c = 0; c < C; ++c) {
+      const vec128f f0 = vload(fbase + 0);
+      const vec128f f1 = vload(fbase + 4);
+      fbase += k_padded;
+      for (int m = 0; m < mn; ++m) {
+        const vec128f x = vdup(ptrs[m * rs_count + rs][c]);
+        acc[m][0] = vfma(acc[m][0], x, f0);
+        acc[m][1] = vfma(acc[m][1], x, f1);
+      }
+    }
+  }
+
+  if (kn == IndirectConvOperator::kNR) {
+    for (int m = 0; m < mn; ++m) {
+      vstore(out + m * ldo + 0, acc[m][0]);
+      vstore(out + m * ldo + 4, acc[m][1]);
+    }
+  } else {
+    float tmp[IndirectConvOperator::kNR];
+    for (int m = 0; m < mn; ++m) {
+      vstore(tmp + 0, acc[m][0]);
+      vstore(tmp + 4, acc[m][1]);
+      for (int j = 0; j < kn; ++j) out[m * ldo + j] = tmp[j];
+    }
+  }
+}
+
+}  // namespace
+
+IndirectConvOperator::IndirectConvOperator(const Tensor& filter,
+                                           const ConvParams& p)
+    : params_(p) {
+  assert(filter.layout() == Layout::KRSC && filter.rank() == 4);
+  assert(filter.dim(0) == p.K && filter.dim(1) == p.R &&
+         filter.dim(2) == p.S && filter.dim(3) == p.C);
+
+  k_padded_ = (p.K + kNR - 1) / kNR * kNR;
+  const std::int64_t rs = std::int64_t{p.R} * p.S;
+  packed_filter_.reset(static_cast<std::size_t>(rs * p.C * k_padded_));
+  packed_filter_.fill_zero();
+  // KRSC -> [rs][c][k]: transposes K to the innermost (vectorized) dim.
+  for (int k = 0; k < p.K; ++k)
+    for (int r = 0; r < p.R; ++r)
+      for (int s = 0; s < p.S; ++s)
+        for (int c = 0; c < p.C; ++c) {
+          packed_filter_[static_cast<std::size_t>(
+              ((std::int64_t{r} * p.S + s) * p.C + c) * k_padded_ + k)] =
+              filter.at4(k, r, s, c);
+        }
+
+  const int P = p.P(), Q = p.Q();
+  indirection_.resize(static_cast<std::size_t>(std::int64_t{P} * Q * rs));
+  std::size_t idx = 0;
+  for (int oj = 0; oj < P; ++oj)
+    for (int oi = 0; oi < Q; ++oi)
+      for (int r = 0; r < p.R; ++r)
+        for (int s = 0; s < p.S; ++s) {
+          const int ij = p.str * oj + r - p.pad;
+          const int ii = p.str * oi + s - p.pad;
+          const bool oob = ij < 0 || ij >= p.H || ii < 0 || ii >= p.W;
+          indirection_[idx++] =
+              oob ? -1
+                  : (std::int64_t{ij} * p.W + ii) * p.C;
+        }
+
+  zero_row_.reset(static_cast<std::size_t>(p.C));
+  zero_row_.fill_zero();
+}
+
+Tensor IndirectConvOperator::run(const Tensor& input, ThreadPool* pool,
+                                 PhaseTimer* phase_timer) const {
+  const ConvParams& p = params_;
+  assert(input.layout() == Layout::NHWC);
+  assert(input.dim(0) == p.N && input.dim(1) == p.H &&
+         input.dim(2) == p.W && input.dim(3) == p.C);
+  ThreadPool& tp = pool != nullptr ? *pool : ThreadPool::global();
+
+  const int P = p.P(), Q = p.Q();
+  const std::int64_t rs = std::int64_t{p.R} * p.S;
+  const std::int64_t positions = std::int64_t{P} * Q;
+  Tensor out = make_output_nhwc(p.N, P, Q, p.K);
+
+  WallTimer t;
+  // Parallel over (n, position-tile). Each task materializes the pointer
+  // rows for its tile from the shared offset table.
+  const std::int64_t m_tiles = (positions + kMR - 1) / kMR;
+  const std::int64_t work = p.N * m_tiles;
+  tp.parallel_for(
+      static_cast<std::size_t>(work),
+      [&](std::size_t begin, std::size_t end) {
+        const float* ptrs[kMR * 64];  // kMR rows x up to 8x8 window
+        assert(rs <= 64);
+        for (std::size_t item = begin; item < end; ++item) {
+          const std::int64_t tile = static_cast<std::int64_t>(item) % m_tiles;
+          const std::int64_t n = static_cast<std::int64_t>(item) / m_tiles;
+          const float* image =
+              input.data() + n * std::int64_t{p.H} * p.W * p.C;
+          const std::int64_t pos0 = tile * kMR;
+          const int mn =
+              static_cast<int>(std::min<std::int64_t>(kMR, positions - pos0));
+          for (int m = 0; m < mn; ++m) {
+            const std::int64_t* offs =
+                indirection_.data() + (pos0 + m) * rs;
+            for (std::int64_t j = 0; j < rs; ++j) {
+              ptrs[m * rs + j] =
+                  offs[j] < 0 ? zero_row_.data() : image + offs[j];
+            }
+          }
+          float* out_base =
+              out.data() + (n * positions + pos0) * p.K;
+          for (std::int64_t k0 = 0; k0 < p.K; k0 += kNR) {
+            const int kn =
+                static_cast<int>(std::min<std::int64_t>(kNR, p.K - k0));
+            indirect_microkernel(mn, static_cast<int>(rs), p.C, ptrs,
+                                 packed_filter_.data(), k_padded_, k0,
+                                 out_base + k0, p.K, kn);
+          }
+        }
+      });
+  if (phase_timer != nullptr) phase_timer->add("micro-kernel", t.seconds());
+  return out;
+}
+
+Tensor indirect_conv_nchw(const Tensor& input, const Tensor& filter,
+                          const ConvParams& p, const IndirectOptions* opts) {
+  static const IndirectOptions default_opts{};
+  const IndirectOptions& o = opts != nullptr ? *opts : default_opts;
+
+  WallTimer t;
+  const Tensor in_nhwc = nchw_to_nhwc(input);
+  const Tensor flt_krsc = kcrs_to_krsc(filter);
+  IndirectConvOperator op(flt_krsc, p);
+  if (o.phase_timer != nullptr) o.phase_timer->add("transform", t.seconds());
+
+  Tensor out_nhwc = op.run(in_nhwc, o.pool, o.phase_timer);
+
+  WallTimer t2;
+  Tensor out = nhwc_to_nchw(out_nhwc);
+  if (o.phase_timer != nullptr)
+    o.phase_timer->add("transform", t2.seconds());
+  return out;
+}
+
+}  // namespace ndirect

@@ -1,0 +1,66 @@
+// XNNPACK-style indirect convolution baseline (Dukhan, arXiv:1907.02129).
+//
+// Works on NHWC activations. Instead of materializing an im2col matrix,
+// an *indirection buffer* of input-row pointers is built: for each output
+// position, R*S pointers to the C-contiguous input rows the kernel window
+// touches (out-of-bounds rows point at a shared zero row). The GEMM-shaped
+// micro-kernel then walks pointers instead of a packed matrix, which
+// removes the im2col transform and its memory traffic while keeping the
+// GEMM inner loop. Filters are prepacked to [R*S, C, K-blocks] once
+// (weight prep, done ahead of time as XNNPACK does at operator setup).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/aligned_buffer.h"
+#include "runtime/thread_pool.h"
+#include "runtime/timer.h"
+#include "tensor/conv_params.h"
+#include "tensor/tensor.h"
+
+namespace ndirect {
+
+/// Precomputed state reusable across runs with the same shape
+/// (XNNPACK's "operator" concept).
+class IndirectConvOperator {
+ public:
+  /// `filter` is KRSC. Builds the packed weights and the indirection
+  /// pattern for the given shape.
+  IndirectConvOperator(const Tensor& filter, const ConvParams& p);
+
+  /// input NHWC [N,H,W,C] -> output NHWC [N,P,Q,K].
+  Tensor run(const Tensor& input, ThreadPool* pool = nullptr,
+             PhaseTimer* phase_timer = nullptr) const;
+
+  const ConvParams& params() const { return params_; }
+
+  /// Output positions per micro-kernel tile / K channels per tile.
+  static constexpr int kMR = 6;
+  static constexpr int kNR = 8;
+
+ private:
+  ConvParams params_;
+  // Packed filter: [R*S][C][ceil(K/NR)*NR], K zero-padded.
+  AlignedBuffer<float> packed_filter_;
+  std::int64_t k_padded_ = 0;
+  // Indirection offsets for one image, in elements relative to the image
+  // base: entry [(oj*Q + oi)*R*S + (r*S + s)] = offset of input row
+  // (ij, ii) or -1 for a padding row. Stored as offsets (not raw
+  // pointers) so one table serves every image in the batch.
+  std::vector<std::int64_t> indirection_;
+  AlignedBuffer<float> zero_row_;
+};
+
+struct IndirectOptions {
+  ThreadPool* pool = nullptr;
+  PhaseTimer* phase_timer = nullptr;
+};
+
+/// Framework-layout convenience wrapper: NCHW/KCRS in, NCHW out (layout
+/// conversions timed as "transform" when a phase timer is given).
+Tensor indirect_conv_nchw(const Tensor& input, const Tensor& filter,
+                          const ConvParams& p,
+                          const IndirectOptions* opts = nullptr);
+
+}  // namespace ndirect

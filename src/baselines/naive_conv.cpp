@@ -1,0 +1,77 @@
+#include "baselines/naive_conv.h"
+
+#include <cassert>
+
+namespace ndirect {
+
+Tensor naive_conv_nchw(const Tensor& input, const Tensor& filter,
+                       const ConvParams& p) {
+  assert(p.valid());
+  assert(input.layout() == Layout::NCHW);
+  assert(filter.layout() == Layout::KCRS);
+  assert(input.dim(0) == p.N && input.dim(1) == p.C &&
+         input.dim(2) == p.H && input.dim(3) == p.W);
+  assert(filter.dim(0) == p.K && filter.dim(1) == p.C &&
+         filter.dim(2) == p.R && filter.dim(3) == p.S);
+
+  const int P = p.P(), Q = p.Q();
+  Tensor out = make_output_nchw(p.N, p.K, P, Q);
+  for (int n = 0; n < p.N; ++n) {
+    for (int k = 0; k < p.K; ++k) {
+      for (int oj = 0; oj < P; ++oj) {
+        for (int oi = 0; oi < Q; ++oi) {
+          double sum = 0.0;
+          for (int c = 0; c < p.C; ++c) {
+            for (int r = 0; r < p.R; ++r) {
+              const int ij = p.str * oj + r - p.pad;
+              if (ij < 0 || ij >= p.H) continue;
+              for (int s = 0; s < p.S; ++s) {
+                const int ii = p.str * oi + s - p.pad;
+                if (ii < 0 || ii >= p.W) continue;
+                sum += static_cast<double>(input.at4(n, c, ij, ii)) *
+                       static_cast<double>(filter.at4(k, c, r, s));
+              }
+            }
+          }
+          out.at4(n, k, oj, oi) = static_cast<float>(sum);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor naive_conv_nhwc(const Tensor& input, const Tensor& filter,
+                       const ConvParams& p) {
+  assert(p.valid());
+  assert(input.layout() == Layout::NHWC);
+  assert(filter.layout() == Layout::KRSC);
+
+  const int P = p.P(), Q = p.Q();
+  Tensor out = make_output_nhwc(p.N, P, Q, p.K);
+  for (int n = 0; n < p.N; ++n) {
+    for (int oj = 0; oj < P; ++oj) {
+      for (int oi = 0; oi < Q; ++oi) {
+        for (int k = 0; k < p.K; ++k) {
+          double sum = 0.0;
+          for (int r = 0; r < p.R; ++r) {
+            const int ij = p.str * oj + r - p.pad;
+            if (ij < 0 || ij >= p.H) continue;
+            for (int s = 0; s < p.S; ++s) {
+              const int ii = p.str * oi + s - p.pad;
+              if (ii < 0 || ii >= p.W) continue;
+              for (int c = 0; c < p.C; ++c) {
+                sum += static_cast<double>(input.at4(n, ij, ii, c)) *
+                       static_cast<double>(filter.at4(k, r, s, c));
+              }
+            }
+          }
+          out.at4(n, oj, oi, k) = static_cast<float>(sum);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ndirect

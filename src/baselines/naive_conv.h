@@ -1,0 +1,20 @@
+// Algorithm 1 of the paper: the naive seven-loop direct convolution.
+// This is the correctness oracle every optimized implementation is
+// tested against. Accumulation is done in double to give a tight
+// reference for FP32 error bounds.
+#pragma once
+
+#include "tensor/conv_params.h"
+#include "tensor/tensor.h"
+
+namespace ndirect {
+
+/// input NCHW [N,C,H,W], filter KCRS [K,C,R,S] -> output NCHW [N,K,P,Q].
+Tensor naive_conv_nchw(const Tensor& input, const Tensor& filter,
+                       const ConvParams& p);
+
+/// input NHWC [N,H,W,C], filter KRSC [K,R,S,C] -> output NHWC [N,P,Q,K].
+Tensor naive_conv_nhwc(const Tensor& input, const Tensor& filter,
+                       const ConvParams& p);
+
+}  // namespace ndirect

@@ -1,0 +1,170 @@
+#include "baselines/nchwc_conv.h"
+
+#include <cassert>
+
+#include "simd/vec128.h"
+#include "tensor/transforms.h"
+
+namespace ndirect {
+namespace {
+
+// Accumulate one [wn x k_block] tile of output row `oj` starting at
+// output column `q0`, reading the padded blocked input. wn <= cfg.w_tile.
+// This is the BRGEMM: a batch of CB*R*S tiny (wn x c) x (c x k) GEMMs
+// reduced into the same register tile.
+void brgemm_tile(const float* in, const float* flt, float* out_row,
+                 const ConvParams& p, const NchwcConvConfig& cfg, int CB,
+                 int Wp, int q0, int wn, int oj) {
+  constexpr int kMaxWTile = 16;
+  assert(cfg.k_block == 4 && cfg.c_block == 4);
+  assert(wn <= kMaxWTile);
+  vec128f acc[kMaxWTile];
+  for (int w = 0; w < wn; ++w) acc[w] = vzero();
+
+  const std::int64_t in_row_stride = std::int64_t{Wp} * cfg.c_block;
+  for (int cb = 0; cb < CB; ++cb) {
+    const float* in_block =
+        in + static_cast<std::int64_t>(cb) * (p.H + 2 * p.pad) * in_row_stride;
+    const float* f_block = flt + static_cast<std::int64_t>(cb) * p.R * p.S *
+                                     cfg.c_block * cfg.k_block;
+    for (int r = 0; r < p.R; ++r) {
+      const float* in_row =
+          in_block + (std::int64_t{oj} * p.str + r) * in_row_stride;
+      for (int s = 0; s < p.S; ++s) {
+        const float* f =
+            f_block + (static_cast<std::int64_t>(r) * p.S + s) *
+                          cfg.c_block * cfg.k_block;
+        // Sequential loads, as LIBXSMM's generated code arranges them:
+        // all filter vectors first, then per-position input vectors.
+        const vec128f f0 = vload(f + 0);
+        const vec128f f1 = vload(f + 4);
+        const vec128f f2 = vload(f + 8);
+        const vec128f f3 = vload(f + 12);
+        for (int w = 0; w < wn; ++w) {
+          const std::int64_t ii =
+              (std::int64_t{q0} + w) * p.str + s;
+          const vec128f x = vload(in_row + ii * cfg.c_block);
+          acc[w] = vfma_lane<0>(acc[w], x, f0);
+          acc[w] = vfma_lane<1>(acc[w], x, f1);
+          acc[w] = vfma_lane<2>(acc[w], x, f2);
+          acc[w] = vfma_lane<3>(acc[w], x, f3);
+        }
+      }
+    }
+  }
+  for (int w = 0; w < wn; ++w) {
+    vstore(out_row + (std::int64_t{q0} + w) * cfg.k_block, acc[w]);
+  }
+}
+
+}  // namespace
+
+Tensor nchwc_transform_input(const Tensor& input, const ConvParams& p,
+                             int c_block) {
+  assert(input.layout() == Layout::NCHW);
+  const int Hp = p.H + 2 * p.pad, Wp = p.W + 2 * p.pad;
+  const std::int64_t CB = (p.C + c_block - 1) / c_block;
+  Tensor out({p.N, CB, Hp, Wp, c_block}, Layout::NCHWc);
+  out.fill_zero();
+  float* dst = out.data();
+  const float* src = input.data();
+  for (int n = 0; n < p.N; ++n)
+    for (int c = 0; c < p.C; ++c) {
+      const std::int64_t cb = c / c_block, ci = c % c_block;
+      for (int h = 0; h < p.H; ++h) {
+        const float* src_row =
+            src + ((static_cast<std::int64_t>(n) * p.C + c) * p.H + h) * p.W;
+        float* dst_row =
+            dst + (((static_cast<std::int64_t>(n) * CB + cb) * Hp +
+                    (h + p.pad)) *
+                       Wp +
+                   p.pad) *
+                      c_block +
+            ci;
+        for (int w = 0; w < p.W; ++w) dst_row[w * c_block] = src_row[w];
+      }
+    }
+  return out;
+}
+
+Tensor nchwc_transform_filter(const Tensor& filter, const ConvParams& p,
+                              int c_block, int k_block) {
+  (void)p;
+  return kcrs_to_kcrsck(filter, c_block, k_block);
+}
+
+Tensor nchwc_conv_blocked(const Tensor& input, const Tensor& filter,
+                          const ConvParams& p, const NchwcConvConfig& cfg,
+                          ThreadPool* pool) {
+  assert(input.layout() == Layout::NCHWc && input.rank() == 5);
+  assert(filter.layout() == Layout::KCRSck && filter.rank() == 6);
+  ThreadPool& tp = pool != nullptr ? *pool : ThreadPool::global();
+
+  const int P = p.P(), Q = p.Q();
+  const std::int64_t CB = input.dim(1);
+  const std::int64_t KB = filter.dim(0);
+  const int Wp = p.W + 2 * p.pad;
+  Tensor out({p.N, KB, P, Q, cfg.k_block}, Layout::NCHWc);
+
+  const std::int64_t in_image_stride =
+      CB * (p.H + 2 * p.pad) * std::int64_t{Wp} * cfg.c_block;
+  const std::int64_t flt_block_stride =
+      CB * p.R * p.S * cfg.c_block * cfg.k_block;
+  const std::int64_t out_row_stride = std::int64_t{Q} * cfg.k_block;
+
+  // LIBXSMM parallelizes over the (n, kb, oj) loop nest.
+  const std::int64_t work = std::int64_t{p.N} * KB * P;
+  tp.parallel_for(
+      static_cast<std::size_t>(work),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t item = begin; item < end; ++item) {
+          const std::int64_t oj = static_cast<std::int64_t>(item) % P;
+          const std::int64_t kb = (static_cast<std::int64_t>(item) / P) % KB;
+          const std::int64_t n = static_cast<std::int64_t>(item) / (P * KB);
+          const float* in = input.data() + n * in_image_stride;
+          const float* flt = filter.data() + kb * flt_block_stride;
+          float* out_row = out.data() + ((n * KB + kb) * P + oj) *
+                                            out_row_stride;
+          int q0 = 0;
+          for (; q0 + cfg.w_tile <= Q; q0 += cfg.w_tile) {
+            brgemm_tile(in, flt, out_row, p, cfg, static_cast<int>(CB), Wp,
+                        q0, cfg.w_tile, static_cast<int>(oj));
+          }
+          if (q0 < Q) {
+            brgemm_tile(in, flt, out_row, p, cfg, static_cast<int>(CB), Wp,
+                        q0, Q - q0, static_cast<int>(oj));
+          }
+        }
+      });
+  return out;
+}
+
+Tensor nchwc_conv_nchw(const Tensor& input, const Tensor& filter,
+                       const ConvParams& p, const NchwcOptions* opts) {
+  static const NchwcOptions default_opts{};
+  const NchwcOptions& o = opts != nullptr ? *opts : default_opts;
+
+  Tensor in_blocked, flt_blocked;
+  {
+    WallTimer t;
+    in_blocked = nchwc_transform_input(input, p, o.cfg.c_block);
+    flt_blocked =
+        nchwc_transform_filter(filter, p, o.cfg.c_block, o.cfg.k_block);
+    if (o.phase_timer != nullptr)
+      o.phase_timer->add("transform", t.seconds());
+  }
+  Tensor out_blocked;
+  {
+    WallTimer t;
+    out_blocked = nchwc_conv_blocked(in_blocked, flt_blocked, p, o.cfg,
+                                     o.pool);
+    if (o.phase_timer != nullptr)
+      o.phase_timer->add("micro-kernel", t.seconds());
+  }
+  WallTimer t;
+  Tensor out = nchwc_to_nchw(out_blocked, p.K);
+  if (o.phase_timer != nullptr) o.phase_timer->add("transform", t.seconds());
+  return out;
+}
+
+}  // namespace ndirect

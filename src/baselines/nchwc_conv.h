@@ -1,0 +1,58 @@
+// LIBXSMM-style direct convolution baseline.
+//
+// Reproduces the approach of Georganas et al. (SC'18) / LIBXSMM:
+//  * blocked activation layout NCHWc (c = SIMD-width channels innermost),
+//  * blocked filter layout KCRSck,
+//  * a batch-reduce-GEMM-shaped micro-kernel that accumulates a small
+//    [w_tile x k_block] register tile over (C-block, R, S),
+//  * explicit data-layout transform performed before the convolution
+//    (the paper times this stage separately in Fig. 1a and excludes it
+//    from the Fig. 4 numbers, which we mirror via PhaseTimer).
+//
+// The register tile is deliberately the small-GEMM shape LIBXSMM's JIT
+// emits for 128-bit ISAs (6 x 4 here) rather than nDirect's 12 x 8; the
+// resulting lower arithmetic intensity is exactly the performance gap the
+// paper attributes to LIBXSMM (Section 3.2, opportunity #2).
+#pragma once
+
+#include "runtime/thread_pool.h"
+#include "runtime/timer.h"
+#include "tensor/conv_params.h"
+#include "tensor/tensor.h"
+
+namespace ndirect {
+
+struct NchwcConvConfig {
+  int c_block = 4;  ///< input-channel SIMD blocking (one 128-bit vector)
+  int k_block = 4;  ///< output-channel SIMD blocking (one 128-bit vector)
+  int w_tile = 6;   ///< output positions per micro-kernel call
+};
+
+/// NCHW activations -> zero-padded NCHWc. Padding is folded into the
+/// layout transform (LIBXSMM requires physically padded inputs).
+Tensor nchwc_transform_input(const Tensor& input, const ConvParams& p,
+                             int c_block);
+
+/// KCRS filters -> KCRSck.
+Tensor nchwc_transform_filter(const Tensor& filter, const ConvParams& p,
+                              int c_block, int k_block);
+
+/// Convolve blocked tensors: input [N, CB, Hp, Wp, c] (already padded),
+/// filter [KB, CB, R, S, c, k] -> output [N, KB, P, Q, k].
+Tensor nchwc_conv_blocked(const Tensor& input, const Tensor& filter,
+                          const ConvParams& p, const NchwcConvConfig& cfg,
+                          ThreadPool* pool = nullptr);
+
+struct NchwcOptions {
+  NchwcConvConfig cfg{};
+  ThreadPool* pool = nullptr;
+  PhaseTimer* phase_timer = nullptr;  ///< "transform" + "micro-kernel"
+};
+
+/// Framework-layout convenience wrapper: NCHW/KCRS in, NCHW out, with the
+/// format conversions executed (and separately timed) inside.
+Tensor nchwc_conv_nchw(const Tensor& input, const Tensor& filter,
+                       const ConvParams& p,
+                       const NchwcOptions* opts = nullptr);
+
+}  // namespace ndirect

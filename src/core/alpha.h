@@ -1,0 +1,28 @@
+// The streaming/non-streaming memory latency coefficient alpha
+// (Section 6.2). The thread-mapping model weights accesses to the input
+// tensor (non-streaming: the packing kernel gathers rows scattered
+// across channels) by alpha relative to filter accesses (streaming:
+// consecutive addresses). The paper determines alpha offline with a
+// microbenchmark; this is that microbenchmark.
+#pragma once
+
+#include <cstddef>
+
+namespace ndirect {
+
+struct AlphaResult {
+  double alpha = 2.0;          ///< non-streaming / streaming cost ratio
+  double streaming_gbps = 0;   ///< measured sequential read bandwidth
+  double strided_gbps = 0;     ///< measured strided-gather bandwidth
+};
+
+/// Run the microbenchmark (~tens of ms). `bytes` is the working-set size;
+/// it should exceed the LLC so both patterns hit memory.
+AlphaResult measure_alpha(std::size_t bytes = 64u << 20);
+
+/// Cached alpha for the host: measured once per process, overridable
+/// with the NDIRECT_ALPHA environment variable (useful for tests and for
+/// modelling the paper's platforms). Clamped to [1, 16].
+double host_alpha();
+
+}  // namespace ndirect

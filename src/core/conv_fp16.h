@@ -1,0 +1,32 @@
+// FP16-storage convolution (Section 3.3 datatype extension).
+//
+// Tensors live in binary16 — halving the memory footprint and bandwidth,
+// which is the reason mobile ARMv8.2 deployments use FP16 — while the
+// arithmetic runs in FP32 through the same generic micro-kernel as the
+// FP32 engine: input windows widen inside the packing micro-kernel,
+// filters widen once at operator setup (as real FP16 inference libraries
+// prepare weights), and outputs narrow with round-to-nearest-even at
+// store time. Accumulation is therefore full FP32 precision; only the
+// storage format is half.
+#pragma once
+
+#include "core/fai.h"
+#include "core/fp16.h"
+#include "runtime/thread_pool.h"
+#include "tensor/conv_params.h"
+
+namespace ndirect {
+
+/// input NCHW [N,C,H,W], filter KCRS [K,C,R,S], output NCHW [N,K,P,Q],
+/// all binary16. Output is overwritten.
+void ndirect_conv_fp16(const fp16_t* input, const fp16_t* filter,
+                       fp16_t* output, const ConvParams& p,
+                       ThreadPool* pool = nullptr);
+
+/// Reference: widen everything to fp32, run Algorithm 1 with double
+/// accumulation, narrow the result (the best answer fp16 storage
+/// admits). For tests.
+void naive_conv_fp16(const fp16_t* input, const fp16_t* filter,
+                     fp16_t* output, const ConvParams& p);
+
+}  // namespace ndirect

@@ -1,0 +1,39 @@
+// FP64 direct convolution — the Section 3.3 datatype extension.
+//
+// "Our current implementation supports single floating-point (FP32) ...
+// but our techniques can be applied to other data types, including
+// FP16, FP64 and INT16" by adjusting the analytical model parameters.
+// This module instantiates the claim for FP64: the Eq. 3/4 solver runs
+// with lanes = 2 (two doubles per 128-bit register), the Eq. 1/2 tiling
+// uses 8-byte elements, and the micro-kernel is the same outer-product
+// pattern on vec128d. The loop nest is the double-precision mirror of
+// Algorithm 2 (single C-tile accumulation per pass, fused packing).
+#pragma once
+
+#include "core/fai.h"
+#include "core/tiling.h"
+#include "runtime/thread_pool.h"
+#include "tensor/conv_params.h"
+
+namespace ndirect {
+
+struct Fp64Plan {
+  RegisterBlock rb{};   ///< Eq. 3/4 with lanes = 2
+  TilingPlan tiling{};  ///< Eq. 1/2 with 8-byte elements
+};
+
+/// Solve the plan for a shape (exposed for tests/benches).
+Fp64Plan solve_fp64_plan(const ConvParams& p, const CacheInfo& cache);
+
+/// input NCHW [N,C,H,W], filter KCRS [K,C,R,S], output NCHW [N,K,P,Q],
+/// all double. Output is overwritten. Parallelized over (n, row-block)
+/// with the global pool (or `pool`).
+void ndirect_conv_fp64(const double* input, const double* filter,
+                       double* output, const ConvParams& p,
+                       ThreadPool* pool = nullptr);
+
+/// Naive Algorithm 1 reference in double (long-double accumulation).
+void naive_conv_fp64(const double* input, const double* filter,
+                     double* output, const ConvParams& p);
+
+}  // namespace ndirect

@@ -1,0 +1,155 @@
+#include "core/depthwise.h"
+
+#include <cassert>
+
+#include "simd/vec128.h"
+
+namespace ndirect {
+namespace {
+
+// Depthwise micro-kernel: one output row (n, c, oj), vectorized over 4
+// output columns; the reduction runs over (r, s) only — the C reduction
+// of Algorithm 3 is removed, exactly as Section 10.2 prescribes.
+// Interior columns take the SIMD path; borders and strided layers take
+// the scalar path.
+void depthwise_row(const float* chan, const float* frow_base,
+                   float* out_row, const DepthwiseParams& p, int oj) {
+  const int Q = p.Q();
+
+  auto scalar_at = [&](int oi) {
+    float sum = 0.0f;
+    for (int r = 0; r < p.R; ++r) {
+      const int ij = p.str * oj + r - p.pad;
+      if (ij < 0 || ij >= p.H) continue;
+      const float* in_row = chan + static_cast<std::int64_t>(ij) * p.W;
+      const float* frow = frow_base + r * p.S;
+      for (int s = 0; s < p.S; ++s) {
+        const int ii = p.str * oi + s - p.pad;
+        if (ii < 0 || ii >= p.W) continue;
+        sum += in_row[ii] * frow[s];
+      }
+    }
+    return sum;
+  };
+
+  if (p.str != 1) {
+    for (int oi = 0; oi < Q; ++oi) out_row[oi] = scalar_at(oi);
+    return;
+  }
+
+  const int lo = p.pad;
+  const int hi = std::max(lo, std::min(Q, p.W - p.S + 1 + p.pad));
+  for (int oi = 0; oi < lo; ++oi) out_row[oi] = scalar_at(oi);
+  int oi = lo;
+  // 2x4-wide register blocking over output columns.
+  for (; oi + 8 <= hi; oi += 8) {
+    vec128f acc0 = vzero(), acc1 = vzero();
+    for (int r = 0; r < p.R; ++r) {
+      const int ij = oj + r - p.pad;
+      if (ij < 0 || ij >= p.H) continue;
+      const float* in_row =
+          chan + static_cast<std::int64_t>(ij) * p.W - p.pad + oi;
+      const float* frow = frow_base + r * p.S;
+      for (int s = 0; s < p.S; ++s) {
+        const vec128f f = vdup(frow[s]);
+        acc0 = vfma(acc0, vload(in_row + s), f);
+        acc1 = vfma(acc1, vload(in_row + s + 4), f);
+      }
+    }
+    vstore(out_row + oi, acc0);
+    vstore(out_row + oi + 4, acc1);
+  }
+  for (; oi + 4 <= hi; oi += 4) {
+    vec128f acc = vzero();
+    for (int r = 0; r < p.R; ++r) {
+      const int ij = oj + r - p.pad;
+      if (ij < 0 || ij >= p.H) continue;
+      const float* in_row =
+          chan + static_cast<std::int64_t>(ij) * p.W - p.pad + oi;
+      const float* frow = frow_base + r * p.S;
+      for (int s = 0; s < p.S; ++s) {
+        acc = vfma(acc, vload(in_row + s), vdup(frow[s]));
+      }
+    }
+    vstore(out_row + oi, acc);
+  }
+  for (; oi < Q; ++oi) out_row[oi] = scalar_at(oi);
+}
+
+}  // namespace
+
+Tensor depthwise_conv_nchw(const Tensor& input, const Tensor& filter,
+                           const DepthwiseParams& p, ThreadPool* pool) {
+  assert(p.valid());
+  assert(input.layout() == Layout::NCHW);
+  assert(filter.layout() == Layout::KCRS && filter.dim(0) == p.C &&
+         filter.dim(1) == 1);
+  ThreadPool& tp = pool != nullptr ? *pool : ThreadPool::global();
+
+  const int P = p.P(), Q = p.Q();
+  Tensor out = make_output_nchw(p.N, p.C, P, Q);
+  const std::int64_t hw_in = std::int64_t{p.H} * p.W;
+  const std::int64_t hw_out = std::int64_t{P} * Q;
+
+  // Channels are independent: parallelize (n, c) with no reduction
+  // hazards (the depthwise analogue of never splitting C in Section 6
+  // does not arise — C is not a reduction dimension here).
+  const std::int64_t work = std::int64_t{p.N} * p.C;
+  tp.parallel_for(
+      static_cast<std::size_t>(work),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t item = begin; item < end; ++item) {
+          const std::int64_t c = static_cast<std::int64_t>(item) % p.C;
+          const std::int64_t n = static_cast<std::int64_t>(item) / p.C;
+          const float* chan = input.data() + (n * p.C + c) * hw_in;
+          const float* frow =
+              filter.data() + c * static_cast<std::int64_t>(p.R) * p.S;
+          float* out_chan = out.data() + (n * p.C + c) * hw_out;
+          for (int oj = 0; oj < P; ++oj) {
+            depthwise_row(chan, frow, out_chan + std::int64_t{oj} * Q, p,
+                          oj);
+          }
+        }
+      });
+  return out;
+}
+
+Tensor depthwise_conv_reference(const Tensor& input, const Tensor& filter,
+                                const DepthwiseParams& p) {
+  const int P = p.P(), Q = p.Q();
+  Tensor out = make_output_nchw(p.N, p.C, P, Q);
+  for (int n = 0; n < p.N; ++n)
+    for (int c = 0; c < p.C; ++c)
+      for (int oj = 0; oj < P; ++oj)
+        for (int oi = 0; oi < Q; ++oi) {
+          double sum = 0;
+          for (int r = 0; r < p.R; ++r) {
+            const int ij = p.str * oj + r - p.pad;
+            if (ij < 0 || ij >= p.H) continue;
+            for (int s = 0; s < p.S; ++s) {
+              const int ii = p.str * oi + s - p.pad;
+              if (ii < 0 || ii >= p.W) continue;
+              sum += static_cast<double>(input.at4(n, c, ij, ii)) *
+                     static_cast<double>(filter.at4(c, 0, r, s));
+            }
+          }
+          out.at4(n, c, oj, oi) = static_cast<float>(sum);
+        }
+  return out;
+}
+
+Tensor separable_conv_nchw(const Tensor& input, const Tensor& dw_filter,
+                           const Tensor& pw_filter,
+                           const DepthwiseParams& dw, int K,
+                           ThreadPool* pool) {
+  const Tensor mid = depthwise_conv_nchw(input, dw_filter, dw, pool);
+  // Pointwise = 1x1 nDirect convolution on the depthwise output.
+  const ConvParams pw{.N = dw.N, .C = dw.C, .H = dw.P(), .W = dw.Q(),
+                      .K = K, .R = 1, .S = 1, .str = 1, .pad = 0};
+  assert(pw_filter.dim(0) == K && pw_filter.dim(1) == dw.C);
+  NdirectOptions opts;
+  opts.pool = pool;
+  return ndirect_conv(mid, pw_filter, pw, opts);
+}
+
+}  // namespace ndirect

@@ -1,0 +1,56 @@
+// Depthwise and depthwise-separable convolution (Section 10.2).
+//
+// The paper sketches the integration: pointwise convolution is the 1x1
+// kernel nDirect already handles ("it can be seen as the 1x1
+// convolution kernel with vectorizable dimension K"), and depthwise
+// convolution "only needs removing the reduction operations of
+// dimension C in micro-kernels". This module implements exactly that:
+// a register-blocked depthwise kernel that accumulates over (r, s) only
+// — each channel convolves independently — plus the fused
+// depthwise+pointwise pair that forms the MobileNet/Xception building
+// block.
+#pragma once
+
+#include "core/ndirect.h"
+#include "runtime/thread_pool.h"
+#include "tensor/conv_params.h"
+#include "tensor/tensor.h"
+
+namespace ndirect {
+
+/// Depthwise problem: one filter per channel (channel multiplier 1).
+/// Uses ConvParams with K == C; R/S/str/pad as usual.
+struct DepthwiseParams {
+  int N = 1, C = 1, H = 1, W = 1;
+  int R = 1, S = 1, str = 1, pad = 0;
+
+  int P() const { return (H + 2 * pad - R) / str + 1; }
+  int Q() const { return (W + 2 * pad - S) / str + 1; }
+  bool valid() const {
+    return N > 0 && C > 0 && H > 0 && W > 0 && R > 0 && S > 0 &&
+           str > 0 && pad >= 0 && H + 2 * pad >= R && W + 2 * pad >= S;
+  }
+  std::int64_t flops() const {
+    return 2LL * N * C * P() * Q() * R * S;
+  }
+};
+
+/// input NCHW [N,C,H,W], filter [C,1,R,S] (KCRS with K=C, C=1)
+/// -> output NCHW [N,C,P,Q].
+Tensor depthwise_conv_nchw(const Tensor& input, const Tensor& filter,
+                           const DepthwiseParams& p,
+                           ThreadPool* pool = nullptr);
+
+/// Reference implementation (double accumulation) for tests.
+Tensor depthwise_conv_reference(const Tensor& input, const Tensor& filter,
+                                const DepthwiseParams& p);
+
+/// Depthwise-separable block: depthwise (dw_filter [C,1,R,S]) followed
+/// by pointwise (pw_filter [K,C,1,1], executed by NdirectConv).
+/// Returns [N,K,P,Q].
+Tensor separable_conv_nchw(const Tensor& input, const Tensor& dw_filter,
+                           const Tensor& pw_filter,
+                           const DepthwiseParams& dw, int K,
+                           ThreadPool* pool = nullptr);
+
+}  // namespace ndirect

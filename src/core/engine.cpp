@@ -1,0 +1,449 @@
+// The nDirect execution engine: Algorithm 2's loop nest around the
+// micro-kernels, with the PTn x PTk thread grid of Section 6.
+#include <cassert>
+#include <stdexcept>
+
+#include "core/alpha.h"
+#include "core/filter_transform.h"
+#include "core/microkernel.h"
+#include "core/ndirect.h"
+#include "runtime/aligned_buffer.h"
+#include "tensor/transforms.h"
+
+namespace ndirect {
+namespace {
+
+/// Per-layout addressing used by the shared loop nest.
+struct LayoutStrides {
+  // input
+  std::int64_t in_image = 0;   ///< stride between batch images
+  std::int64_t in_chan = 0;    ///< PackGeometry.chan_stride
+  std::int64_t in_row = 0;     ///< PackGeometry.row_stride
+  std::int64_t in_col = 1;     ///< PackGeometry.col_stride
+  // output
+  std::int64_t out_image = 0;
+  std::int64_t out_k = 0;      ///< MicroArgs.out_k_stride
+  std::int64_t out_row = 0;    ///< stride between output rows
+  std::int64_t out_w = 0;      ///< MicroArgs.out_w_stride
+};
+
+LayoutStrides nchw_strides(const ConvParams& p) {
+  const std::int64_t P = p.P(), Q = p.Q();
+  LayoutStrides s;
+  s.in_image = std::int64_t{p.C} * p.H * p.W;
+  s.in_chan = std::int64_t{p.H} * p.W;
+  s.in_row = p.W;
+  s.in_col = 1;
+  s.out_image = std::int64_t{p.K} * P * Q;
+  s.out_k = P * Q;
+  s.out_row = Q;
+  s.out_w = 1;
+  return s;
+}
+
+LayoutStrides nhwc_strides(const ConvParams& p) {
+  const std::int64_t P = p.P(), Q = p.Q();
+  LayoutStrides s;
+  s.in_image = std::int64_t{p.H} * p.W * p.C;
+  s.in_chan = 1;
+  s.in_row = std::int64_t{p.W} * p.C;
+  s.in_col = p.C;
+  s.out_image = P * Q * p.K;
+  s.out_k = 1;
+  s.out_row = std::int64_t{Q} * p.K;
+  s.out_w = p.K;
+  return s;
+}
+
+}  // namespace
+
+namespace {
+
+// Row-group flattening for GEMM-shaped (1x1 stride-1 unpadded) convs:
+// merge g rows (g | H) into one logical row so the micro-kernel tiles a
+// width of at least ~4*Vw, amortizing the ragged last tile.
+ConvParams flatten_rows(const ConvParams& p, int vw) {
+  if (!(p.R == 1 && p.S == 1 && p.str == 1 && p.pad == 0)) return p;
+  const int target = 4 * vw;
+  if (p.W >= target) return p;
+  int g = 1;
+  for (int d = 1; d <= p.H; ++d) {
+    if (p.H % d == 0 && p.W * d <= 4 * target) {
+      g = d;
+      if (p.W * d >= target) break;
+    }
+  }
+  ConvParams flat = p;
+  flat.H = p.H / g;
+  flat.W = p.W * g;
+  return flat;
+}
+
+}  // namespace
+
+NdirectConv::NdirectConv(const ConvParams& params,
+                         const NdirectOptions& options)
+    : params_(params), options_(options) {
+  if (!params.valid()) {
+    throw std::invalid_argument("NdirectConv: invalid convolution " +
+                                params.to_string());
+  }
+  plan_.rb = options.force_rb.vw > 0 && options.force_rb.vk > 0
+                 ? options.force_rb
+                 : solve_register_block(params.S);
+  exec_ = flatten_rows(params_, plan_.rb.vw);
+  const CacheInfo cache =
+      options.cache != nullptr ? *options.cache : probe_host_cpu().cache;
+  plan_.tiling = options.force_tiling.tc > 0 && options.force_tiling.tk > 0
+                     ? options.force_tiling
+                     : solve_tiling(cache, plan_.rb, exec_);
+  plan_.alpha = options.alpha > 0 ? options.alpha : host_alpha();
+  ThreadPool& pool =
+      options.pool != nullptr ? *options.pool : ThreadPool::global();
+  const int threads =
+      options.threads > 0 ? options.threads : static_cast<int>(pool.size());
+  plan_.mapping =
+      options.force_mapping.ptn > 0 && options.force_mapping.ptk > 0
+          ? options.force_mapping
+          : solve_thread_mapping(exec_, plan_.alpha, threads);
+  // Stride compaction: a 1x1 stride-s kernel only ever taps every s-th
+  // input column, so the packing kernel gathers just those and the
+  // micro-kernel runs its dense stride-1 form (packw = Vw).
+  const bool compact = params.S == 1 && params.str > 1;
+  plan_.packw =
+      compact ? plan_.rb.vw : (plan_.rb.vw - 1) * params.str + params.S;
+}
+
+namespace {
+
+// Shared loop nest for both layouts.
+void run_nest(const ConvParams& p, const NdirectPlan& plan,
+              const NdirectOptions& opts, const LayoutStrides& ls,
+              const float* input, const float* filter,
+              const float* aot_packed, float* output,
+              const NdirectConv::Epilogue& epi) {
+  const int P = p.P(), Q = p.Q();
+  const int vw = plan.rb.vw, vk = plan.rb.vk;
+  const int tc = plan.tiling.tc, th = plan.tiling.th;
+  const std::int64_t k_blocks_total = (p.K + vk - 1) / vk;
+  const std::int64_t tk_blocks = std::max(1, plan.tiling.tk / vk);
+  const std::int64_t total_rows = std::int64_t{p.N} * P;
+  const std::int64_t f_c_stride = std::int64_t{p.R} * p.S * vk;
+
+  // Stride compaction (see the planner): with S == 1 the packed buffer
+  // is gathered at column step `str`, and the kernels index it densely.
+  const bool stride_compact = p.S == 1 && p.str > 1;
+  const int kstr = stride_compact ? 1 : p.str;
+
+  // Kernel selection: the fully unrolled Algorithm 3 form when this
+  // (block, S, stride) is instantiated, else the runtime-S specialized
+  // form, else the generic kernel.
+  ComputeKernelFn compute_fn = nullptr;
+  FusedKernelFn fused_fn = nullptr;
+  if (!opts.generic_kernel_only) {
+    compute_fn = find_unrolled_kernel(vw, vk, p.S, kstr);
+    if (compute_fn == nullptr) compute_fn = find_compute_kernel(vw, vk);
+    fused_fn = find_fused_kernel(vw, vk);
+  }
+
+  ThreadPool& pool =
+      opts.pool != nullptr ? *opts.pool : ThreadPool::global();
+  // Phase breakdown only makes sense with one worker.
+  PhaseTimer* pt =
+      plan.mapping.total() == 1 ? opts.phase_timer : nullptr;
+
+  auto worker = [&](std::size_t tid) {
+    const ThreadSlice slice = thread_slice(
+        plan.mapping, static_cast<int>(tid), total_rows, k_blocks_total);
+    if (slice.rows.empty() || slice.k_blocks.empty()) return;
+
+    // +4 floats of slack: the unrolled kernel reads the final row in
+    // whole vectors (the extra lanes are loaded but never consumed).
+    AlignedBuffer<float> pack(static_cast<std::size_t>(tc) * p.R *
+                                  plan.packw +
+                              4);
+    AlignedBuffer<float> ftile;
+    if (aot_packed == nullptr) {
+      ftile.reset(static_cast<std::size_t>(tk_blocks) * vk * tc * p.R * p.S);
+    }
+
+    std::int64_t row = static_cast<std::int64_t>(slice.rows.begin);
+    const std::int64_t rows_end =
+        static_cast<std::int64_t>(slice.rows.end);
+    while (row < rows_end) {
+      const std::int64_t n = row / P;
+      const int oh_begin = static_cast<int>(row % P);
+      const std::int64_t image_rows_end =
+          std::min<std::int64_t>(rows_end, (n + 1) * P);
+      const int oh_end = static_cast<int>(image_rows_end - n * P);
+
+      const float* image = input + n * ls.in_image;
+      float* out_image = output + n * ls.out_image;
+
+      for (int ht = oh_begin; ht < oh_end; ht += th) {       // loop L2
+        const int hv_end = std::min(ht + th, oh_end);
+        for (int ct = 0; ct < p.C; ct += tc) {               // loop L3
+          const int tcn = std::min(tc, p.C - ct);
+          const bool first_c = ct == 0;
+          // The epilogue fires with the final C tile's stores, when the
+          // output element receives its last contribution.
+          const bool last_c = ct + tcn >= p.C;
+          for (std::int64_t kb0 = slice.k_blocks.begin;
+               kb0 < static_cast<std::int64_t>(slice.k_blocks.end);
+               kb0 += tk_blocks) {                           // loop L4
+            const std::int64_t kbn = std::min<std::int64_t>(
+                tk_blocks,
+                static_cast<std::int64_t>(slice.k_blocks.end) - kb0);
+            const float* ftile_base;
+            std::int64_t f_kb_stride;
+            if (aot_packed != nullptr) {
+              ftile_base = aot_packed + (kb0 * p.C + ct) * f_c_stride;
+              f_kb_stride = std::int64_t{p.C} * f_c_stride;
+            } else {
+              WallTimer t;
+              transform_filter_tile(filter, p.K, p.C, p.R, p.S,
+                                    static_cast<int>(kb0) * vk,
+                                    static_cast<int>(kbn) * vk, ct, tcn, vk,
+                                    ftile.data());
+              if (pt != nullptr) pt->add("transform", t.seconds());
+              ftile_base = ftile.data();
+              f_kb_stride = std::int64_t{tcn} * f_c_stride;
+            }
+
+            for (int hv = ht; hv < hv_end; ++hv) {           // loop L5
+              for (int wv = 0; wv < Q; wv += vw) {           // loop L6
+                const int wn = std::min(vw, Q - wv);
+                PackGeometry g;
+                g.src = image + ct * ls.in_chan;
+                g.chan_stride = ls.in_chan;
+                g.row_stride = ls.in_row;
+                g.col_stride = ls.in_col;
+                g.H = p.H;
+                g.W = p.W;
+                g.ih0 = hv * p.str - p.pad;
+                g.iw0 = wv * p.str - p.pad;
+                g.iw_step = stride_compact ? p.str : 1;
+
+                // Direct-read mode: a 1x1 stride-1 window that lies
+                // fully inside the (unpadded) input is already the
+                // contiguous row the kernel wants — skip packing and
+                // point the kernel at the tensor itself.
+                // (Safe to read in whole vectors: tensors carry a cache
+                // line of tail slack; taps only touch the first
+                // (wn-1)*str + S columns.)
+                const bool direct_row =
+                    p.S == 1 && p.str == 1 && ls.in_col == 1 &&
+                    g.ih0 >= 0 && g.ih0 + p.R <= p.H && g.iw0 >= 0 &&
+                    g.iw0 + (wn - 1) * p.str + p.S <= p.W;
+
+                MicroArgs a;
+                if (direct_row) {
+                  a.pack = const_cast<float*>(
+                      g.src + static_cast<std::int64_t>(g.ih0) * ls.in_row +
+                      g.iw0);
+                  a.pack_c_stride = ls.in_chan;
+                  a.pack_r_stride = ls.in_row;
+                } else {
+                  a.pack = pack.data();
+                  a.pack_c_stride = std::int64_t{p.R} * plan.packw;
+                  a.pack_r_stride = plan.packw;
+                }
+                a.f_c_stride = f_c_stride;
+                a.tc = tcn;
+                a.R = p.R;
+                a.S = p.S;
+                a.str = kstr;
+                a.packw = plan.packw;
+                a.out_k_stride = ls.out_k;
+                a.out_w_stride = ls.out_w;
+                a.wn = wn;
+                a.accumulate = !first_c;
+                a.relu = last_c && epi.relu;
+
+                // Ragged W tiles run a narrower specialized kernel (wn
+                // rounded up to a vector multiple) instead of the full
+                // vw tile; computing the full tile would waste
+                // (vw - wn)/vw of its arithmetic, which is decisive
+                // when Q is small (e.g. Q=14 under vw=12 wastes 10/24).
+                const bool full_w = wn == vw;
+                const int vw_tail = std::min(vw, (wn + 3) / 4 * 4);
+                ComputeKernelFn tail_fn =
+                    full_w || opts.generic_kernel_only
+                        ? nullptr
+                        : find_compute_kernel(vw_tail, vk);
+                FusedKernelFn tail_fused_fn =
+                    full_w || opts.generic_kernel_only
+                        ? nullptr
+                        : find_fused_kernel(vw_tail, vk);
+
+                const auto call_compute = [&](const MicroArgs& args) {
+                  if (full_w) {
+                    if (compute_fn != nullptr) {
+                      compute_fn(args);
+                    } else {
+                      compute_kernel_generic(args, vw, vk);
+                    }
+                  } else if (tail_fn != nullptr) {
+                    tail_fn(args);
+                  } else {
+                    compute_kernel_generic(args, wn, vk);
+                  }
+                };
+                const auto call_fused = [&](const MicroArgs& args) {
+                  if (full_w) {
+                    if (fused_fn != nullptr) {
+                      fused_fn(args, g);
+                    } else {
+                      fused_kernel_generic(args, g, vw, vk);
+                    }
+                  } else if (tail_fused_fn != nullptr) {
+                    tail_fused_fn(args, g);
+                  } else {
+                    fused_kernel_generic(args, g, wn, vk);
+                  }
+                };
+
+                for (std::int64_t b = 0; b < kbn; ++b) {     // loop L7
+                  const std::int64_t kv = (kb0 + b) * vk;
+                  a.kn = static_cast<int>(
+                      std::min<std::int64_t>(vk, p.K - kv));
+                  a.bias =
+                      last_c && epi.bias != nullptr ? epi.bias + kv : nullptr;
+                  a.ftile = ftile_base + b * f_kb_stride;
+                  a.out = out_image + kv * ls.out_k + hv * ls.out_row +
+                          wv * ls.out_w;
+                  if (b == 0 && direct_row) {
+                    // Nothing to pack: compute straight from the input.
+                    if (pt != nullptr) {
+                      WallTimer t;
+                      call_compute(a);
+                      pt->add("micro-kernel", t.seconds());
+                    } else {
+                      call_compute(a);
+                    }
+                  } else if (b == 0) {
+                    // First kv block: pack the input window. Fused mode
+                    // hides the packing behind this block's FMAs.
+                    if (opts.fuse_packing) {
+                      if (pt != nullptr) {
+                        WallTimer t;
+                        call_fused(a);
+                        pt->add("micro-kernel", t.seconds());
+                      } else {
+                        call_fused(a);
+                      }
+                    } else if (pt != nullptr) {
+                      WallTimer t0;
+                      pack_window(pack.data(), g, tcn, p.R, plan.packw);
+                      pt->add("packing", t0.seconds());
+                      WallTimer t1;
+                      call_compute(a);
+                      pt->add("micro-kernel", t1.seconds());
+                    } else {
+                      pack_window(pack.data(), g, tcn, p.R, plan.packw);
+                      call_compute(a);
+                    }
+                  } else if (pt != nullptr) {
+                    WallTimer t;
+                    call_compute(a);
+                    pt->add("micro-kernel", t.seconds());
+                  } else {
+                    call_compute(a);
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+      row = image_rows_end;
+    }
+  };
+
+  pool.run(static_cast<std::size_t>(plan.mapping.total()), worker);
+}
+
+}  // namespace
+
+Tensor NdirectConv::run(const Tensor& input, const Tensor& filter,
+                        const Epilogue& epilogue) const {
+  const ConvParams& p = params_;
+  if (input.layout() != Layout::NCHW || input.rank() != 4 ||
+      input.dim(0) != p.N || input.dim(1) != p.C || input.dim(2) != p.H ||
+      input.dim(3) != p.W) {
+    throw std::invalid_argument("NdirectConv::run: input must be NCHW " +
+                                p.to_string() + ", got " +
+                                input.shape_string());
+  }
+  if (filter.layout() != Layout::KCRS || filter.rank() != 4 ||
+      filter.dim(0) != p.K || filter.dim(1) != p.C ||
+      filter.dim(2) != p.R || filter.dim(3) != p.S) {
+    throw std::invalid_argument("NdirectConv::run: filter must be KCRS " +
+                                p.to_string() + ", got " +
+                                filter.shape_string());
+  }
+
+  Tensor out = make_output_nchw(p.N, p.K, p.P(), p.Q());
+  run_into(input.data(), filter.data(), out.data(), epilogue);
+  return out;
+}
+
+void NdirectConv::run_into(const float* input, const float* filter,
+                           float* output, const Epilogue& epilogue) const {
+  Tensor aot;
+  if (options_.aot_filter) {
+    WallTimer t;
+    // Wrap the raw filter in a transform call via the tiled routine on
+    // the whole tensor (identical layout to pack_filter_kpacked).
+    const ConvParams& p = params_;
+    aot = Tensor({(p.K + plan_.rb.vk - 1) / plan_.rb.vk, p.C, p.R, p.S,
+                  plan_.rb.vk},
+                 Layout::KPacked);
+    transform_filter_tile(filter, p.K, p.C, p.R, p.S, 0,
+                          static_cast<int>(aot.dim(0)) * plan_.rb.vk, 0,
+                          p.C, plan_.rb.vk, aot.data());
+    if (options_.phase_timer != nullptr)
+      options_.phase_timer->add("transform", t.seconds());
+  }
+  run_nest(exec_, plan_, options_, nchw_strides(exec_), input, filter,
+           options_.aot_filter ? aot.data() : nullptr, output, epilogue);
+}
+
+Tensor NdirectConv::run_nhwc(const Tensor& input, const Tensor& filter,
+                             const Epilogue& epilogue) const {
+  const ConvParams& p = params_;
+  if (input.layout() != Layout::NHWC || input.rank() != 4 ||
+      input.dim(0) != p.N || input.dim(1) != p.H || input.dim(2) != p.W ||
+      input.dim(3) != p.C) {
+    throw std::invalid_argument("NdirectConv::run_nhwc: input must be "
+                                "NHWC " +
+                                p.to_string() + ", got " +
+                                input.shape_string());
+  }
+  if (filter.layout() != Layout::KCRS || filter.rank() != 4 ||
+      filter.dim(0) != p.K || filter.dim(1) != p.C ||
+      filter.dim(2) != p.R || filter.dim(3) != p.S) {
+    throw std::invalid_argument("NdirectConv::run_nhwc: filter must be "
+                                "KCRS " +
+                                p.to_string());
+  }
+
+  Tensor out = make_output_nhwc(p.N, p.P(), p.Q(), p.K);
+  Tensor aot;
+  if (options_.aot_filter) {
+    aot = pack_filter_kpacked(filter, plan_.rb.vk);
+  }
+  run_nest(exec_, plan_, options_, nhwc_strides(exec_), input.data(),
+           filter.data(), options_.aot_filter ? aot.data() : nullptr,
+           out.data(), epilogue);
+  return out;
+}
+
+Tensor ndirect_conv(const Tensor& input, const Tensor& filter,
+                    const ConvParams& params,
+                    const NdirectOptions& options) {
+  const NdirectConv conv(params, options);
+  return conv.run(input, filter);
+}
+
+}  // namespace ndirect

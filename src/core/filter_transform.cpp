@@ -1,0 +1,29 @@
+#include "core/filter_transform.h"
+
+namespace ndirect {
+
+void transform_filter_tile(const float* filter, int K, int C, int R, int S,
+                           int kt, int tkn, int ct, int tcn, int vk,
+                           float* tile) {
+  const int kb_count = (tkn + vk - 1) / vk;
+  const std::int64_t crs = static_cast<std::int64_t>(C) * R * S;
+  const std::int64_t rs = static_cast<std::int64_t>(R) * S;
+  // Destination-order loops: the tile is written with streaming stores;
+  // the source reads stride across K (one KCRS filter row per ki).
+  float* dst = tile;
+  for (int kb = 0; kb < kb_count; ++kb) {
+    for (int c = 0; c < tcn; ++c) {
+      const std::int64_t src_c = static_cast<std::int64_t>(ct + c) * rs;
+      for (std::int64_t e = 0; e < rs; ++e) {  // fused (r, s) loop
+        for (int ki = 0; ki < vk; ++ki) {
+          const int k = kt + kb * vk + ki;
+          *dst++ = (k < kt + tkn && k < K)
+                       ? filter[static_cast<std::int64_t>(k) * crs + src_c + e]
+                       : 0.0f;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace ndirect

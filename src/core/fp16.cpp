@@ -1,0 +1,93 @@
+#include "core/fp16.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace ndirect {
+namespace {
+
+float bits_to_float(std::uint32_t bits) {
+  float f;
+  std::memcpy(&f, &bits, sizeof(f));
+  return f;
+}
+
+std::uint32_t float_to_bits(float f) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &f, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+float fp16_to_fp32_soft(fp16_t h) {
+  const std::uint32_t sign = static_cast<std::uint32_t>(h & 0x8000u) << 16;
+  const std::uint32_t exp = (h >> 10) & 0x1Fu;
+  const std::uint32_t frac = h & 0x3FFu;
+  if (exp == 0) {
+    // Zero or subnormal: value = frac * 2^-24, exact in fp32.
+    const float v = static_cast<float>(frac) * 0x1p-24f;
+    return bits_to_float(sign | float_to_bits(v));
+  }
+  if (exp == 31) {  // inf / NaN (frac bits preserved for NaN payloads)
+    return bits_to_float(sign | 0x7F800000u | (frac << 13));
+  }
+  return bits_to_float(sign | ((exp + 112u) << 23) | (frac << 13));
+}
+
+fp16_t fp32_to_fp16_soft(float f) {
+  const std::uint32_t x = float_to_bits(f);
+  const auto sign = static_cast<fp16_t>((x >> 16) & 0x8000u);
+  const std::uint32_t abs = x & 0x7FFFFFFFu;
+
+  if (abs >= 0x7F800000u) {  // inf / NaN
+    const std::uint32_t nan =
+        abs > 0x7F800000u ? 0x0200u | ((abs >> 13) & 0x3FFu) : 0u;
+    return static_cast<fp16_t>(sign | 0x7C00u | nan);
+  }
+  if (abs >= 0x477FF000u) {  // >= 65520 rounds to +-inf
+    return static_cast<fp16_t>(sign | 0x7C00u);
+  }
+  if (abs < 0x38800000u) {  // < 2^-14: subnormal half or zero
+    if (abs < 0x33000000u) return sign;  // < 2^-25 underflows to +-0
+    // Result = round-to-nearest-even(value * 2^24); the product is
+    // exact (power-of-two scale) and lrintf ties to even.
+    const float scaled = bits_to_float(abs) * 0x1p24f;
+    return static_cast<fp16_t>(
+        sign | static_cast<std::uint32_t>(std::lrintf(scaled)));
+  }
+  const std::uint32_t exp = (abs >> 23) - 112u;  // biased-15 exponent
+  const std::uint32_t frac = abs & 0x7FFFFFu;
+  std::uint32_t half = (exp << 10) | (frac >> 13);
+  const std::uint32_t rem = frac & 0x1FFFu;
+  if (rem > 0x1000u || (rem == 0x1000u && (half & 1u))) {
+    ++half;  // cannot carry past 0x7BFF: abs < 65520 was ensured above
+  }
+  return static_cast<fp16_t>(sign | half);
+}
+
+float fp16_to_fp32(fp16_t h) {
+#if defined(__F16C__)
+  return _cvtsh_ss(h);
+#else
+  return fp16_to_fp32_soft(h);
+#endif
+}
+
+fp16_t fp32_to_fp16(float f) {
+#if defined(__F16C__)
+  return static_cast<fp16_t>(_cvtss_sh(f, _MM_FROUND_TO_NEAREST_INT));
+#else
+  return fp32_to_fp16_soft(f);
+#endif
+}
+
+void fp16_to_fp32_n(const fp16_t* src, float* dst, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = fp16_to_fp32(src[i]);
+}
+
+void fp32_to_fp16_n(const float* src, fp16_t* dst, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = fp32_to_fp16(src[i]);
+}
+
+}  // namespace ndirect

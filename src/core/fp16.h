@@ -1,0 +1,34 @@
+// IEEE-754 binary16 conversion utilities (the FP16 half of the
+// Section 3.3 datatype extension).
+//
+// ARMv8.2 FP16 keeps tensors in half precision to halve the memory
+// footprint/bandwidth. On hosts without native FP16 arithmetic the
+// standard approach (used here) is fp16 *storage* with fp32 *compute*:
+// values widen on load and narrow on store. These scalar conversions
+// implement round-to-nearest-even with full subnormal/inf/NaN handling
+// (hardware F16C is used when the compiler provides it).
+#pragma once
+
+#include <cstdint>
+
+#if defined(__F16C__)
+#include <immintrin.h>
+#endif
+
+namespace ndirect {
+
+using fp16_t = std::uint16_t;  ///< raw binary16 bits
+
+float fp16_to_fp32(fp16_t h);
+fp16_t fp32_to_fp16(float f);
+
+/// Portable software conversions, always compiled (the public functions
+/// route to F16C hardware when available; tests cross-check both).
+float fp16_to_fp32_soft(fp16_t h);
+fp16_t fp32_to_fp16_soft(float f);
+
+/// Bulk conversions (vectorized where the ISA helps).
+void fp16_to_fp32_n(const fp16_t* src, float* dst, std::size_t n);
+void fp32_to_fp16_n(const float* src, fp16_t* dst, std::size_t n);
+
+}  // namespace ndirect

@@ -1,0 +1,85 @@
+#include "core/grouped.h"
+
+#include <stdexcept>
+
+namespace ndirect {
+
+Tensor grouped_conv_nchw(const Tensor& input, const Tensor& filter,
+                         const ConvParams& p, int groups,
+                         const NdirectOptions& options) {
+  if (groups < 1 || p.C % groups != 0 || p.K % groups != 0) {
+    throw std::invalid_argument(
+        "grouped_conv: groups must divide C and K");
+  }
+  const int cg = p.C / groups, kg = p.K / groups;
+  if (filter.rank() != 4 || filter.dim(0) != p.K || filter.dim(1) != cg ||
+      filter.dim(2) != p.R || filter.dim(3) != p.S) {
+    throw std::invalid_argument(
+        "grouped_conv: filter must be [K, C/groups, R, S]");
+  }
+  if (input.rank() != 4 || input.dim(0) != p.N || input.dim(1) != p.C ||
+      input.dim(2) != p.H || input.dim(3) != p.W) {
+    throw std::invalid_argument("grouped_conv: input must be NCHW " +
+                                p.to_string());
+  }
+
+  const int P = p.P(), Q = p.Q();
+  Tensor out = make_output_nchw(p.N, p.K, P, Q);
+
+  // One plan serves every (image, group) pair: a batch-1 convolution on
+  // the group's channel slice.
+  ConvParams pg = p;
+  pg.N = 1;
+  pg.C = cg;
+  pg.K = kg;
+  const NdirectConv conv(pg, options);
+
+  const std::int64_t in_group = std::int64_t{cg} * p.H * p.W;
+  const std::int64_t out_group = std::int64_t{kg} * P * Q;
+  const std::int64_t flt_group =
+      std::int64_t{kg} * cg * p.R * p.S;
+
+  for (int n = 0; n < p.N; ++n) {
+    const float* image =
+        input.data() + std::int64_t{n} * p.C * p.H * p.W;
+    float* out_image = out.data() + std::int64_t{n} * p.K * P * Q;
+    for (int g = 0; g < groups; ++g) {
+      conv.run_into(image + g * in_group,
+                    filter.data() + g * flt_group,
+                    out_image + g * out_group);
+    }
+  }
+  return out;
+}
+
+Tensor grouped_conv_reference(const Tensor& input, const Tensor& filter,
+                              const ConvParams& p, int groups) {
+  const int cg = p.C / groups, kg = p.K / groups;
+  const int P = p.P(), Q = p.Q();
+  Tensor out = make_output_nchw(p.N, p.K, P, Q);
+  for (int n = 0; n < p.N; ++n)
+    for (int k = 0; k < p.K; ++k) {
+      const int g = k / kg;
+      for (int oj = 0; oj < P; ++oj)
+        for (int oi = 0; oi < Q; ++oi) {
+          double sum = 0;
+          for (int ci = 0; ci < cg; ++ci) {
+            const int c = g * cg + ci;
+            for (int r = 0; r < p.R; ++r) {
+              const int ij = p.str * oj + r - p.pad;
+              if (ij < 0 || ij >= p.H) continue;
+              for (int s = 0; s < p.S; ++s) {
+                const int ii = p.str * oi + s - p.pad;
+                if (ii < 0 || ii >= p.W) continue;
+                sum += static_cast<double>(input.at4(n, c, ij, ii)) *
+                       static_cast<double>(filter.at4(k, ci, r, s));
+              }
+            }
+          }
+          out.at4(n, k, oj, oi) = static_cast<float>(sum);
+        }
+    }
+  return out;
+}
+
+}  // namespace ndirect

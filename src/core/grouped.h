@@ -1,0 +1,28 @@
+// Grouped convolution (the generalization between the paper's standard
+// convolution and its Section 10.2 depthwise case).
+//
+// With G groups, input channels and output channels split into G
+// independent slices: group g convolves input channels
+// [g*C/G, (g+1)*C/G) with its K/G filters. In NCHW the per-image group
+// slices are contiguous, so each (image, group) pair is a standard
+// nDirect convolution executed in place via run_into() — no data
+// movement is introduced. groups == 1 is the standard convolution;
+// groups == C with K == C is depthwise.
+#pragma once
+
+#include "core/ndirect.h"
+
+namespace ndirect {
+
+/// input NCHW [N,C,H,W], filter [K, C/groups, R, S] (KCRS layout),
+/// output NCHW [N,K,P,Q]. C and K must be divisible by `groups`.
+/// Throws std::invalid_argument on malformed group structure.
+Tensor grouped_conv_nchw(const Tensor& input, const Tensor& filter,
+                         const ConvParams& p, int groups,
+                         const NdirectOptions& options = {});
+
+/// Naive reference for tests (double accumulation).
+Tensor grouped_conv_reference(const Tensor& input, const Tensor& filter,
+                              const ConvParams& p, int groups);
+
+}  // namespace ndirect

@@ -1,0 +1,112 @@
+// nDirect micro-kernels (Section 5, Algorithm 3).
+//
+// The *main micro-kernel* computes a Vw x Vk output tile: Vw consecutive
+// output columns by Vk consecutive output channels, reduced over a
+// Tc-channel slice of the kernel window. Input scalars come from a
+// linear pack buffer (L1-resident), filter vectors from the transformed
+// Vk-contiguous filter tile (L2-resident), and each input scalar is
+// broadcast-FMAed against the filter vector — the outer-product update
+// of Figure 2 that maximizes FAI.
+//
+// The *packing micro-kernel* gathers the Tc x R x packw input window
+// (packw = (Vw-1)*str + S) into the linear buffer, inserting zeros where
+// the window hangs over the padded border.
+//
+// The *fused* variant performs the packing stores interleaved with the
+// first kv iteration's FMAs (Section 5.3): each gathered row is stored
+// to the buffer and immediately consumed, so the packing latency hides
+// behind the compute and later kv iterations hit the L1-resident buffer.
+#pragma once
+
+#include <cstdint>
+
+namespace ndirect {
+
+/// Where the input window lives and how to address it. Strides are in
+/// floats; (c, ih, iw) is at src + c*chan_stride + ih*row_stride +
+/// iw*col_stride. NCHW images have col_stride 1, NHWC have chan_stride 1.
+struct PackGeometry {
+  const float* src = nullptr;
+  std::int64_t chan_stride = 0;
+  std::int64_t row_stride = 0;
+  std::int64_t col_stride = 1;
+  int H = 0;    ///< input height bound (rows outside [0,H) pack as zero)
+  int W = 0;    ///< input width bound
+  int ih0 = 0;  ///< top input row of the window: oh*str - pad
+  int iw0 = 0;  ///< left input col of the window: wv*str - pad
+  /// Input-column step between consecutive packed elements. 1 packs the
+  /// contiguous window; for 1x1 stride-s convolutions the engine packs
+  /// every s-th column (stride compaction), letting the micro-kernel
+  /// run its stride-1 form on a fully dense buffer.
+  int iw_step = 1;
+};
+
+/// One micro-kernel invocation: geometry of the tile and its operands.
+///
+/// `pack` usually points at the linear buffer laid out [tc][R][packw]
+/// (pack_c_stride = R*packw, pack_r_stride = packw). When a window is
+/// fully interior and needs no compaction (1x1 stride-1), the engine
+/// instead points `pack` directly into the input tensor and sets the
+/// strides to the tensor's channel/row strides — the compute kernels
+/// only ever read rows through these two strides.
+struct MicroArgs {
+  float* pack = nullptr;        ///< packed buffer or in-place input rows
+  std::int64_t pack_c_stride = 0;  ///< float stride between channels
+  std::int64_t pack_r_stride = 0;  ///< float stride between window rows
+  const float* ftile = nullptr; ///< filter tile for this kb: [c][R][S][vk]
+  std::int64_t f_c_stride = 0;  ///< stride between channels in ftile
+  int tc = 0;                   ///< channels in this C tile
+  int R = 0, S = 0, str = 1;
+  int packw = 0;
+  float* out = nullptr;         ///< output element (w=0, k=0) of the tile
+  std::int64_t out_k_stride = 0;  ///< NCHW: P*Q,  NHWC: 1
+  std::int64_t out_w_stride = 0;  ///< NCHW: 1,    NHWC: K
+  int wn = 0;                   ///< valid output columns (<= vw)
+  int kn = 0;                   ///< valid output channels (<= vk)
+  bool accumulate = false;      ///< add into out (later C tiles)
+
+  // Store-time epilogue (operator fusion, Section 10 direction): both
+  // are applied by the engine only on the final C tile's stores, so a
+  // convolution with bias/ReLU costs no extra pass over the output.
+  const float* bias = nullptr;  ///< kn per-channel values, or nullptr
+  bool relu = false;            ///< clamp stores at zero
+};
+
+/// Upper bounds accepted by the generic kernels (cover every block that
+/// can satisfy Eq. 3).
+inline constexpr int kMaxVw = 24;
+inline constexpr int kMaxVk = 24;
+
+using ComputeKernelFn = void (*)(const MicroArgs&);
+using FusedKernelFn = void (*)(const MicroArgs&, const PackGeometry&);
+
+/// Fully unrolled Algorithm 3 kernel: compile-time Vw, Vk, S and stride.
+/// The input window is preloaded into ceil(packw/4) vector registers and
+/// every (w, s) tap becomes one lane-indexed FMA, exactly as lines 3-14
+/// of Algorithm 3 arrange it. Instantiated for the register blocks and
+/// kernel widths appearing in Table 4; nullptr otherwise.
+/// NOTE: reads the pack buffer in whole vectors, so rows must be
+/// readable up to the next multiple of 4 floats (the engine allocates
+/// the buffer with that slack).
+ComputeKernelFn find_unrolled_kernel(int vw, int vk, int S, int str);
+
+/// Specialized (compile-time Vw/Vk, runtime S/stride) main micro-kernel
+/// for the given block, or nullptr when no specialization is
+/// instantiated.
+ComputeKernelFn find_compute_kernel(int vw, int vk);
+
+/// Specialized fused pack+compute kernel, or nullptr.
+FusedKernelFn find_fused_kernel(int vw, int vk);
+
+/// Runtime-parameterized kernels (any vw <= kMaxVw, vk <= kMaxVk,
+/// vk % 4 == 0). Used for ragged tiles and by the auto-tuner.
+void compute_kernel_generic(const MicroArgs& args, int vw, int vk);
+void fused_kernel_generic(const MicroArgs& args, const PackGeometry& geom,
+                          int vw, int vk);
+
+/// The standalone packing micro-kernel (sequential-packing mode and the
+/// non-first C tiles of fused mode).
+void pack_window(float* pack, const PackGeometry& geom, int tc, int R,
+                 int packw);
+
+}  // namespace ndirect

@@ -1,0 +1,133 @@
+// nDirect public API.
+//
+// nDirect (Wang et al., SC'23) is a direct convolution for ARM-model
+// multi-cores that keeps the framework NCHW/NHWC activation layouts,
+// repacks only the (small) filter tensor on the fly, and reaches high
+// utilization through an FAI-maximal register-blocked micro-kernel,
+// cache-derived loop tiling, latency-hiding fused input packing, and an
+// analytically derived PTn x PTk thread mapping.
+//
+// Typical use:
+//
+//   ConvParams p{.N=..., .C=..., ...};
+//   NdirectConv conv(p);                       // plan once
+//   Tensor out = conv.run(input, filter);      // run many times
+//
+// or the one-shot helper `ndirect_conv(input, filter, p)`.
+#pragma once
+
+#include "core/fai.h"
+#include "core/threading.h"
+#include "core/tiling.h"
+#include "runtime/cpu_info.h"
+#include "runtime/thread_pool.h"
+#include "runtime/timer.h"
+#include "tensor/conv_params.h"
+#include "tensor/tensor.h"
+
+namespace ndirect {
+
+/// Everything the planner derived for a shape; exposed for inspection,
+/// tests and the model-ablation bench.
+struct NdirectPlan {
+  RegisterBlock rb{};       ///< Eq. 3/4 register block (Vw, Vk)
+  TilingPlan tiling{};      ///< Eq. 1/2 cache tiles (Tc, Tk, Th)
+  ThreadMapping mapping{};  ///< Eq. 5/6 thread grid (PTn, PTk)
+  int packw = 0;            ///< pack-buffer row length (Vw-1)*str + S
+  double alpha = 2.0;       ///< streaming/non-streaming coefficient
+};
+
+struct NdirectOptions {
+  /// Hide packing behind the first kv iteration (Section 5.3). Turning
+  /// this off gives the sequential-packing baseline of Fig. 5.
+  bool fuse_packing = true;
+
+  /// Transform the whole filter ahead of time instead of per tile inside
+  /// loop L4 (ablation; the paper's nDirect transforms on the fly).
+  bool aot_filter = false;
+
+  /// Force the register block instead of solving Eq. 3/4 (ablation and
+  /// auto-tuner use). Zero fields mean "solve".
+  RegisterBlock force_rb{0, 0};
+
+  /// Force cache tiling (ablation). Zero fields mean "solve".
+  TilingPlan force_tiling{0, 0, 0};
+
+  /// Force the PTn x PTk split (ablation / auto-tuner). Zero = solve.
+  ThreadMapping force_mapping{0, 0};
+
+  /// Execute with the runtime-parameterized kernel even when an
+  /// Algorithm 3 specialization exists. The auto-tuner uses this to
+  /// model search-based code generation (a compiler-emitted loop nest
+  /// rather than the hand-unrolled lane-FMA kernel).
+  bool generic_kernel_only = false;
+
+  /// Thread count for the PTn x PTk grid; 0 = the pool's size.
+  int threads = 0;
+
+  ThreadPool* pool = nullptr;          ///< nullptr = global pool
+  const CacheInfo* cache = nullptr;    ///< nullptr = probed host cache
+  double alpha = 0;                    ///< 0 = measured host alpha
+  PhaseTimer* phase_timer = nullptr;   ///< single-thread phase breakdown
+};
+
+/// Store-time fusion of the ops that commonly follow a convolution
+/// (Section 10's operator-fusion direction): a per-channel bias
+/// (K floats) and/or ReLU, applied inside the micro-kernel's stores on
+/// the final C tile — no extra pass over the output.
+struct ConvEpilogue {
+  const float* bias = nullptr;  ///< K per-channel values, or nullptr
+  bool relu = false;
+};
+
+/// Planned convolution for one shape (framework-operator style).
+class NdirectConv {
+ public:
+  explicit NdirectConv(const ConvParams& params,
+                       const NdirectOptions& options = {});
+
+  const NdirectPlan& plan() const { return plan_; }
+  const ConvParams& params() const { return params_; }
+  const NdirectOptions& options() const { return options_; }
+
+  /// The internally executed problem. For 1x1 stride-1 unpadded
+  /// convolutions the spatial rows are contiguous in memory, so the
+  /// planner flattens groups of g rows into one logical row of width
+  /// W*g (the CONV -> GEMM dimension mapping of Section 4.1,
+  /// N x H x W -> N'). This removes the per-row Vw tail waste that
+  /// otherwise dominates small feature maps; g divides H and is 1
+  /// whenever W alone already amortizes the tail.
+  const ConvParams& exec_params() const { return exec_; }
+
+  using Epilogue = ConvEpilogue;
+
+  /// input NCHW [N,C,H,W], filter KCRS -> output NCHW [N,K,P,Q].
+  Tensor run(const Tensor& input, const Tensor& filter,
+             const Epilogue& epilogue = {}) const;
+
+  /// input NHWC [N,H,W,C], filter KCRS -> output NHWC [N,P,Q,K].
+  /// (The filter stays in the framework KCRS layout in both paths; only
+  /// its on-the-fly transform target differs in stride bookkeeping.)
+  Tensor run_nhwc(const Tensor& input, const Tensor& filter,
+                  const Epilogue& epilogue = {}) const;
+
+  /// Expert entry point on raw NCHW/KCRS buffers (what a framework
+  /// integration calls). Shapes are taken from params(); `output` is
+  /// overwritten and must hold N*K*P*Q floats. No validation beyond the
+  /// planning-time parameter check.
+  void run_into(const float* input, const float* filter, float* output,
+                const Epilogue& epilogue = {}) const;
+
+ private:
+  ConvParams params_;
+  ConvParams exec_;
+  NdirectOptions options_;
+  NdirectPlan plan_;
+};
+
+/// One-shot convenience wrapper around NdirectConv.
+Tensor ndirect_conv(const Tensor& input, const Tensor& filter,
+                    const ConvParams& params,
+                    const NdirectOptions& options = {});
+
+}  // namespace ndirect

@@ -1,0 +1,223 @@
+#include "core/quantized.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+#include "core/fai.h"
+#include "runtime/aligned_buffer.h"
+
+namespace ndirect {
+
+std::int32_t choose_qmax(std::int64_t reduction_len) {
+  if (reduction_len < 1) reduction_len = 1;
+  const double limit =
+      std::sqrt(static_cast<double>((1u << 31) - 1) /
+                static_cast<double>(reduction_len));
+  return static_cast<std::int32_t>(
+      std::min(32767.0, std::floor(limit)));
+}
+
+QuantizedTensor quantize_tensor(const float* data, std::size_t n,
+                                std::int32_t qmax) {
+  QuantizedTensor q;
+  float max_abs = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    max_abs = std::max(max_abs, std::fabs(data[i]));
+  }
+  q.scale = max_abs > 0 ? max_abs / static_cast<float>(qmax) : 1.0f;
+  q.values.resize(n);
+  const float inv = 1.0f / q.scale;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float v = data[i] * inv;
+    const auto r = static_cast<std::int32_t>(std::lrintf(v));
+    q.values[i] = static_cast<std::int16_t>(
+        std::clamp<std::int32_t>(r, -qmax, qmax));
+  }
+  return q;
+}
+
+void dequantize(const QuantizedTensor& q, float* out) {
+  for (std::size_t i = 0; i < q.values.size(); ++i) {
+    out[i] = q.scale * static_cast<float>(q.values[i]);
+  }
+}
+
+namespace {
+
+// Pack one (c, ih) int16 row segment with zero padding.
+void pack_row_i16(std::int16_t* dst, const std::int16_t* image, int c,
+                  int ih, int iw0, const ConvParams& p, int packw) {
+  if (ih < 0 || ih >= p.H) {
+    std::memset(dst, 0,
+                sizeof(std::int16_t) * static_cast<std::size_t>(packw));
+    return;
+  }
+  const std::int16_t* row =
+      image + (static_cast<std::int64_t>(c) * p.H + ih) * p.W;
+  for (int t = 0; t < packw; ++t) {
+    const int iw = iw0 + t;
+    dst[t] = (iw < 0 || iw >= p.W) ? std::int16_t{0} : row[iw];
+  }
+}
+
+}  // namespace
+
+void ndirect_conv_int16(const std::int16_t* input,
+                        const std::int16_t* filter, std::int32_t* output,
+                        const ConvParams& p, ThreadPool* pool) {
+  assert(p.valid());
+  ThreadPool& tp = pool != nullptr ? *pool : ThreadPool::global();
+  // Register block: int16 packs 8 lanes per 128-bit vector but
+  // accumulates in 4-lane int32, so the accumulator budget matches the
+  // FP32 geometry; reuse the FP32 solution (widening halves vk's
+  // effective lanes, hence vk stays a multiple of 4).
+  const RegisterBlock rb = solve_register_block(p.S);
+  const int vw = rb.vw, vk = rb.vk;
+  const int packw = (vw - 1) * p.str + p.S;
+  const int P = p.P(), Q = p.Q();
+  const std::int64_t kb_count = (p.K + vk - 1) / vk;
+  const std::int64_t crs = std::int64_t{p.C} * p.R * p.S;
+  const std::int64_t rs = std::int64_t{p.R} * p.S;
+
+  // Widen-free packed filter: [KB][C][R][S][vk] int16, K zero-padded.
+  AlignedBuffer<std::int16_t> packed_filter(
+      static_cast<std::size_t>(kb_count) * p.C * rs * vk);
+  packed_filter.fill_zero();
+  for (int k = 0; k < p.K; ++k) {
+    const std::int64_t kb = k / vk, ki = k % vk;
+    for (int c = 0; c < p.C; ++c) {
+      for (std::int64_t e = 0; e < rs; ++e) {
+        packed_filter[static_cast<std::size_t>(
+            ((kb * p.C + c) * rs + e) * vk + ki)] =
+            filter[k * crs + c * rs + e];
+      }
+    }
+  }
+
+  const std::int64_t total_rows = std::int64_t{p.N} * P;
+  tp.parallel_for(
+      static_cast<std::size_t>(total_rows),
+      [&](std::size_t row_begin, std::size_t row_end) {
+        AlignedBuffer<std::int16_t> pack(
+            static_cast<std::size_t>(p.C) * p.R * packw);
+        std::vector<std::int32_t> acc(
+            static_cast<std::size_t>(vw) * vk);
+        for (std::size_t row = row_begin; row < row_end; ++row) {
+          const std::int64_t n = static_cast<std::int64_t>(row) / P;
+          const int oh = static_cast<int>(row % P);
+          const std::int16_t* image =
+              input + n * std::int64_t{p.C} * p.H * p.W;
+          std::int32_t* out_image =
+              output + n * std::int64_t{p.K} * P * Q;
+
+          for (int wv = 0; wv < Q; wv += vw) {
+            const int wn = std::min(vw, Q - wv);
+            for (int c = 0; c < p.C; ++c) {
+              for (int r = 0; r < p.R; ++r) {
+                pack_row_i16(
+                    pack.data() +
+                        (static_cast<std::int64_t>(c) * p.R + r) * packw,
+                    image, c, oh * p.str + r - p.pad, wv * p.str - p.pad,
+                    p, packw);
+              }
+            }
+            for (std::int64_t kb = 0; kb < kb_count; ++kb) {
+              const std::int64_t kv = kb * vk;
+              const int kn =
+                  static_cast<int>(std::min<std::int64_t>(vk, p.K - kv));
+              std::fill(acc.begin(), acc.end(), 0);
+              const std::int16_t* ftile =
+                  packed_filter.data() + kb * p.C * rs * vk;
+              // The widening MAC loop (SMLAL shape): int16 * int16
+              // products accumulate into int32 lanes.
+              for (int c = 0; c < p.C; ++c) {
+                const std::int16_t* brows =
+                    pack.data() +
+                    (static_cast<std::int64_t>(c) * p.R) * packw;
+                const std::int16_t* fc = ftile + c * rs * vk;
+                for (int r = 0; r < p.R; ++r) {
+                  const std::int16_t* brow = brows + r * packw;
+                  const std::int16_t* frow = fc + r * p.S * vk;
+                  for (int s = 0; s < p.S; ++s) {
+                    const std::int16_t* fv = frow + s * vk;
+                    for (int w = 0; w < wn; ++w) {
+                      const std::int32_t x = brow[w * p.str + s];
+                      std::int32_t* arow = acc.data() + w * vk;
+                      for (int j = 0; j < kn; ++j) {
+                        arow[j] += x * fv[j];
+                      }
+                    }
+                  }
+                }
+              }
+              for (int k = 0; k < kn; ++k) {
+                std::int32_t* orow =
+                    out_image + ((kv + k) * P + oh) * Q + wv;
+                for (int w = 0; w < wn; ++w) {
+                  orow[w] = acc[static_cast<std::size_t>(w) * vk +
+                                static_cast<std::size_t>(k)];
+                }
+              }
+            }
+          }
+        }
+      });
+}
+
+std::vector<float> quantized_conv_fp32(const float* input,
+                                       const float* filter,
+                                       const ConvParams& p,
+                                       ThreadPool* pool) {
+  const std::int64_t reduction = std::int64_t{p.C} * p.R * p.S;
+  const std::int32_t qmax = choose_qmax(reduction);
+  const QuantizedTensor qin = quantize_tensor(
+      input, static_cast<std::size_t>(p.input_elems()), qmax);
+  const QuantizedTensor qflt = quantize_tensor(
+      filter, static_cast<std::size_t>(p.filter_elems()), qmax);
+
+  std::vector<std::int32_t> acc(
+      static_cast<std::size_t>(p.output_elems()));
+  ndirect_conv_int16(qin.values.data(), qflt.values.data(), acc.data(), p,
+                     pool);
+
+  std::vector<float> out(acc.size());
+  const float scale = qin.scale * qflt.scale;
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    out[i] = scale * static_cast<float>(acc[i]);
+  }
+  return out;
+}
+
+void naive_conv_int16(const std::int16_t* input,
+                      const std::int16_t* filter, std::int64_t* output,
+                      const ConvParams& p) {
+  const int P = p.P(), Q = p.Q();
+  for (int n = 0; n < p.N; ++n)
+    for (int k = 0; k < p.K; ++k)
+      for (int oj = 0; oj < P; ++oj)
+        for (int oi = 0; oi < Q; ++oi) {
+          std::int64_t sum = 0;
+          for (int c = 0; c < p.C; ++c)
+            for (int r = 0; r < p.R; ++r) {
+              const int ij = p.str * oj + r - p.pad;
+              if (ij < 0 || ij >= p.H) continue;
+              for (int s = 0; s < p.S; ++s) {
+                const int ii = p.str * oi + s - p.pad;
+                if (ii < 0 || ii >= p.W) continue;
+                sum += static_cast<std::int64_t>(
+                           input[((std::int64_t{n} * p.C + c) * p.H +
+                                  ij) *
+                                     p.W +
+                                 ii]) *
+                       filter[((std::int64_t{k} * p.C + c) * p.R + r) *
+                                  p.S +
+                              s];
+              }
+            }
+          output[((std::int64_t{n} * p.K + k) * P + oj) * Q + oi] = sum;
+        }
+}
+
+}  // namespace ndirect

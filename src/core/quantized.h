@@ -1,0 +1,60 @@
+// INT16 quantized convolution (the last Section 3.3 datatype).
+//
+// Symmetric per-tensor quantization: real = scale * q with q in int16.
+// The kernel multiply-accumulates int16 x int16 into int32 (the NEON
+// SMLAL pattern) and either returns the raw int32 accumulators or
+// requantizes to int16 with round-to-nearest and saturation.
+//
+// Overflow contract: an int16 product can reach 2^30, so a reduction of
+// length C*R*S only fits int32 accumulators if the quantized magnitudes
+// are bounded. choose_qmax() returns the largest symmetric range that
+// provably cannot overflow for a given reduction length, and
+// quantize_tensor() uses it; this is the int16 analogue of the
+// calibration step every quantized-inference stack performs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+#include "tensor/conv_params.h"
+
+namespace ndirect {
+
+struct QuantizedTensor {
+  std::vector<std::int16_t> values;
+  float scale = 1.0f;  ///< real = scale * q
+};
+
+/// Largest symmetric quantized magnitude Q such that
+/// reduction_len * Q * Q < 2^31 (and Q <= 32767).
+std::int32_t choose_qmax(std::int64_t reduction_len);
+
+/// Quantize `n` floats symmetrically into [-qmax, qmax].
+QuantizedTensor quantize_tensor(const float* data, std::size_t n,
+                                std::int32_t qmax);
+
+/// Dequantize helper (tests/examples).
+void dequantize(const QuantizedTensor& q, float* out);
+
+/// input NCHW int16, filter KCRS int16 -> raw int32 accumulators
+/// [N,K,P,Q] (value = in_scale * flt_scale * acc in real units).
+void ndirect_conv_int16(const std::int16_t* input,
+                        const std::int16_t* filter, std::int32_t* output,
+                        const ConvParams& p, ThreadPool* pool = nullptr);
+
+/// Full quantized pipeline: quantize fp32 tensors (ranges derived from
+/// the data and the overflow contract), convolve in int16/int32, and
+/// return the dequantized fp32 result. The quantization error bound is
+/// what tests assert against the fp32 reference.
+std::vector<float> quantized_conv_fp32(const float* input,
+                                       const float* filter,
+                                       const ConvParams& p,
+                                       ThreadPool* pool = nullptr);
+
+/// Naive int64-accumulation reference (exact) for tests.
+void naive_conv_int16(const std::int16_t* input,
+                      const std::int16_t* filter, std::int64_t* output,
+                      const ConvParams& p);
+
+}  // namespace ndirect

@@ -1,0 +1,79 @@
+#include "core/tiling.h"
+
+#include <algorithm>
+
+namespace ndirect {
+namespace {
+
+std::int64_t l1_working_set(int tc, const RegisterBlock& rb, int R, int S) {
+  // Eq. 1 LHS: R*Tc*(Vw+S-1) input elements + 2 filter slices of
+  // Vk*Tc*R*S elements.
+  return std::int64_t{R} * tc * (rb.vw + S - 1) +
+         2LL * rb.vk * tc * R * S;
+}
+
+std::int64_t l2_working_set(int tk, int tc, const RegisterBlock& rb, int R,
+                            int S) {
+  // Eq. 2 LHS: Tk*Tc*R*S filter block + 2 input slices.
+  return std::int64_t{tk} * tc * R * S +
+         2LL * R * tc * (rb.vw + S - 1);
+}
+
+}  // namespace
+
+bool TilingPlan::satisfies_l1(const CacheInfo& cache, const RegisterBlock& rb,
+                              int R, int S) const {
+  const std::int64_t l1_elems =
+      static_cast<std::int64_t>(cache.l1d / sizeof(float));
+  return l1_working_set(tc, rb, R, S) < l1_elems;
+}
+
+bool TilingPlan::satisfies_l2(const CacheInfo& cache, const RegisterBlock& rb,
+                              int R, int S) const {
+  const std::int64_t l2_elems = static_cast<std::int64_t>(
+      kL2Headroom * static_cast<double>(cache.l2 / sizeof(float)));
+  return l2_working_set(tk, tc, rb, R, S) < l2_elems;
+}
+
+TilingPlan solve_tiling(const CacheInfo& cache, const RegisterBlock& rb,
+                        const ConvParams& p) {
+  TilingPlan plan;
+  const int R = p.R, S = p.S;
+  const std::int64_t l1_elems =
+      static_cast<std::int64_t>(cache.l1d / sizeof(float));
+  const std::int64_t l2_elems = static_cast<std::int64_t>(
+      kL2Headroom * static_cast<double>(cache.l2 / sizeof(float)));
+
+  // Eq. 1 solved for Tc (per-channel L1 footprint is constant in Tc).
+  const std::int64_t per_c =
+      std::int64_t{R} * (rb.vw + S - 1) + 2LL * rb.vk * R * S;
+  std::int64_t tc = (l1_elems - 1) / per_c;
+  plan.tc = static_cast<int>(std::clamp<std::int64_t>(tc, 1, p.C));
+
+  // Eq. 2 solved for Tk given Tc, rounded down to a Vk multiple.
+  const std::int64_t input_slices =
+      2LL * R * plan.tc * (rb.vw + S - 1);
+  std::int64_t tk =
+      (l2_elems - 1 - input_slices) / (std::int64_t{plan.tc} * R * S);
+  tk = tk / rb.vk * rb.vk;
+  const std::int64_t k_ceil =
+      (std::int64_t{p.K} + rb.vk - 1) / rb.vk * rb.vk;
+  plan.tk = static_cast<int>(std::clamp<std::int64_t>(tk, rb.vk, k_ceil));
+
+  // Th from the L3 capacity when one exists: half the LLC should hold
+  // the Tc x (Th*str + R - str) x W input block a row tile touches.
+  const int P = p.P();
+  if (cache.l3 > 0) {
+    const std::int64_t l3_elems =
+        static_cast<std::int64_t>(cache.l3 / sizeof(float)) / 2;
+    std::int64_t rows = l3_elems / (std::int64_t{plan.tc} * p.W);
+    std::int64_t th = (rows - (R - p.str)) / p.str;
+    plan.th = static_cast<int>(std::clamp<std::int64_t>(th, 1, P));
+  } else {
+    // No LLC beyond L2 (e.g. Phytium 2000+): no extra blocking level.
+    plan.th = P;
+  }
+  return plan;
+}
+
+}  // namespace ndirect

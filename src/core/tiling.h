@@ -1,0 +1,38 @@
+// Cache-tiling solver (Section 4.2, Eq. 1-2).
+//
+// Loop L3/L4 tile the filter and input so that
+//   Eq. 1 (L1 data cache): one R x Tc x (Vw+S-1) input slice plus two
+//          Vk x Tc x R x S filter slices stay L1-resident across loop L7;
+//   Eq. 2 (L2 cache): one Tk x Tc x R x S filter block plus two input
+//          slices stay L2-resident across loop L6 (with headroom for
+//          instructions and output elements, which share the L2 on ARM);
+//   L3 cache (when present) bounds Th, the output-row block of loop L2.
+// Sizes are in FP32 elements; solving each inequality for the single
+// unknown gives Tc, then Tk, then Th.
+#pragma once
+
+#include "core/fai.h"
+#include "runtime/cpu_info.h"
+#include "tensor/conv_params.h"
+
+namespace ndirect {
+
+struct TilingPlan {
+  int tc = 1;  ///< input-channel tile (loop L3)
+  int tk = 8;  ///< output-channel tile (loop L4), multiple of Vk
+  int th = 1;  ///< output-row tile (loop L2)
+
+  bool satisfies_l1(const CacheInfo& cache, const RegisterBlock& rb,
+                    int R, int S) const;
+  bool satisfies_l2(const CacheInfo& cache, const RegisterBlock& rb,
+                    int R, int S) const;
+};
+
+/// Fraction of L2 left for the filter block + input slices; the rest is
+/// headroom for instructions and the output tile (Section 4.2).
+inline constexpr double kL2Headroom = 0.75;
+
+TilingPlan solve_tiling(const CacheInfo& cache, const RegisterBlock& rb,
+                        const ConvParams& p);
+
+}  // namespace ndirect

@@ -1,0 +1,58 @@
+// Cache blocking plan for the Goto SGEMM (our OpenBLAS stand-in).
+//
+// Follows Goto & van de Geijn, "Anatomy of High-Performance Matrix
+// Multiplication": A is packed into MC x KC panels resident in L2, B into
+// KC x NC panels resident in L3 (or memory), and the micro-kernel streams
+// an MR x NR tile from L1/registers.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+#include "runtime/cpu_info.h"
+
+namespace ndirect {
+
+/// Register-level micro-tile of the SGEMM micro-kernel: MR rows of A by
+/// NR columns of B. 8x12 fills 24 of the 32 NEON-model registers with C
+/// accumulators, mirroring the paper's Vk=8 x Vw=12 choice.
+inline constexpr int kGemmMR = 8;
+inline constexpr int kGemmNR = 12;
+
+struct GemmBlocking {
+  int mc = 256;  ///< rows of A packed per L2-resident panel
+  int kc = 256;  ///< shared reduction depth per panel pass
+  int nc = 3072; ///< columns of B packed per outer pass
+
+  /// Derive MC/KC/NC from cache capacities, rounding to micro-tile
+  /// multiples. Heuristics follow the Goto paper: KC*NR floats of B in
+  /// L1 alongside the A micro-panel; MC*KC floats of A about half of L2.
+  static GemmBlocking from_cache(const CacheInfo& cache) {
+    GemmBlocking b;
+    const std::size_t l1 = cache.l1d > 0 ? cache.l1d : 32 * 1024;
+    const std::size_t l2 = cache.l2 > 0 ? cache.l2 : 512 * 1024;
+    const std::size_t l3 = cache.l3;
+
+    // KC: an (MR + NR) x KC working set of packed A+B strips in L1.
+    std::size_t kc = l1 / (sizeof(float) * (kGemmMR + kGemmNR) * 2);
+    b.kc = static_cast<int>(std::clamp<std::size_t>(kc, 64, 512));
+
+    // MC: MC x KC panel of A fills ~half of L2.
+    std::size_t mc = l2 / (2 * sizeof(float) * static_cast<std::size_t>(b.kc));
+    mc = (mc / kGemmMR) * kGemmMR;
+    b.mc = static_cast<int>(std::clamp<std::size_t>(mc, kGemmMR, 1024));
+
+    // NC: KC x NC panel of B fills ~half of L3 when present.
+    if (l3 > 0) {
+      std::size_t nc =
+          l3 / (2 * sizeof(float) * static_cast<std::size_t>(b.kc));
+      nc = std::clamp<std::size_t>(nc, kGemmNR, 8192);
+      b.nc = static_cast<int>(nc / kGemmNR * kGemmNR);
+    } else {
+      b.nc = 3072;
+    }
+    return b;
+  }
+};
+
+}  // namespace ndirect

@@ -1,0 +1,154 @@
+#include "gemm/gemm.h"
+
+#include <algorithm>
+
+#include "gemm/microkernel.h"
+#include "gemm/pack.h"
+#include "runtime/aligned_buffer.h"
+#include "simd/vec128.h"
+
+namespace ndirect {
+namespace {
+
+int round_up(int v, int m) { return (v + m - 1) / m * m; }
+
+// Macro-kernel: multiply a packed mc x kc panel of A by a packed
+// kc x nc panel of B into the C block at (c, ldc). Parallel over the
+// MR row strips of the block.
+void macro_kernel(int mc, int nc, int kc, const float* packed_a,
+                  const float* packed_b, float* c, std::int64_t ldc,
+                  bool accumulate, ThreadPool& pool) {
+  const int m_strips = (mc + kGemmMR - 1) / kGemmMR;
+  const int n_strips = (nc + kGemmNR - 1) / kGemmNR;
+  pool.parallel_for(
+      static_cast<std::size_t>(m_strips),
+      [&](std::size_t strip_begin, std::size_t strip_end) {
+        for (std::size_t si = strip_begin; si < strip_end; ++si) {
+          const int i0 = static_cast<int>(si) * kGemmMR;
+          const int mr = std::min(kGemmMR, mc - i0);
+          const float* pa =
+              packed_a + static_cast<std::int64_t>(si) * kGemmMR * kc;
+          for (int sj = 0; sj < n_strips; ++sj) {
+            const int j0 = sj * kGemmNR;
+            const int nr = std::min(kGemmNR, nc - j0);
+            const float* pb =
+                packed_b + static_cast<std::int64_t>(sj) * kGemmNR * kc;
+            float* cblk = c + static_cast<std::int64_t>(i0) * ldc + j0;
+            if (mr == kGemmMR && nr == kGemmNR) {
+              gemm_microkernel_8x12(kc, pa, pb, cblk, ldc, accumulate);
+            } else {
+              gemm_microkernel_edge(kc, pa, pb, cblk, ldc, mr, nr,
+                                    accumulate);
+            }
+          }
+        }
+      });
+}
+
+}  // namespace
+
+void sgemm(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
+           std::int64_t lda, const float* b, std::int64_t ldb, float* c,
+           std::int64_t ldc, bool accumulate, const GemmContext* ctx) {
+  static const GemmContext default_ctx{
+      GemmBlocking::from_cache(probe_host_cpu().cache), nullptr, nullptr};
+  const GemmContext& cx = ctx != nullptr ? *ctx : default_ctx;
+  ThreadPool& pool = cx.pool != nullptr ? *cx.pool : ThreadPool::global();
+  const GemmBlocking& blk = cx.blocking;
+
+  if (m <= 0 || n <= 0) return;
+  if (k <= 0) {
+    if (!accumulate) {
+      for (std::int64_t i = 0; i < m; ++i)
+        std::fill(c + i * ldc, c + i * ldc + n, 0.0f);
+    }
+    return;
+  }
+
+  AlignedBuffer<float> packed_a(
+      static_cast<std::size_t>(round_up(blk.mc, kGemmMR)) *
+      static_cast<std::size_t>(blk.kc));
+  AlignedBuffer<float> packed_b(
+      static_cast<std::size_t>(blk.kc) *
+      static_cast<std::size_t>(round_up(blk.nc, kGemmNR)));
+
+  for (std::int64_t jc = 0; jc < n; jc += blk.nc) {
+    const int nc = static_cast<int>(std::min<std::int64_t>(blk.nc, n - jc));
+    for (std::int64_t pc = 0; pc < k; pc += blk.kc) {
+      const int kc = static_cast<int>(std::min<std::int64_t>(blk.kc, k - pc));
+      // First reduction slice honors the caller's accumulate flag; later
+      // slices always accumulate into the partial result.
+      const bool acc = accumulate || pc > 0;
+      {
+        WallTimer t;
+        gemm_pack_b(b + pc * ldb + jc, ldb, kc, nc, packed_b.data());
+        if (cx.phase_timer != nullptr)
+          cx.phase_timer->add("packing", t.seconds());
+      }
+      for (std::int64_t ic = 0; ic < m; ic += blk.mc) {
+        const int mc =
+            static_cast<int>(std::min<std::int64_t>(blk.mc, m - ic));
+        {
+          WallTimer t;
+          gemm_pack_a(a + ic * lda + pc, lda, mc, kc, packed_a.data());
+          if (cx.phase_timer != nullptr)
+            cx.phase_timer->add("packing", t.seconds());
+        }
+        WallTimer t;
+        macro_kernel(mc, nc, kc, packed_a.data(), packed_b.data(),
+                     c + ic * ldc + jc, ldc, acc, pool);
+        if (cx.phase_timer != nullptr)
+          cx.phase_timer->add("micro-kernel", t.seconds());
+      }
+    }
+  }
+}
+
+void sgemm_simple(std::int64_t m, std::int64_t n, std::int64_t k,
+                  const float* a, std::int64_t lda, const float* b,
+                  std::int64_t ldb, float* c, std::int64_t ldc,
+                  bool accumulate) {
+  if (!accumulate) {
+    for (std::int64_t i = 0; i < m; ++i) {
+      std::fill(c + i * ldc, c + i * ldc + n, 0.0f);
+    }
+  }
+  // ikj order with a 256-element k block: B rows stream from cache, C
+  // rows stay hot. The inner loop vectorizes over columns, but each
+  // C element is re-loaded and re-stored per k step (no register tile).
+  constexpr std::int64_t kBlock = 256;
+  for (std::int64_t kk = 0; kk < k; kk += kBlock) {
+    const std::int64_t k_end = std::min(k, kk + kBlock);
+    for (std::int64_t i = 0; i < m; ++i) {
+      float* crow = c + i * ldc;
+      for (std::int64_t p = kk; p < k_end; ++p) {
+        const float av = a[i * lda + p];
+        const float* brow = b + p * ldb;
+        std::int64_t j = 0;
+        const vec128f avv = vdup(av);
+        for (; j + 4 <= n; j += 4) {
+          vstore(crow + j, vfma(vload(crow + j), avv, vload(brow + j)));
+        }
+        for (; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+void sgemm_reference(std::int64_t m, std::int64_t n, std::int64_t k,
+                     const float* a, std::int64_t lda, const float* b,
+                     std::int64_t ldb, float* c, std::int64_t ldc,
+                     bool accumulate) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double sum = accumulate ? c[i * ldc + j] : 0.0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        sum += static_cast<double>(a[i * lda + p]) *
+               static_cast<double>(b[p * ldb + j]);
+      }
+      c[i * ldc + j] = static_cast<float>(sum);
+    }
+  }
+}
+
+}  // namespace ndirect

@@ -1,0 +1,42 @@
+// Goto-algorithm SGEMM driver (the repo's OpenBLAS substitute).
+#pragma once
+
+#include <cstdint>
+
+#include "gemm/blocking.h"
+#include "runtime/thread_pool.h"
+#include "runtime/timer.h"
+
+namespace ndirect {
+
+/// Optional execution context: custom blocking, thread pool, and a phase
+/// timer that splits time into "packing" and "micro-kernel" (Fig. 1a).
+struct GemmContext {
+  GemmBlocking blocking{};
+  ThreadPool* pool = nullptr;       ///< nullptr = ThreadPool::global()
+  PhaseTimer* phase_timer = nullptr;
+};
+
+/// C(MxN) = A(MxK) * B(KxN) + (accumulate ? C : 0).
+/// Row-major, leading dimensions in floats.
+void sgemm(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
+           std::int64_t lda, const float* b, std::int64_t ldb, float* c,
+           std::int64_t ldc, bool accumulate = false,
+           const GemmContext* ctx = nullptr);
+
+/// Reference triple-loop product for tests (no blocking, no SIMD).
+void sgemm_reference(std::int64_t m, std::int64_t n, std::int64_t k,
+                     const float* a, std::int64_t lda, const float* b,
+                     std::int64_t ldb, float* c, std::int64_t ldc,
+                     bool accumulate = false);
+
+/// A deliberately simple SGEMM: cache-tiled and SIMD over columns, but
+/// with no operand packing and a small register tile. This is the
+/// quality of GEMM inside generic libraries that have not had the
+/// Goto-style treatment (the paper's ACL_GEMM baseline in Fig. 1b).
+void sgemm_simple(std::int64_t m, std::int64_t n, std::int64_t k,
+                  const float* a, std::int64_t lda, const float* b,
+                  std::int64_t ldb, float* c, std::int64_t ldc,
+                  bool accumulate = false);
+
+}  // namespace ndirect

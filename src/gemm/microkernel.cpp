@@ -1,0 +1,82 @@
+#include "gemm/microkernel.h"
+
+#include "gemm/blocking.h"
+#include "simd/vec128.h"
+
+namespace ndirect {
+
+void gemm_microkernel_8x12(int kc, const float* packed_a,
+                           const float* packed_b, float* c,
+                           std::int64_t ldc, bool accumulate) {
+  // 8 rows x 12 cols of C = 8 x 3 vector accumulators (24 registers),
+  // plus 3 B vectors and 2 A vectors per k step: 29 of 32 NEON-model regs.
+  vec128f acc[kGemmMR][3];
+  for (int i = 0; i < kGemmMR; ++i)
+    for (int j = 0; j < 3; ++j) acc[i][j] = vzero();
+
+  for (int k = 0; k < kc; ++k) {
+    const vec128f b0 = vload(packed_b + 0);
+    const vec128f b1 = vload(packed_b + 4);
+    const vec128f b2 = vload(packed_b + 8);
+    const vec128f a0 = vload(packed_a + 0);
+    const vec128f a1 = vload(packed_a + 4);
+
+    acc[0][0] = vfma_lane<0>(acc[0][0], a0, b0);
+    acc[0][1] = vfma_lane<0>(acc[0][1], a0, b1);
+    acc[0][2] = vfma_lane<0>(acc[0][2], a0, b2);
+    acc[1][0] = vfma_lane<1>(acc[1][0], a0, b0);
+    acc[1][1] = vfma_lane<1>(acc[1][1], a0, b1);
+    acc[1][2] = vfma_lane<1>(acc[1][2], a0, b2);
+    acc[2][0] = vfma_lane<2>(acc[2][0], a0, b0);
+    acc[2][1] = vfma_lane<2>(acc[2][1], a0, b1);
+    acc[2][2] = vfma_lane<2>(acc[2][2], a0, b2);
+    acc[3][0] = vfma_lane<3>(acc[3][0], a0, b0);
+    acc[3][1] = vfma_lane<3>(acc[3][1], a0, b1);
+    acc[3][2] = vfma_lane<3>(acc[3][2], a0, b2);
+    acc[4][0] = vfma_lane<0>(acc[4][0], a1, b0);
+    acc[4][1] = vfma_lane<0>(acc[4][1], a1, b1);
+    acc[4][2] = vfma_lane<0>(acc[4][2], a1, b2);
+    acc[5][0] = vfma_lane<1>(acc[5][0], a1, b0);
+    acc[5][1] = vfma_lane<1>(acc[5][1], a1, b1);
+    acc[5][2] = vfma_lane<1>(acc[5][2], a1, b2);
+    acc[6][0] = vfma_lane<2>(acc[6][0], a1, b0);
+    acc[6][1] = vfma_lane<2>(acc[6][1], a1, b1);
+    acc[6][2] = vfma_lane<2>(acc[6][2], a1, b2);
+    acc[7][0] = vfma_lane<3>(acc[7][0], a1, b0);
+    acc[7][1] = vfma_lane<3>(acc[7][1], a1, b1);
+    acc[7][2] = vfma_lane<3>(acc[7][2], a1, b2);
+
+    packed_a += kGemmMR;
+    packed_b += kGemmNR;
+  }
+
+  for (int i = 0; i < kGemmMR; ++i) {
+    float* crow = c + i * ldc;
+    if (accumulate) {
+      vstore(crow + 0, vadd(vload(crow + 0), acc[i][0]));
+      vstore(crow + 4, vadd(vload(crow + 4), acc[i][1]));
+      vstore(crow + 8, vadd(vload(crow + 8), acc[i][2]));
+    } else {
+      vstore(crow + 0, acc[i][0]);
+      vstore(crow + 4, acc[i][1]);
+      vstore(crow + 8, acc[i][2]);
+    }
+  }
+}
+
+void gemm_microkernel_edge(int kc, const float* packed_a,
+                           const float* packed_b, float* c,
+                           std::int64_t ldc, int mr, int nr,
+                           bool accumulate) {
+  float tile[kGemmMR][kGemmNR];
+  gemm_microkernel_8x12(kc, packed_a, packed_b, &tile[0][0], kGemmNR,
+                        /*accumulate=*/false);
+  for (int i = 0; i < mr; ++i) {
+    float* crow = c + i * ldc;
+    for (int j = 0; j < nr; ++j) {
+      crow[j] = accumulate ? crow[j] + tile[i][j] : tile[i][j];
+    }
+  }
+}
+
+}  // namespace ndirect

@@ -1,0 +1,22 @@
+// The 8x12 SGEMM micro-kernel (register-blocked, NEON-model SIMD).
+#pragma once
+
+#include <cstdint>
+
+namespace ndirect {
+
+/// C[0:8, 0:12] (+)= packed_a(8 x kc) * packed_b(kc x 12).
+/// packed_a layout: [k][8] (from gemm_pack_a), packed_b: [k][12].
+/// `ldc` is C's leading dimension in floats. If accumulate is false, C is
+/// overwritten; otherwise the product is added to it.
+void gemm_microkernel_8x12(int kc, const float* packed_a,
+                           const float* packed_b, float* c,
+                           std::int64_t ldc, bool accumulate);
+
+/// Ragged-edge variant: writes only mr x nr (mr<=8, nr<=12) results.
+void gemm_microkernel_edge(int kc, const float* packed_a,
+                           const float* packed_b, float* c,
+                           std::int64_t ldc, int mr, int nr,
+                           bool accumulate);
+
+}  // namespace ndirect

@@ -1,0 +1,34 @@
+#include "gemm/pack.h"
+
+#include "gemm/blocking.h"
+
+namespace ndirect {
+
+void gemm_pack_a(const float* a, std::int64_t lda, int mc, int kc,
+                 float* packed) {
+  for (int i0 = 0; i0 < mc; i0 += kGemmMR) {
+    const int mr = mc - i0 < kGemmMR ? mc - i0 : kGemmMR;
+    for (int k = 0; k < kc; ++k) {
+      for (int i = 0; i < mr; ++i) {
+        packed[i] = a[(i0 + i) * lda + k];
+      }
+      for (int i = mr; i < kGemmMR; ++i) packed[i] = 0.0f;
+      packed += kGemmMR;
+    }
+  }
+}
+
+void gemm_pack_b(const float* b, std::int64_t ldb, int kc, int nc,
+                 float* packed) {
+  for (int j0 = 0; j0 < nc; j0 += kGemmNR) {
+    const int nr = nc - j0 < kGemmNR ? nc - j0 : kGemmNR;
+    for (int k = 0; k < kc; ++k) {
+      const float* row = b + k * ldb + j0;
+      for (int j = 0; j < nr; ++j) packed[j] = row[j];
+      for (int j = nr; j < kGemmNR; ++j) packed[j] = 0.0f;
+      packed += kGemmNR;
+    }
+  }
+}
+
+}  // namespace ndirect

@@ -1,0 +1,23 @@
+// Packing routines of the Goto SGEMM.
+//
+// pack_a: an mc x kc block of row-major A into micro-panels of MR rows,
+//         stored k-major: panel[k][mr]. Ragged tails are zero-filled.
+// pack_b: a kc x nc block of row-major B into micro-panels of NR columns,
+//         stored k-major: panel[k][nr]. Ragged tails are zero-filled.
+#pragma once
+
+#include <cstdint>
+
+namespace ndirect {
+
+/// A block: rows [0, mc) x cols [0, kc) of `a` (leading dimension lda).
+/// Output size must be ceil(mc/MR)*MR * kc floats.
+void gemm_pack_a(const float* a, std::int64_t lda, int mc, int kc,
+                 float* packed);
+
+/// B block: rows [0, kc) x cols [0, nc) of `b` (leading dimension ldb).
+/// Output size must be kc * ceil(nc/NR)*NR floats.
+void gemm_pack_b(const float* b, std::int64_t ldb, int kc, int nc,
+                 float* packed);
+
+}  // namespace ndirect

@@ -1,0 +1,111 @@
+#include "nn/graph.h"
+
+#include <stdexcept>
+
+namespace ndirect {
+
+Graph::Graph(int N, int C, int H, int W) {
+  Node input;
+  input.shape = {N, C, H, W};
+  nodes_.push_back(std::move(input));
+}
+
+NodeId Graph::add(std::unique_ptr<Op> op, std::vector<NodeId> inputs) {
+  if (inputs.empty()) throw std::invalid_argument("op needs inputs");
+  std::vector<TensorShape> in_shapes;
+  for (NodeId id : inputs) {
+    if (id < 0 || id >= node_count()) {
+      throw std::invalid_argument("bad input node id");
+    }
+    in_shapes.push_back(nodes_[static_cast<std::size_t>(id)].shape);
+  }
+  Node node;
+  node.shape = op->infer(in_shapes);
+  node.op = std::move(op);
+  node.inputs = std::move(inputs);
+  nodes_.push_back(std::move(node));
+  return node_count() - 1;
+}
+
+Tensor Graph::run(const Tensor& input) const {
+  std::vector<Tensor> values(nodes_.size());
+  values[0] = input.clone();
+  for (std::size_t i = 1; i < nodes_.size(); ++i) {
+    const Node& node = nodes_[i];
+    std::vector<const Tensor*> args;
+    args.reserve(node.inputs.size());
+    for (NodeId id : node.inputs) {
+      args.push_back(&values[static_cast<std::size_t>(id)]);
+    }
+    values[i] = node.op->forward(args);
+  }
+  return std::move(values.back());
+}
+
+Tensor Graph::run_profiled(const Tensor& input, PhaseTimer& timer) const {
+  std::vector<Tensor> values(nodes_.size());
+  values[0] = input.clone();
+  for (std::size_t i = 1; i < nodes_.size(); ++i) {
+    const Node& node = nodes_[i];
+    std::vector<const Tensor*> args;
+    args.reserve(node.inputs.size());
+    for (NodeId id : node.inputs) {
+      args.push_back(&values[static_cast<std::size_t>(id)]);
+    }
+    WallTimer t;
+    values[i] = node.op->forward(args);
+    timer.add(node.op->name(), t.seconds());
+  }
+  return std::move(values.back());
+}
+
+const TensorShape& Graph::output_shape() const {
+  return nodes_.back().shape;
+}
+
+const TensorShape& Graph::shape_of(NodeId id) const {
+  return nodes_.at(static_cast<std::size_t>(id)).shape;
+}
+
+Op* Graph::op_of(NodeId id) {
+  return nodes_.at(static_cast<std::size_t>(id)).op.get();
+}
+
+std::vector<ConvOp*> Graph::conv_ops() {
+  std::vector<ConvOp*> convs;
+  for (auto& node : nodes_) {
+    if (auto* c = dynamic_cast<ConvOp*>(node.op.get())) {
+      convs.push_back(c);
+    }
+  }
+  return convs;
+}
+
+const std::vector<NodeId>& Graph::inputs_of(NodeId id) const {
+  return nodes_.at(static_cast<std::size_t>(id)).inputs;
+}
+
+void Graph::replace_op(NodeId id, std::unique_ptr<Op> op) {
+  Node& node = nodes_.at(static_cast<std::size_t>(id));
+  std::vector<TensorShape> in_shapes;
+  for (NodeId in : node.inputs) {
+    in_shapes.push_back(nodes_[static_cast<std::size_t>(in)].shape);
+  }
+  const TensorShape new_shape = op->infer(in_shapes);
+  if (!(new_shape == node.shape)) {
+    throw std::invalid_argument("replace_op: output shape changed");
+  }
+  node.op = std::move(op);
+}
+
+std::int64_t Graph::conv_flops() const {
+  std::int64_t total = 0;
+  for (const auto& node : nodes_) {
+    if (const auto* c = dynamic_cast<const ConvOp*>(node.op.get())) {
+      total += c->params().flops();
+    }
+  }
+  return total;
+}
+
+}  // namespace ndirect

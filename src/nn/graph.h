@@ -1,0 +1,64 @@
+// Minimal inference graph executor.
+//
+// Stands in for the MXNet integration of Section 7.3: a chain/DAG of
+// operators whose convolutions dispatch to a pluggable backend
+// (nDirect, im2col+GEMM, tuned schedules, or the naive reference), so
+// end-to-end CNN inference (Fig. 7) can be measured with the conv
+// implementation swapped and everything else held fixed.
+//
+// Nodes are added in topological order; node 0 is the graph input.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/op.h"
+
+namespace ndirect {
+
+using NodeId = int;
+
+class Graph {
+ public:
+  /// Create a graph whose input has the given NCHW shape.
+  Graph(int N, int C, int H, int W);
+
+  /// Append an operator consuming the given upstream nodes; returns the
+  /// new node's id. Inputs must be already-added nodes (or 0, input).
+  NodeId add(std::unique_ptr<Op> op, std::vector<NodeId> inputs);
+
+  /// Run the whole graph on `input` (shape must match construction).
+  Tensor run(const Tensor& input) const;
+
+  /// Accumulate per-op-type wall time over one run into `timer`
+  /// (keys are op names: "conv", "relu", ...).
+  Tensor run_profiled(const Tensor& input, PhaseTimer& timer) const;
+
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+  const TensorShape& output_shape() const;
+  const TensorShape& shape_of(NodeId id) const;
+  Op* op_of(NodeId id);
+
+  /// All ConvOp nodes, in execution order (for backend swaps/tuning).
+  std::vector<ConvOp*> conv_ops();
+
+  const std::vector<NodeId>& inputs_of(NodeId id) const;
+
+  /// Swap a node's operator in place. The replacement must infer the
+  /// same output shape from the same inputs (checked).
+  void replace_op(NodeId id, std::unique_ptr<Op> op);
+
+  /// Total conv flops of one forward pass.
+  std::int64_t conv_flops() const;
+
+ private:
+  struct Node {
+    std::unique_ptr<Op> op;  ///< null for the input node
+    std::vector<NodeId> inputs;
+    TensorShape shape;
+  };
+  std::vector<Node> nodes_;
+};
+
+}  // namespace ndirect

@@ -1,0 +1,241 @@
+#include "nn/models.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ndirect {
+namespace {
+
+/// Builder tracking the current node and its activation shape.
+class NetBuilder {
+ public:
+  NetBuilder(std::unique_ptr<Graph> graph, const ModelOptions& opts)
+      : graph_(std::move(graph)), opts_(opts) {}
+
+  NodeId head() const { return head_; }
+  const TensorShape& shape() const { return graph_->shape_of(head_); }
+
+  NodeId dwconv(NodeId from, int kernel, int stride) {
+    const TensorShape s = graph_->shape_of(from);
+    const DepthwiseParams p{.N = s.N, .C = s.C, .H = s.H, .W = s.W,
+                            .R = kernel, .S = kernel, .str = stride,
+                            .pad = kernel / 2};
+    return graph_->add(std::make_unique<DepthwiseConvOp>(p, next_seed()),
+                       {from});
+  }
+
+  NodeId conv(NodeId from, int out_channels, int kernel, int stride,
+              bool bias) {
+    const TensorShape s = graph_->shape_of(from);
+    const ConvParams p{.N = s.N,
+                       .C = s.C,
+                       .H = s.H,
+                       .W = s.W,
+                       .K = out_channels,
+                       .R = kernel,
+                       .S = kernel,
+                       .str = stride,
+                       .pad = kernel / 2};
+    return graph_->add(std::make_unique<ConvOp>(p, opts_.backend,
+                                                next_seed(), bias),
+                       {from});
+  }
+
+  NodeId bn(NodeId from) {
+    const TensorShape s = graph_->shape_of(from);
+    return graph_->add(std::make_unique<BatchNormOp>(s.C, next_seed()),
+                       {from});
+  }
+
+  NodeId relu(NodeId from) {
+    return graph_->add(std::make_unique<ReluOp>(), {from});
+  }
+
+  NodeId maxpool(NodeId from, int k, int stride, int pad) {
+    return graph_->add(std::make_unique<MaxPoolOp>(k, stride, pad), {from});
+  }
+
+  NodeId add(NodeId a, NodeId b) {
+    return graph_->add(std::make_unique<AddOp>(), {a, b});
+  }
+
+  NodeId gavgpool(NodeId from) {
+    return graph_->add(std::make_unique<GlobalAvgPoolOp>(), {from});
+  }
+
+  NodeId fc(NodeId from, int out_features) {
+    const TensorShape s = graph_->shape_of(from);
+    const int in_features = static_cast<int>(
+        std::int64_t{s.C} * s.H * s.W);
+    return graph_->add(
+        std::make_unique<FcOp>(in_features, out_features, next_seed()),
+        {from});
+  }
+
+  NodeId softmax(NodeId from) {
+    return graph_->add(std::make_unique<SoftmaxOp>(), {from});
+  }
+
+  void set_head(NodeId id) { head_ = id; }
+
+  std::unique_ptr<Graph> finish() { return std::move(graph_); }
+
+  int ch(int channels) const {
+    return std::max(4, channels / opts_.channel_divisor);
+  }
+
+ private:
+  std::uint64_t next_seed() { return opts_.seed + 1000 * (++seed_counter_); }
+
+  std::unique_ptr<Graph> graph_;
+  ModelOptions opts_;
+  NodeId head_ = 0;
+  std::uint64_t seed_counter_ = 0;
+};
+
+// ResNet bottleneck: 1x1 -> 3x3(stride) -> 1x1(4x), projection shortcut
+// on the first block of each stage.
+NodeId bottleneck(NetBuilder& b, NodeId input, int mid, int stride,
+                  bool project) {
+  NodeId x = b.conv(input, mid, 1, 1, /*bias=*/false);
+  x = b.bn(x);
+  x = b.relu(x);
+  x = b.conv(x, mid, 3, stride, false);
+  x = b.bn(x);
+  x = b.relu(x);
+  x = b.conv(x, mid * 4, 1, 1, false);
+  x = b.bn(x);
+  NodeId shortcut = input;
+  if (project) {
+    shortcut = b.conv(input, mid * 4, 1, stride, false);
+    shortcut = b.bn(shortcut);
+  }
+  x = b.add(x, shortcut);
+  return b.relu(x);
+}
+
+std::unique_ptr<Graph> build_resnet(int batch, const ModelOptions& opts,
+                                    const int blocks[4]) {
+  auto graph = std::make_unique<Graph>(batch, 3, opts.image_size,
+                                       opts.image_size);
+  NetBuilder b(std::move(graph), opts);
+
+  NodeId x = b.conv(0, b.ch(64), 7, 2, false);
+  x = b.bn(x);
+  x = b.relu(x);
+  x = b.maxpool(x, 3, 2, 1);
+
+  const int mids[4] = {b.ch(64), b.ch(128), b.ch(256), b.ch(512)};
+  for (int stage = 0; stage < 4; ++stage) {
+    for (int block = 0; block < blocks[stage]; ++block) {
+      const int stride = (stage > 0 && block == 0) ? 2 : 1;
+      x = bottleneck(b, x, mids[stage], stride, block == 0);
+    }
+  }
+  x = b.gavgpool(x);
+  x = b.fc(x, 1000);
+  x = b.softmax(x);
+  b.set_head(x);
+  return b.finish();
+}
+
+std::unique_ptr<Graph> build_vgg(int batch, const ModelOptions& opts,
+                                 const int stage_convs[5]) {
+  auto graph = std::make_unique<Graph>(batch, 3, opts.image_size,
+                                       opts.image_size);
+  NetBuilder b(std::move(graph), opts);
+
+  const int widths[5] = {b.ch(64), b.ch(128), b.ch(256), b.ch(512),
+                         b.ch(512)};
+  NodeId x = 0;
+  for (int stage = 0; stage < 5; ++stage) {
+    for (int conv = 0; conv < stage_convs[stage]; ++conv) {
+      x = b.conv(x, widths[stage], 3, 1, /*bias=*/true);
+      x = b.relu(x);
+    }
+    x = b.maxpool(x, 2, 2, 0);
+  }
+  x = b.fc(x, std::max(16, 4096 / opts.channel_divisor));
+  x = b.relu(x);
+  x = b.fc(x, std::max(16, 4096 / opts.channel_divisor));
+  x = b.relu(x);
+  x = b.fc(x, 1000);
+  x = b.softmax(x);
+  b.set_head(x);
+  return b.finish();
+}
+
+// MobileNetV1 depthwise-separable block: dw3x3(stride) BN ReLU,
+// pw1x1 BN ReLU.
+NodeId separable_block(NetBuilder& b, NodeId input, int out_channels,
+                       int stride) {
+  NodeId x = b.dwconv(input, 3, stride);
+  x = b.bn(x);
+  x = b.relu(x);
+  x = b.conv(x, out_channels, 1, 1, /*bias=*/false);
+  x = b.bn(x);
+  return b.relu(x);
+}
+
+}  // namespace
+
+std::unique_ptr<Graph> build_mobilenet(int batch,
+                                       const ModelOptions& opts) {
+  auto graph = std::make_unique<Graph>(batch, 3, opts.image_size,
+                                       opts.image_size);
+  NetBuilder b(std::move(graph), opts);
+
+  NodeId x = b.conv(0, b.ch(32), 3, 2, false);
+  x = b.bn(x);
+  x = b.relu(x);
+
+  struct Block {
+    int channels, stride;
+  };
+  const Block blocks[] = {
+      {64, 1},   {128, 2}, {128, 1}, {256, 2},  {256, 1},
+      {512, 2},  {512, 1}, {512, 1}, {512, 1},  {512, 1},
+      {512, 1},  {1024, 2}, {1024, 1},
+  };
+  for (const Block& blk : blocks) {
+    x = separable_block(b, x, b.ch(blk.channels), blk.stride);
+  }
+  x = b.gavgpool(x);
+  x = b.fc(x, 1000);
+  x = b.softmax(x);
+  b.set_head(x);
+  return b.finish();
+}
+
+std::unique_ptr<Graph> build_resnet50(int batch, const ModelOptions& opts) {
+  const int blocks[4] = {3, 4, 6, 3};
+  return build_resnet(batch, opts, blocks);
+}
+
+std::unique_ptr<Graph> build_resnet101(int batch,
+                                       const ModelOptions& opts) {
+  const int blocks[4] = {3, 4, 23, 3};
+  return build_resnet(batch, opts, blocks);
+}
+
+std::unique_ptr<Graph> build_vgg16(int batch, const ModelOptions& opts) {
+  const int convs[5] = {2, 2, 3, 3, 3};
+  return build_vgg(batch, opts, convs);
+}
+
+std::unique_ptr<Graph> build_vgg19(int batch, const ModelOptions& opts) {
+  const int convs[5] = {2, 2, 4, 4, 4};
+  return build_vgg(batch, opts, convs);
+}
+
+std::unique_ptr<Graph> build_model(const std::string& name, int batch,
+                                   const ModelOptions& opts) {
+  if (name == "ResNet-50") return build_resnet50(batch, opts);
+  if (name == "ResNet-101") return build_resnet101(batch, opts);
+  if (name == "VGG-16") return build_vgg16(batch, opts);
+  if (name == "VGG-19") return build_vgg19(batch, opts);
+  if (name == "MobileNet") return build_mobilenet(batch, opts);
+  throw std::invalid_argument("unknown model: " + name);
+}
+
+}  // namespace ndirect

@@ -1,0 +1,38 @@
+// CNN model builders: ResNet-50/101 and VGG-16/19 (the networks of the
+// paper's end-to-end evaluation, Fig. 7) with deterministic random
+// weights.
+#pragma once
+
+#include <memory>
+
+#include "nn/graph.h"
+
+namespace ndirect {
+
+struct ModelOptions {
+  ConvBackend backend = ConvBackend::Ndirect;
+  /// Divide every channel count by this factor (>= 1). Used by tests
+  /// and quick benches to shrink the models while preserving topology.
+  int channel_divisor = 1;
+  /// Input spatial size (ImageNet default 224).
+  int image_size = 224;
+  std::uint64_t seed = 1234;
+};
+
+std::unique_ptr<Graph> build_resnet50(int batch, const ModelOptions& = {});
+std::unique_ptr<Graph> build_resnet101(int batch, const ModelOptions& = {});
+std::unique_ptr<Graph> build_vgg16(int batch, const ModelOptions& = {});
+std::unique_ptr<Graph> build_vgg19(int batch, const ModelOptions& = {});
+
+/// MobileNetV1 built from depthwise-separable blocks (Section 10.2's
+/// motivating architecture): dwconv 3x3 + BN + ReLU + pointwise 1x1 +
+/// BN + ReLU. The pointwise convolutions run through the selected
+/// backend; depthwise layers use the dedicated Section 10.2 kernel.
+std::unique_ptr<Graph> build_mobilenet(int batch, const ModelOptions& = {});
+
+/// Build by name: "ResNet-50", "ResNet-101", "VGG-16", "VGG-19",
+/// "MobileNet".
+std::unique_ptr<Graph> build_model(const std::string& name, int batch,
+                                   const ModelOptions& = {});
+
+}  // namespace ndirect

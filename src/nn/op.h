@@ -1,0 +1,184 @@
+// Inference operators for the graph executor. All activations are NCHW.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autotune/schedule.h"
+#include "core/depthwise.h"
+#include "core/ndirect.h"
+#include "runtime/timer.h"
+#include "tensor/conv_params.h"
+#include "tensor/tensor.h"
+
+namespace ndirect {
+
+/// NCHW activation shape flowing along graph edges.
+struct TensorShape {
+  int N = 0, C = 0, H = 0, W = 0;
+  std::int64_t elems() const { return std::int64_t{N} * C * H * W; }
+  bool operator==(const TensorShape&) const = default;
+  std::string to_string() const;
+};
+
+class Op {
+ public:
+  virtual ~Op() = default;
+  virtual const char* name() const = 0;
+  /// Output shape given input shapes (validates arity/shapes; throws
+  /// std::invalid_argument on mismatch).
+  virtual TensorShape infer(const std::vector<TensorShape>& in) const = 0;
+  virtual Tensor forward(const std::vector<const Tensor*>& in) const = 0;
+};
+
+/// Which convolution implementation a ConvOp dispatches to (Fig. 7's
+/// backend axis).
+enum class ConvBackend {
+  Ndirect,     ///< this paper (MXNet+NDIRECT)
+  Im2colGemm,  ///< MXNet+OpenBLAS stand-in
+  Tuned,       ///< Ansor stand-in: searched schedule, generic kernel
+  Naive,       ///< Algorithm 1 (testing)
+};
+
+const char* conv_backend_name(ConvBackend b);
+
+class ConvOp final : public Op {
+ public:
+  /// Weights are initialized deterministically from `seed`; `bias` adds
+  /// a per-channel bias (VGG convs have one, ResNet convs do not).
+  ConvOp(ConvParams params, ConvBackend backend, std::uint64_t seed,
+         bool bias);
+
+  const char* name() const override { return "conv"; }
+  TensorShape infer(const std::vector<TensorShape>& in) const override;
+  Tensor forward(const std::vector<const Tensor*>& in) const override;
+
+  const ConvParams& params() const { return params_; }
+  ConvBackend backend() const { return backend_; }
+  void set_backend(ConvBackend b);
+
+  /// Install the schedule used by the Tuned backend.
+  void set_schedule(const Schedule& s) { schedule_ = s; has_schedule_ = true; }
+  bool has_schedule() const { return has_schedule_; }
+
+  /// Apply ReLU inside the convolution (set by the fuse_conv_relu pass;
+  /// the Ndirect backend runs it in the store epilogue, other backends
+  /// apply it as a post-pass so semantics stay backend-invariant).
+  void set_fused_relu(bool fused) { fused_relu_ = fused; }
+  bool fused_relu() const { return fused_relu_; }
+
+  Tensor& filter() { return filter_; }
+  const Tensor& filter() const { return filter_; }
+  std::vector<float>& bias() { return bias_; }
+
+ private:
+  ConvParams params_;
+  ConvBackend backend_;
+  Tensor filter_;  ///< KCRS
+  std::vector<float> bias_;  ///< empty = no bias
+  Schedule schedule_{};
+  bool has_schedule_ = false;
+  bool fused_relu_ = false;
+  // Planned engine for the Ndirect backend (lazy, shape is fixed).
+  mutable std::unique_ptr<NdirectConv> engine_;
+};
+
+/// Depthwise convolution (Section 10.2: the C reduction removed).
+/// Used by the MobileNet builder's depthwise-separable blocks.
+class DepthwiseConvOp final : public Op {
+ public:
+  DepthwiseConvOp(DepthwiseParams params, std::uint64_t seed);
+
+  const char* name() const override { return "dwconv"; }
+  TensorShape infer(const std::vector<TensorShape>& in) const override;
+  Tensor forward(const std::vector<const Tensor*>& in) const override;
+
+  const DepthwiseParams& params() const { return params_; }
+
+ private:
+  DepthwiseParams params_;
+  Tensor filter_;  ///< [C, 1, R, S]
+};
+
+/// Pass-through (what a folded-away op becomes).
+class IdentityOp final : public Op {
+ public:
+  const char* name() const override { return "identity"; }
+  TensorShape infer(const std::vector<TensorShape>& in) const override;
+  Tensor forward(const std::vector<const Tensor*>& in) const override;
+};
+
+class ReluOp final : public Op {
+ public:
+  const char* name() const override { return "relu"; }
+  TensorShape infer(const std::vector<TensorShape>& in) const override;
+  Tensor forward(const std::vector<const Tensor*>& in) const override;
+};
+
+/// Inference-mode batch norm: per-channel y = scale*x + shift.
+class BatchNormOp final : public Op {
+ public:
+  BatchNormOp(int channels, std::uint64_t seed);
+  const char* name() const override { return "batchnorm"; }
+  TensorShape infer(const std::vector<TensorShape>& in) const override;
+  Tensor forward(const std::vector<const Tensor*>& in) const override;
+
+  const std::vector<float>& scale() const { return scale_; }
+  const std::vector<float>& shift() const { return shift_; }
+
+ private:
+  std::vector<float> scale_;
+  std::vector<float> shift_;
+};
+
+class MaxPoolOp final : public Op {
+ public:
+  MaxPoolOp(int kernel, int stride, int pad)
+      : kernel_(kernel), stride_(stride), pad_(pad) {}
+  const char* name() const override { return "maxpool"; }
+  TensorShape infer(const std::vector<TensorShape>& in) const override;
+  Tensor forward(const std::vector<const Tensor*>& in) const override;
+
+ private:
+  int kernel_, stride_, pad_;
+};
+
+class GlobalAvgPoolOp final : public Op {
+ public:
+  const char* name() const override { return "gavgpool"; }
+  TensorShape infer(const std::vector<TensorShape>& in) const override;
+  Tensor forward(const std::vector<const Tensor*>& in) const override;
+};
+
+/// Residual addition of two same-shaped activations.
+class AddOp final : public Op {
+ public:
+  const char* name() const override { return "add"; }
+  TensorShape infer(const std::vector<TensorShape>& in) const override;
+  Tensor forward(const std::vector<const Tensor*>& in) const override;
+};
+
+/// Fully connected layer on flattened input: y = W x + b via SGEMM.
+class FcOp final : public Op {
+ public:
+  FcOp(int in_features, int out_features, std::uint64_t seed);
+  const char* name() const override { return "fc"; }
+  TensorShape infer(const std::vector<TensorShape>& in) const override;
+  Tensor forward(const std::vector<const Tensor*>& in) const override;
+
+ private:
+  int in_features_, out_features_;
+  Tensor weights_;  ///< [out, in]
+  std::vector<float> bias_;
+};
+
+class SoftmaxOp final : public Op {
+ public:
+  const char* name() const override { return "softmax"; }
+  TensorShape infer(const std::vector<TensorShape>& in) const override;
+  Tensor forward(const std::vector<const Tensor*>& in) const override;
+};
+
+}  // namespace ndirect

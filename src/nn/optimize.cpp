@@ -1,0 +1,81 @@
+#include "nn/optimize.h"
+
+#include <vector>
+
+namespace ndirect {
+
+int fold_batchnorm(Graph& graph) {
+  // Count consumers of every node: a conv feeding anything besides the
+  // BN (e.g. a residual edge) cannot absorb it.
+  std::vector<int> consumers(static_cast<std::size_t>(graph.node_count()),
+                             0);
+  for (NodeId id = 1; id < graph.node_count(); ++id) {
+    for (NodeId in : graph.inputs_of(id)) {
+      ++consumers[static_cast<std::size_t>(in)];
+    }
+  }
+
+  int folded = 0;
+  for (NodeId id = 1; id < graph.node_count(); ++id) {
+    auto* bn = dynamic_cast<BatchNormOp*>(graph.op_of(id));
+    if (bn == nullptr) continue;
+    const NodeId conv_id = graph.inputs_of(id)[0];
+    auto* conv = dynamic_cast<ConvOp*>(graph.op_of(conv_id));
+    if (conv == nullptr) continue;
+    if (consumers[static_cast<std::size_t>(conv_id)] != 1) continue;
+
+    // y = s*(conv(x) + b0) + t  ==  conv'(x) + b' with
+    // filter'[k] = s[k]*filter[k],  b'[k] = s[k]*b0[k] + t[k].
+    const ConvParams& p = conv->params();
+    const std::vector<float>& scale = bn->scale();
+    const std::vector<float>& shift = bn->shift();
+    Tensor& filter = conv->filter();
+    const std::int64_t crs = std::int64_t{p.C} * p.R * p.S;
+    for (int k = 0; k < p.K; ++k) {
+      float* row = filter.data() + k * crs;
+      const float s = scale[static_cast<std::size_t>(k)];
+      for (std::int64_t i = 0; i < crs; ++i) row[i] *= s;
+    }
+    std::vector<float>& bias = conv->bias();
+    if (bias.empty()) bias.assign(static_cast<std::size_t>(p.K), 0.0f);
+    for (int k = 0; k < p.K; ++k) {
+      bias[static_cast<std::size_t>(k)] =
+          scale[static_cast<std::size_t>(k)] *
+              bias[static_cast<std::size_t>(k)] +
+          shift[static_cast<std::size_t>(k)];
+    }
+    graph.replace_op(id, std::make_unique<IdentityOp>());
+    ++folded;
+  }
+  return folded;
+}
+
+int fuse_conv_relu(Graph& graph) {
+  std::vector<int> consumers(static_cast<std::size_t>(graph.node_count()),
+                             0);
+  for (NodeId id = 1; id < graph.node_count(); ++id) {
+    for (NodeId in : graph.inputs_of(id)) {
+      ++consumers[static_cast<std::size_t>(in)];
+    }
+  }
+
+  int fused = 0;
+  for (NodeId id = 1; id < graph.node_count(); ++id) {
+    if (dynamic_cast<ReluOp*>(graph.op_of(id)) == nullptr) continue;
+    // Walk through an Identity left behind by fold_batchnorm.
+    NodeId src = graph.inputs_of(id)[0];
+    while (dynamic_cast<IdentityOp*>(graph.op_of(src)) != nullptr &&
+           consumers[static_cast<std::size_t>(src)] == 1) {
+      src = graph.inputs_of(src)[0];
+    }
+    auto* conv = dynamic_cast<ConvOp*>(graph.op_of(src));
+    if (conv == nullptr) continue;
+    if (consumers[static_cast<std::size_t>(src)] != 1) continue;
+    conv->set_fused_relu(true);
+    graph.replace_op(id, std::make_unique<IdentityOp>());
+    ++fused;
+  }
+  return fused;
+}
+
+}  // namespace ndirect

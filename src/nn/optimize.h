@@ -1,0 +1,27 @@
+// Graph-level optimizations.
+//
+// The paper notes (Sections 8.3, 10) that nDirect, as an operator
+// library, lacks the cross-layer optimizations Ansor gets from Relay's
+// operator fusion, and names integrating such optimizations as future
+// work. This pass implements the highest-value instance for inference
+// — folding BatchNorm into the preceding convolution's weights — as the
+// repo's extension of that future-work direction.
+#pragma once
+
+#include "nn/graph.h"
+
+namespace ndirect {
+
+/// Fold every BatchNorm whose sole consumer relationship is
+/// conv -> batchnorm into the convolution (filter scaling + bias), and
+/// replace the BatchNorm with Identity. Returns the number folded.
+/// Inference results are unchanged up to FP32 rounding.
+int fold_batchnorm(Graph& graph);
+
+/// Fuse every conv -> relu pair (conv's sole consumer) into the
+/// convolution's store epilogue, replacing the ReLU with Identity.
+/// Returns the number fused. Run fold_batchnorm first on BN networks so
+/// the conv -> bn -> relu chains collapse into single fused convs.
+int fuse_conv_relu(Graph& graph);
+
+}  // namespace ndirect

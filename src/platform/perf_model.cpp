@@ -1,0 +1,210 @@
+#include "platform/perf_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/fai.h"
+#include "gemm/blocking.h"
+
+namespace ndirect {
+
+const char* method_name(ConvMethod m) {
+  switch (m) {
+    case ConvMethod::Ndirect: return "NDIRECT";
+    case ConvMethod::Im2colGemm: return "im2col+GEMM";
+    case ConvMethod::LibxsmmStyle: return "LIBXSMM";
+    case ConvMethod::XnnpackStyle: return "XNNPACK";
+    case ConvMethod::AclDirect: return "ACL_DIRECT";
+    case ConvMethod::AclGemm: return "ACL_GEMM";
+    case ConvMethod::AnsorTuned: return "Ansor";
+  }
+  return "?";
+}
+
+std::vector<ConvMethod> all_methods() {
+  return {ConvMethod::Im2colGemm, ConvMethod::XnnpackStyle,
+          ConvMethod::LibxsmmStyle, ConvMethod::AnsorTuned,
+          ConvMethod::AclGemm, ConvMethod::AclDirect,
+          ConvMethod::Ndirect};
+}
+
+namespace {
+
+// GEMM-shaped register tile FAI: 2*MR*NR flops per (MR + NR) loads.
+double gemm_tile_fai(int mr, int nr) {
+  return 2.0 * mr * nr / (mr + nr);
+}
+
+// GEMM-family kernels stream their packed panels from L2/LLC rather
+// than holding operands L1-resident the way Algorithm 3's pack buffer
+// does; this derates their effective tile FAI.
+constexpr double kPanelStreamFactor = 0.6;
+
+// The platform balance point kappa: flops one core can issue while one
+// L1-resident float arrives. Wider machines (more FMA pipes per core)
+// need higher FAI to saturate; kappa is anchored at 4.0 for an
+// 8-flop/cycle core (2x128-bit FMA pipes, the ARMv8 baseline Eq. 4
+// targets) and scales with flops/cycle.
+double platform_kappa(const PlatformSpec& spec) {
+  const double flops_per_cycle =
+      spec.freq_ghz > 0 ? spec.peak_per_core() / spec.freq_ghz : 8.0;
+  return 4.0 * flops_per_cycle / 8.0;
+}
+
+// Stride-aware Eq. 4: with stride `str` the packed input row holds
+// (vw-1)*str + S elements for vw outputs (Section 8.1: the registers
+// fetch the same data but compute fewer positions), so
+//   FAI = 2*S*vw*vk / ((vw-1)*str + S + S*vk).
+double direct_tile_fai(int vw, int vk, int S, int str,
+                       double load_factor = 1.0) {
+  const double loads = ((vw - 1) * str + S) + static_cast<double>(S) * vk;
+  return 2.0 * S * vw * vk / (loads * load_factor);
+}
+
+// Effective micro-kernel FAI per method. GEMM-family methods compact
+// the data before the kernel and pay no kernel-level stride penalty.
+double method_fai(ConvMethod m, const ConvParams& p) {
+  switch (m) {
+    case ConvMethod::Ndirect: {
+      const RegisterBlock rb = solve_register_block(p.S);
+      return direct_tile_fai(rb.vw, rb.vk, p.S, p.str);
+    }
+    case ConvMethod::AnsorTuned:
+      // A tuned schedule finds a good (8x8-ish) tile but the generated
+      // code lacks Algorithm 3's packed sliding window: every FMA tap
+      // re-loads its input vector, doubling the loads per tile step.
+      return direct_tile_fai(8, 8, p.S, p.str, /*load_factor=*/2.0);
+    case ConvMethod::Im2colGemm:
+      return gemm_tile_fai(kGemmMR, kGemmNR) * kPanelStreamFactor;
+    case ConvMethod::LibxsmmStyle:
+      // The 6x4 BRGEMM tile its 128-bit JIT emits (Section 3.2: "loop
+      // tile sizes too small to fully utilize ... FMA units").
+      return gemm_tile_fai(6, 4);
+    case ConvMethod::XnnpackStyle:
+      // 6x8 tile, but operands arrive through the indirection buffer's
+      // pointer chase rather than packed panels.
+      return gemm_tile_fai(6, 8) * kPanelStreamFactor;
+    case ConvMethod::AclDirect:
+      // Unblocked inner loop: ~1 useful FMA per 2 loads plus address
+      // arithmetic; ACL's direct kernel is known to run near-scalar
+      // efficiency on these parts (Section 3.2 measures ~5% of peak).
+      return 0.4 / p.str;
+    case ConvMethod::AclGemm:
+      // Library-generic GEMM: no register tile, so every FMA re-loads
+      // and re-stores its C element alongside the B load.
+      return 2.0 * 4 / (3 + 1);
+  }
+  return 1.0;
+}
+
+// Essential DRAM traffic in bytes (roofline denominator): what must
+// move regardless of transform overheads.
+double essential_traffic_bytes(ConvMethod m, const ConvParams& p,
+                               int threads) {
+  const double in = 4.0 * static_cast<double>(p.input_elems());
+  const double flt = 4.0 * static_cast<double>(p.filter_elems());
+  const double out = 4.0 * static_cast<double>(p.output_elems());
+  switch (m) {
+    case ConvMethod::XnnpackStyle:
+      // Indirection re-touches each input row once per kernel tap;
+      // about half of those touches miss once windows leave the caches.
+      return in * (1.0 + 0.5 * (p.R * p.S - 1)) + flt + out;
+    case ConvMethod::AclDirect:
+      // Every K-thread scans the entire input tensor.
+      return in * std::min(threads, p.K) + flt + out;
+    default:
+      return in + flt + out;  // cache-blocked: everything streams once
+  }
+}
+
+// Sequential (non-overlapped) transform traffic: the im2col matrix is
+// written by the transform and re-read by the GEMM packing, and the
+// packed panels are written once more. These phases serialize with the
+// compute (Fig. 1a), so they add *time* instead of entering the
+// min()-roofline.
+double sequential_overhead_bytes(ConvMethod m, const ConvParams& p) {
+  if (m != ConvMethod::Im2colGemm && m != ConvMethod::AclGemm) return 0.0;
+  const double in = 4.0 * static_cast<double>(p.input_elems());
+  const double col = 4.0 * static_cast<double>(p.N) * p.C * p.R * p.S *
+                     p.P() * p.Q();
+  const bool identity = p.R == 1 && p.S == 1 && p.str == 1 && p.pad == 0;
+  // write col + read col back (pack) + write packed panels; the
+  // identity case still packs the input once.
+  return identity ? 2.0 * in : 3.0 * col;
+}
+
+// Thread-utilization: how much of `threads` the method's partitioning
+// can keep busy, including the ceil-split load imbalance.
+double method_utilization(ConvMethod m, const ConvParams& p, int threads) {
+  auto balance = [&](double parallel_work) {
+    if (parallel_work <= 0) return 1.0 / threads;
+    const double used = std::min<double>(threads, parallel_work);
+    const double chunks = std::ceil(parallel_work / used);
+    return (parallel_work / (chunks * used)) * (used / threads);
+  };
+  switch (m) {
+    case ConvMethod::AclDirect:
+    case ConvMethod::AclGemm:
+      return balance(p.K);  // K-only split (Section 3.2)
+    case ConvMethod::Im2colGemm:
+      // Parallel GEMM over a (K x P*Q) product per image; fine-grained.
+      return balance(static_cast<double>(p.N) * p.K * p.P() * p.Q() /
+                     (kGemmMR * kGemmNR));
+    case ConvMethod::XnnpackStyle:
+      return balance(static_cast<double>(p.N) * p.P() * p.Q() / 6.0);
+    case ConvMethod::LibxsmmStyle:
+      return balance(static_cast<double>(p.N) * (p.K / 4.0) * p.P());
+    case ConvMethod::AnsorTuned:
+      // Ansor tunes the loop nest but not the Eq. 5/6 thread split;
+      // Section 8.2 attributes part of nDirect's win to "better ...
+      // parallelization strategies".
+      return 0.8 * balance(static_cast<double>(p.N) * p.P() *
+                           std::ceil(p.K / 8.0));
+    case ConvMethod::Ndirect:
+      return balance(static_cast<double>(p.N) * p.P() *
+                     std::ceil(p.K / 8.0));
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+PerfEstimate estimate_conv_perf(const PlatformSpec& spec,
+                                const ConvParams& p, ConvMethod method,
+                                int threads) {
+  PerfEstimate est;
+  if (threads <= 0) threads = spec.cores;
+
+  double kappa = platform_kappa(spec);
+  // SMT oversubscription hides load latency: each extra hardware thread
+  // per core gives the issue slots another independent stream, lowering
+  // the effective balance point (with diminishing returns).
+  if (threads > spec.cores) {
+    const double ways = std::min<double>(
+        static_cast<double>(threads) / spec.cores, spec.smt_per_core);
+    kappa /= std::sqrt(ways);
+  }
+
+  const double fai = method_fai(method, p);
+  est.e_kernel = fai / (fai + kappa);
+  est.u_parallel = method_utilization(method, p, threads);
+
+  const double peak = spec.peak_gflops;
+  est.compute_bound = est.e_kernel * est.u_parallel * peak;
+
+  const double bw_gbps = spec.bandwidth_gibs * 1.073741824;  // GiB -> GB
+  const double bytes = essential_traffic_bytes(method, p, threads);
+  // (flops/byte) * (GB/s) = GFLOP/s.
+  const double flops = static_cast<double>(p.flops());
+  est.memory_bound = flops / bytes * bw_gbps;
+
+  const double overlapped = std::min(est.compute_bound, est.memory_bound);
+  const double t_kernel = flops / (overlapped * 1e9);
+  const double t_overhead =
+      sequential_overhead_bytes(method, p) / (bw_gbps * 1e9);
+  est.gflops = flops / (t_kernel + t_overhead) / 1e9;
+  est.pct_peak = 100.0 * est.gflops / peak;
+  return est;
+}
+
+}  // namespace ndirect

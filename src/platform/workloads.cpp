@@ -1,0 +1,71 @@
+#include "platform/workloads.h"
+
+#include <stdexcept>
+
+namespace ndirect {
+namespace {
+
+struct Row {
+  int id, C, K, HW, RS, str;
+};
+
+// Table 4, columns: ID, C, K, H/W, R/S, str (see header for the
+// reconstructed rows 15/16/21).
+constexpr Row kTable4[] = {
+    {1, 3, 64, 224, 7, 2},      {2, 128, 128, 56, 3, 2},
+    {3, 64, 64, 56, 3, 1},      {4, 256, 512, 56, 1, 2},
+    {5, 64, 64, 56, 1, 1},      {6, 64, 256, 56, 1, 1},
+    {7, 256, 64, 56, 1, 1},     {8, 256, 128, 56, 1, 1},
+    {9, 256, 256, 28, 3, 2},    {10, 128, 128, 28, 3, 1},
+    {11, 512, 1024, 28, 1, 2},  {12, 512, 256, 28, 1, 1},
+    {13, 512, 128, 28, 1, 1},   {14, 128, 512, 28, 1, 1},
+    {15, 512, 512, 14, 3, 2},   {16, 256, 256, 14, 3, 1},
+    {17, 1024, 2048, 14, 1, 2}, {18, 256, 1024, 14, 1, 1},
+    {19, 1024, 512, 14, 1, 1},  {20, 1024, 256, 14, 1, 1},
+    {21, 512, 512, 7, 3, 1},    {22, 512, 2048, 7, 1, 1},
+    {23, 2048, 512, 7, 1, 1},   {24, 64, 64, 224, 3, 1},
+    {25, 128, 128, 112, 3, 1},  {26, 256, 256, 56, 3, 1},
+    {27, 512, 512, 28, 3, 1},   {28, 512, 512, 14, 3, 1},
+};
+
+ConvLayer make_layer(const Row& row, int batch) {
+  ConvLayer layer;
+  layer.id = row.id;
+  layer.network = row.id <= 23 ? "ResNet-50" : "VGG-16";
+  layer.params = ConvParams{.N = batch,
+                            .C = row.C,
+                            .H = row.HW,
+                            .W = row.HW,
+                            .K = row.K,
+                            .R = row.RS,
+                            .S = row.RS,
+                            .str = row.str,
+                            .pad = row.RS / 2};
+  return layer;
+}
+
+}  // namespace
+
+std::vector<ConvLayer> table4_layers(int batch) {
+  std::vector<ConvLayer> layers;
+  layers.reserve(std::size(kTable4));
+  for (const Row& row : kTable4) layers.push_back(make_layer(row, batch));
+  return layers;
+}
+
+ConvLayer table4_layer(int id, int batch) {
+  for (const Row& row : kTable4) {
+    if (row.id == id) return make_layer(row, batch);
+  }
+  throw std::out_of_range("Table 4 layer id must be in [1, 28]");
+}
+
+std::vector<ConvLayer> table4_resnet_layers(int batch) {
+  std::vector<ConvLayer> layers;
+  for (const Row& row : kTable4) {
+    if (row.id <= 20) layers.push_back(make_layer(row, batch));
+  }
+  return layers;
+}
+
+}  // namespace ndirect

@@ -1,0 +1,90 @@
+// Aligned heap storage used by every tensor and packing buffer in the
+// library. Kernels assume 64-byte alignment so that 128-bit vector loads
+// never straddle cache lines and so buffers start on a cache-line boundary.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <utility>
+
+namespace ndirect {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Owning, cache-line-aligned, uninitialized-by-default storage for
+/// trivially copyable element types. Move-only.
+template <typename T>
+class AlignedBuffer {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "AlignedBuffer is for POD-like element types");
+
+ public:
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(std::size_t count) { reset(count); }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+
+  ~AlignedBuffer() { release(); }
+
+  /// Reallocate to hold `count` elements. Contents are NOT preserved.
+  void reset(std::size_t count) {
+    release();
+    if (count == 0) return;
+    // One cache line of tail slack: SIMD kernels may read (never write)
+    // a few lanes past the last element of a row-oriented buffer.
+    const std::size_t bytes =
+        ((count * sizeof(T) + kCacheLineBytes - 1) / kCacheLineBytes) *
+            kCacheLineBytes +
+        kCacheLineBytes;
+    void* p = std::aligned_alloc(kCacheLineBytes, bytes);
+    if (p == nullptr) throw std::bad_alloc{};
+    data_ = static_cast<T*>(p);
+    size_ = count;
+  }
+
+  /// Grow-only reallocation: keeps the allocation if already big enough.
+  void ensure(std::size_t count) {
+    if (count > size_) reset(count);
+  }
+
+  void fill_zero() {
+    if (data_ != nullptr) std::memset(data_, 0, size_ * sizeof(T));
+  }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+ private:
+  void release() {
+    std::free(data_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ndirect

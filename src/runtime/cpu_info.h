@@ -1,0 +1,28 @@
+// Host CPU/cache probing. The tiling model (Eq. 1-2) needs L1/L2/L3 sizes;
+// on the paper's platforms these come from Table 3, on the host they are
+// probed from sysconf/sysfs with conservative fallbacks.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace ndirect {
+
+/// Cache capacities in bytes (0 means "absent", e.g. no L3 on Phytium).
+struct CacheInfo {
+  std::size_t l1d = 32 * 1024;
+  std::size_t l2 = 512 * 1024;
+  std::size_t l3 = 0;
+  bool l2_shared = false;  ///< L2 shared between a core cluster (Phytium)?
+};
+
+struct CpuInfo {
+  std::string name = "host";
+  int logical_cores = 1;
+  CacheInfo cache;
+};
+
+/// Probe the calling machine. Never fails: unknown values keep defaults.
+CpuInfo probe_host_cpu();
+
+}  // namespace ndirect

@@ -1,0 +1,26 @@
+// Small environment-variable helpers used by benches and examples.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+namespace ndirect {
+
+inline long env_long(const char* name, long fallback) {
+  if (const char* v = std::getenv(name)) {
+    char* end = nullptr;
+    const long parsed = std::strtol(v, &end, 10);
+    if (end != v) return parsed;
+  }
+  return fallback;
+}
+
+inline bool env_flag(const char* name, bool fallback = false) {
+  if (const char* v = std::getenv(name)) {
+    const std::string s(v);
+    return !(s == "0" || s == "false" || s == "off" || s.empty());
+  }
+  return fallback;
+}
+
+}  // namespace ndirect

@@ -1,0 +1,31 @@
+// Static range partitioning used by the thread-mapping strategy.
+#pragma once
+
+#include <cstddef>
+
+namespace ndirect {
+
+/// Half-open index range [begin, end).
+struct Range {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  std::size_t size() const { return end - begin; }
+  bool empty() const { return begin >= end; }
+};
+
+/// Split [0, count) into `parts` contiguous chunks whose sizes differ by at
+/// most one, and return chunk `index`. The first (count % parts) chunks get
+/// the extra element — the OpenMP static-schedule convention.
+inline Range partition_range(std::size_t count, std::size_t parts,
+                             std::size_t index) {
+  if (parts == 0) return {};
+  const std::size_t base = count / parts;
+  const std::size_t extra = count % parts;
+  const std::size_t begin =
+      index * base + (index < extra ? index : extra);
+  const std::size_t len = base + (index < extra ? 1 : 0);
+  return {begin, begin + len};
+}
+
+}  // namespace ndirect

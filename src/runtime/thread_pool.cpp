@@ -1,0 +1,102 @@
+#include "runtime/thread_pool.h"
+
+#include <cstdlib>
+
+#include "runtime/partition.h"
+
+namespace ndirect {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads - 1);
+  for (std::size_t i = 1; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::execute_slice(std::size_t worker_index) {
+  // Worker `worker_index` runs tasks worker_index, worker_index + P, ...
+  // This round-robin rule is what lets run() oversubscribe: asking for
+  // 4x more tasks than threads stacks 4 tasks per OS thread.
+  for (std::size_t tid = worker_index; tid < num_tasks_; tid += size()) {
+    (*task_)(tid);
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  std::uint64_t seen_generation = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_start_.wait(lock, [&] { return generation_ != seen_generation; });
+      seen_generation = generation_;
+      if (stop_) return;
+    }
+    execute_slice(worker_index);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--pending_workers_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::run(std::size_t num_tasks,
+                     const std::function<void(std::size_t)>& fn) {
+  if (num_tasks == 0) return;
+  if (num_tasks == 1 || workers_.empty()) {
+    for (std::size_t tid = 0; tid < num_tasks; ++tid) fn(tid);
+    return;
+  }
+  // One dispatch at a time: a second caller would otherwise overwrite
+  // task_/num_tasks_ while workers still read them.
+  std::lock_guard<std::mutex> submit_lock(submit_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    num_tasks_ = num_tasks;
+    task_ = &fn;
+    pending_workers_ = workers_.size();
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  execute_slice(0);  // caller acts as worker 0
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_done_.wait(lock, [&] { return pending_workers_ == 0; });
+    task_ = nullptr;
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (count == 0) return;
+  const std::size_t nthreads = std::min(count, size());
+  run(nthreads, [&](std::size_t tid) {
+    const Range r = partition_range(count, nthreads, tid);
+    if (!r.empty()) fn(r.begin, r.end);
+  });
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("NDIRECT_THREADS")) {
+      const long n = std::strtol(env, nullptr, 10);
+      if (n > 0) return static_cast<std::size_t>(n);
+    }
+    const unsigned hc = std::thread::hardware_concurrency();
+    return static_cast<std::size_t>(hc == 0 ? 1 : hc);
+  }());
+  return pool;
+}
+
+}  // namespace ndirect

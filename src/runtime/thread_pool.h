@@ -1,0 +1,62 @@
+// Persistent worker-thread pool with static work partitioning.
+//
+// The paper parallelizes with OpenMP static scheduling over a PTn x PTk
+// logical thread grid (Section 6). We use an explicit pool so the thread
+// count and the (thread id -> work slice) mapping are fully controlled by
+// the library, which is what the Eq. 5/6 thread-mapping model requires.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ndirect {
+
+/// Fixed-size pool. `run(n, fn)` invokes `fn(tid)` for tid in [0, n) with
+/// at most `size()` OS threads; tids beyond the pool size are executed by
+/// reusing workers (oversubscription, used by the SMT experiment).
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size() + 1; }
+
+  /// Run fn(tid) for every tid in [0, num_tasks). Blocks until all done.
+  /// Task tid is executed by OS thread (tid % size()); tid 0 runs on the
+  /// calling thread. fn must not throw. Thread-safe: concurrent run()
+  /// calls from different caller threads serialize against each other.
+  void run(std::size_t num_tasks, const std::function<void(std::size_t)>& fn);
+
+  /// Static-partitioned parallel loop over [0, count): each of the pool's
+  /// threads receives one contiguous chunk. fn(begin, end) per chunk.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// Process-wide pool sized from NDIRECT_THREADS or hardware concurrency.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop(std::size_t worker_index);
+  void execute_slice(std::size_t worker_index);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex submit_mutex_;  ///< serializes concurrent run() callers
+  std::mutex mutex_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  std::uint64_t generation_ = 0;
+  std::size_t num_tasks_ = 0;
+  std::size_t pending_workers_ = 0;
+  const std::function<void(std::size_t)>* task_ = nullptr;
+  bool stop_ = false;
+};
+
+}  // namespace ndirect

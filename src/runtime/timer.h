@@ -1,0 +1,80 @@
+// Wall-clock timing utilities used by the benchmark harnesses and by the
+// Fig. 1a phase-breakdown instrumentation.
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <string>
+
+namespace ndirect {
+
+/// Monotonic wall-clock stopwatch with microsecond-or-better resolution.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last restart().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates named phase durations (e.g. "im2col", "packing",
+/// "micro-kernel") across repeated runs; used for the Fig. 1a breakdown.
+class PhaseTimer {
+ public:
+  /// RAII scope: adds the scope's duration to the named phase on exit.
+  class Scope {
+   public:
+    Scope(PhaseTimer& owner, std::string name)
+        : owner_(owner), name_(std::move(name)) {}
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    ~Scope() { owner_.add(name_, timer_.seconds()); }
+
+   private:
+    PhaseTimer& owner_;
+    std::string name_;
+    WallTimer timer_;
+  };
+
+  Scope scope(std::string name) { return Scope(*this, std::move(name)); }
+
+  void add(const std::string& name, double seconds) {
+    phases_[name] += seconds;
+  }
+
+  double total() const {
+    double t = 0;
+    for (const auto& [_, s] : phases_) t += s;
+    return t;
+  }
+
+  double seconds(const std::string& name) const {
+    auto it = phases_.find(name);
+    return it == phases_.end() ? 0.0 : it->second;
+  }
+
+  /// Phase share in [0,1] of the total accumulated time (0 if empty).
+  double fraction(const std::string& name) const {
+    const double t = total();
+    return t > 0 ? seconds(name) / t : 0.0;
+  }
+
+  const std::map<std::string, double>& phases() const { return phases_; }
+
+  void clear() { phases_.clear(); }
+
+ private:
+  std::map<std::string, double> phases_;
+};
+
+}  // namespace ndirect

@@ -1,0 +1,367 @@
+// Portable 128-bit SIMD vector of 4 floats, modelled on ARMv8 NEON.
+//
+// The paper's kernels are written against NEON: 32 x 128-bit registers,
+// fused multiply-accumulate, and lane-broadcast FMA (FMLA with a lane
+// operand). This header reproduces exactly that operation set:
+//   * on aarch64 it compiles to the NEON intrinsics the paper uses,
+//   * on x86-64 it maps to SSE (+FMA when available),
+//   * elsewhere it falls back to scalar code.
+// All nDirect/GEMM/baseline micro-kernels are written against this type,
+// so the instruction mix (loads, lane FMAs, stores) matches Algorithm 3
+// independent of the host ISA.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+
+#if defined(__aarch64__)
+#include <arm_neon.h>
+#define NDIRECT_SIMD_NEON 1
+#elif defined(__SSE2__) || defined(_M_X64) || defined(__x86_64__)
+#include <immintrin.h>
+#define NDIRECT_SIMD_SSE 1
+#else
+#define NDIRECT_SIMD_SCALAR 1
+#endif
+
+namespace ndirect {
+
+/// Number of FP32 lanes in one vector register (the paper's "4").
+inline constexpr int kVecLanes = 4;
+
+/// Number of architectural 128-bit vector registers assumed by the
+/// register-budget constraint (Eq. 3). ARMv8 provides V0-V31.
+inline constexpr int kNumVecRegs = 32;
+
+struct vec128f {
+#if defined(NDIRECT_SIMD_NEON)
+  float32x4_t v;
+#elif defined(NDIRECT_SIMD_SSE)
+  __m128 v;
+#else
+  float v[4];
+#endif
+};
+
+// ---------------------------------------------------------------------------
+// Construction / memory
+// ---------------------------------------------------------------------------
+
+inline vec128f vzero() {
+#if defined(NDIRECT_SIMD_NEON)
+  return {vdupq_n_f32(0.0f)};
+#elif defined(NDIRECT_SIMD_SSE)
+  return {_mm_setzero_ps()};
+#else
+  return {{0.0f, 0.0f, 0.0f, 0.0f}};
+#endif
+}
+
+inline vec128f vdup(float x) {
+#if defined(NDIRECT_SIMD_NEON)
+  return {vdupq_n_f32(x)};
+#elif defined(NDIRECT_SIMD_SSE)
+  return {_mm_set1_ps(x)};
+#else
+  return {{x, x, x, x}};
+#endif
+}
+
+/// Unaligned load of 4 consecutive floats.
+inline vec128f vload(const float* p) {
+#if defined(NDIRECT_SIMD_NEON)
+  return {vld1q_f32(p)};
+#elif defined(NDIRECT_SIMD_SSE)
+  return {_mm_loadu_ps(p)};
+#else
+  vec128f r;
+  std::memcpy(r.v, p, sizeof(r.v));
+  return r;
+#endif
+}
+
+/// Unaligned store of 4 consecutive floats.
+inline void vstore(float* p, vec128f a) {
+#if defined(NDIRECT_SIMD_NEON)
+  vst1q_f32(p, a.v);
+#elif defined(NDIRECT_SIMD_SSE)
+  _mm_storeu_ps(p, a.v);
+#else
+  std::memcpy(p, a.v, sizeof(a.v));
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Arithmetic
+// ---------------------------------------------------------------------------
+
+inline vec128f vadd(vec128f a, vec128f b) {
+#if defined(NDIRECT_SIMD_NEON)
+  return {vaddq_f32(a.v, b.v)};
+#elif defined(NDIRECT_SIMD_SSE)
+  return {_mm_add_ps(a.v, b.v)};
+#else
+  return {{a.v[0] + b.v[0], a.v[1] + b.v[1], a.v[2] + b.v[2],
+           a.v[3] + b.v[3]}};
+#endif
+}
+
+inline vec128f vsub(vec128f a, vec128f b) {
+#if defined(NDIRECT_SIMD_NEON)
+  return {vsubq_f32(a.v, b.v)};
+#elif defined(NDIRECT_SIMD_SSE)
+  return {_mm_sub_ps(a.v, b.v)};
+#else
+  return {{a.v[0] - b.v[0], a.v[1] - b.v[1], a.v[2] - b.v[2],
+           a.v[3] - b.v[3]}};
+#endif
+}
+
+inline vec128f vmul(vec128f a, vec128f b) {
+#if defined(NDIRECT_SIMD_NEON)
+  return {vmulq_f32(a.v, b.v)};
+#elif defined(NDIRECT_SIMD_SSE)
+  return {_mm_mul_ps(a.v, b.v)};
+#else
+  return {{a.v[0] * b.v[0], a.v[1] * b.v[1], a.v[2] * b.v[2],
+           a.v[3] * b.v[3]}};
+#endif
+}
+
+inline vec128f vmax(vec128f a, vec128f b) {
+#if defined(NDIRECT_SIMD_NEON)
+  return {vmaxq_f32(a.v, b.v)};
+#elif defined(NDIRECT_SIMD_SSE)
+  return {_mm_max_ps(a.v, b.v)};
+#else
+  vec128f r;
+  for (int i = 0; i < 4; ++i) r.v[i] = a.v[i] > b.v[i] ? a.v[i] : b.v[i];
+  return r;
+#endif
+}
+
+inline vec128f vmin(vec128f a, vec128f b) {
+#if defined(NDIRECT_SIMD_NEON)
+  return {vminq_f32(a.v, b.v)};
+#elif defined(NDIRECT_SIMD_SSE)
+  return {_mm_min_ps(a.v, b.v)};
+#else
+  vec128f r;
+  for (int i = 0; i < 4; ++i) r.v[i] = a.v[i] < b.v[i] ? a.v[i] : b.v[i];
+  return r;
+#endif
+}
+
+/// acc + a*b (fused on NEON and on x86 when -mfma is available).
+inline vec128f vfma(vec128f acc, vec128f a, vec128f b) {
+#if defined(NDIRECT_SIMD_NEON)
+  return {vfmaq_f32(acc.v, a.v, b.v)};
+#elif defined(NDIRECT_SIMD_SSE)
+#if defined(__FMA__)
+  return {_mm_fmadd_ps(a.v, b.v, acc.v)};
+#else
+  return {_mm_add_ps(acc.v, _mm_mul_ps(a.v, b.v))};
+#endif
+#else
+  vec128f r;
+  for (int i = 0; i < 4; ++i) r.v[i] = acc.v[i] + a.v[i] * b.v[i];
+  return r;
+#endif
+}
+
+/// acc + a[Lane]*b : the scalar-vector FMA of Algorithm 3 (NEON FMLA with
+/// a lane operand). Lane must be in [0, 3].
+template <int Lane>
+inline vec128f vfma_lane(vec128f acc, vec128f a, vec128f b) {
+  static_assert(Lane >= 0 && Lane < 4);
+#if defined(NDIRECT_SIMD_NEON)
+  return {vfmaq_laneq_f32(acc.v, b.v, a.v, Lane)};
+#elif defined(NDIRECT_SIMD_SSE)
+  const __m128 lane =
+      _mm_shuffle_ps(a.v, a.v, _MM_SHUFFLE(Lane, Lane, Lane, Lane));
+#if defined(__FMA__)
+  return {_mm_fmadd_ps(lane, b.v, acc.v)};
+#else
+  return {_mm_add_ps(acc.v, _mm_mul_ps(lane, b.v))};
+#endif
+#else
+  vec128f r;
+  for (int i = 0; i < 4; ++i) r.v[i] = acc.v[i] + a.v[Lane] * b.v[i];
+  return r;
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Lane access / horizontal ops
+// ---------------------------------------------------------------------------
+
+template <int Lane>
+inline float vget_lane(vec128f a) {
+  static_assert(Lane >= 0 && Lane < 4);
+#if defined(NDIRECT_SIMD_NEON)
+  return vgetq_lane_f32(a.v, Lane);
+#elif defined(NDIRECT_SIMD_SSE)
+  return _mm_cvtss_f32(
+      _mm_shuffle_ps(a.v, a.v, _MM_SHUFFLE(Lane, Lane, Lane, Lane)));
+#else
+  return a.v[Lane];
+#endif
+}
+
+inline float vget_lane_dyn(vec128f a, int lane) {
+  float tmp[4];
+  vstore(tmp, a);
+  return tmp[lane];
+}
+
+/// Horizontal sum of the 4 lanes.
+inline float vreduce_add(vec128f a) {
+#if defined(NDIRECT_SIMD_NEON)
+  return vaddvq_f32(a.v);
+#elif defined(NDIRECT_SIMD_SSE)
+  __m128 shuf = _mm_shuffle_ps(a.v, a.v, _MM_SHUFFLE(2, 3, 0, 1));
+  __m128 sums = _mm_add_ps(a.v, shuf);
+  shuf = _mm_movehl_ps(shuf, sums);
+  sums = _mm_add_ss(sums, shuf);
+  return _mm_cvtss_f32(sums);
+#else
+  return a.v[0] + a.v[1] + a.v[2] + a.v[3];
+#endif
+}
+
+/// In-register 4x4 transpose. Used to convert the micro-kernel's
+/// K-vectorized accumulators into W-contiguous rows before an NCHW store.
+inline void vtranspose4x4(vec128f& r0, vec128f& r1, vec128f& r2,
+                          vec128f& r3) {
+#if defined(NDIRECT_SIMD_NEON)
+  const float32x4x2_t t01 = vtrnq_f32(r0.v, r1.v);
+  const float32x4x2_t t23 = vtrnq_f32(r2.v, r3.v);
+  r0.v = vcombine_f32(vget_low_f32(t01.val[0]), vget_low_f32(t23.val[0]));
+  r1.v = vcombine_f32(vget_low_f32(t01.val[1]), vget_low_f32(t23.val[1]));
+  r2.v = vcombine_f32(vget_high_f32(t01.val[0]), vget_high_f32(t23.val[0]));
+  r3.v = vcombine_f32(vget_high_f32(t01.val[1]), vget_high_f32(t23.val[1]));
+#elif defined(NDIRECT_SIMD_SSE)
+  _MM_TRANSPOSE4_PS(r0.v, r1.v, r2.v, r3.v);
+#else
+  float m[4][4];
+  vstore(m[0], r0);
+  vstore(m[1], r1);
+  vstore(m[2], r2);
+  vstore(m[3], r3);
+  for (int i = 0; i < 4; ++i)
+    for (int j = i + 1; j < 4; ++j) {
+      const float t = m[i][j];
+      m[i][j] = m[j][i];
+      m[j][i] = t;
+    }
+  r0 = vload(m[0]);
+  r1 = vload(m[1]);
+  r2 = vload(m[2]);
+  r3 = vload(m[3]);
+#endif
+}
+
+/// Software prefetch hint (no-op where unsupported).
+inline void vprefetch(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, 0, 3);
+#else
+  (void)p;
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// FP64: 128-bit vector of 2 doubles (the Section 3.3 datatype extension).
+// ---------------------------------------------------------------------------
+
+inline constexpr int kVecLanesF64 = 2;
+
+struct vec128d {
+#if defined(NDIRECT_SIMD_NEON)
+  float64x2_t v;
+#elif defined(NDIRECT_SIMD_SSE)
+  __m128d v;
+#else
+  double v[2];
+#endif
+};
+
+inline vec128d vzero_f64() {
+#if defined(NDIRECT_SIMD_NEON)
+  return {vdupq_n_f64(0.0)};
+#elif defined(NDIRECT_SIMD_SSE)
+  return {_mm_setzero_pd()};
+#else
+  return {{0.0, 0.0}};
+#endif
+}
+
+inline vec128d vdup_f64(double x) {
+#if defined(NDIRECT_SIMD_NEON)
+  return {vdupq_n_f64(x)};
+#elif defined(NDIRECT_SIMD_SSE)
+  return {_mm_set1_pd(x)};
+#else
+  return {{x, x}};
+#endif
+}
+
+inline vec128d vload_f64(const double* p) {
+#if defined(NDIRECT_SIMD_NEON)
+  return {vld1q_f64(p)};
+#elif defined(NDIRECT_SIMD_SSE)
+  return {_mm_loadu_pd(p)};
+#else
+  vec128d r;
+  std::memcpy(r.v, p, sizeof(r.v));
+  return r;
+#endif
+}
+
+inline void vstore_f64(double* p, vec128d a) {
+#if defined(NDIRECT_SIMD_NEON)
+  vst1q_f64(p, a.v);
+#elif defined(NDIRECT_SIMD_SSE)
+  _mm_storeu_pd(p, a.v);
+#else
+  std::memcpy(p, a.v, sizeof(a.v));
+#endif
+}
+
+inline vec128d vadd_f64(vec128d a, vec128d b) {
+#if defined(NDIRECT_SIMD_NEON)
+  return {vaddq_f64(a.v, b.v)};
+#elif defined(NDIRECT_SIMD_SSE)
+  return {_mm_add_pd(a.v, b.v)};
+#else
+  return {{a.v[0] + b.v[0], a.v[1] + b.v[1]}};
+#endif
+}
+
+/// acc + a*b for doubles (fused where the ISA provides it).
+inline vec128d vfma_f64(vec128d acc, vec128d a, vec128d b) {
+#if defined(NDIRECT_SIMD_NEON)
+  return {vfmaq_f64(acc.v, a.v, b.v)};
+#elif defined(NDIRECT_SIMD_SSE)
+#if defined(__FMA__)
+  return {_mm_fmadd_pd(a.v, b.v, acc.v)};
+#else
+  return {_mm_add_pd(acc.v, _mm_mul_pd(a.v, b.v))};
+#endif
+#else
+  return {{acc.v[0] + a.v[0] * b.v[0], acc.v[1] + a.v[1] * b.v[1]}};
+#endif
+}
+
+/// Name of the active backend, for logging/bench headers.
+inline const char* simd_backend_name() {
+#if defined(NDIRECT_SIMD_NEON)
+  return "neon";
+#elif defined(NDIRECT_SIMD_SSE)
+  return "sse";
+#else
+  return "scalar";
+#endif
+}
+
+}  // namespace ndirect

@@ -1,0 +1,55 @@
+// Numeric tensor comparison used by correctness tests.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace ndirect {
+
+struct CompareResult {
+  double max_abs_err = 0.0;
+  double max_rel_err = 0.0;
+  std::size_t worst_index = 0;
+  bool shapes_match = true;
+
+  std::string to_string() const {
+    return "max_abs=" + std::to_string(max_abs_err) +
+           " max_rel=" + std::to_string(max_rel_err) +
+           " at=" + std::to_string(worst_index);
+  }
+};
+
+inline CompareResult compare_tensors(const Tensor& a, const Tensor& b) {
+  CompareResult r;
+  if (a.size() != b.size()) {
+    r.shapes_match = false;
+    r.max_abs_err = r.max_rel_err = 1e30;
+    return r;
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double va = a[i], vb = b[i];
+    const double abs_err = std::fabs(va - vb);
+    const double denom = std::max(std::fabs(va), std::fabs(vb));
+    const double rel_err = denom > 1e-12 ? abs_err / denom : abs_err;
+    if (abs_err > r.max_abs_err) {
+      r.max_abs_err = abs_err;
+      r.worst_index = i;
+    }
+    r.max_rel_err = std::max(r.max_rel_err, rel_err);
+  }
+  return r;
+}
+
+/// FP32 accumulation-order-tolerant check. The reduction dimension of a
+/// convolution is C*R*S; error grows roughly with its square root.
+inline bool allclose(const Tensor& a, const Tensor& b,
+                     double rel_tol = 1e-4, double abs_tol = 1e-4) {
+  const CompareResult r = compare_tensors(a, b);
+  return r.shapes_match &&
+         (r.max_abs_err <= abs_tol || r.max_rel_err <= rel_tol);
+}
+
+}  // namespace ndirect

@@ -1,0 +1,28 @@
+// Deterministic pseudo-random tensor initialization for tests and benches.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "tensor/tensor.h"
+
+namespace ndirect {
+
+/// Fill with uniform values in [-1, 1). Deterministic for a given seed.
+inline void fill_random(Tensor& t, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  float* p = t.data();
+  for (std::size_t i = 0; i < t.size(); ++i) p[i] = dist(rng);
+}
+
+/// Fill with a position-dependent, exactly-representable pattern so that
+/// mismatches point at the exact broken index in correctness tests.
+inline void fill_pattern(Tensor& t) {
+  float* p = t.data();
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    p[i] = static_cast<float>(static_cast<int>(i % 17) - 8) * 0.25f;
+  }
+}
+
+}  // namespace ndirect

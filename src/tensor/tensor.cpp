@@ -1,0 +1,50 @@
+#include "tensor/tensor.h"
+
+namespace ndirect {
+
+const char* layout_name(Layout layout) {
+  switch (layout) {
+    case Layout::NCHW: return "NCHW";
+    case Layout::NHWC: return "NHWC";
+    case Layout::NCHWc: return "NCHWc";
+    case Layout::KCRS: return "KCRS";
+    case Layout::KRSC: return "KRSC";
+    case Layout::KCRSck: return "KCRSck";
+    case Layout::KPacked: return "KPacked";
+    case Layout::Matrix: return "Matrix";
+    case Layout::Linear: return "Linear";
+  }
+  return "?";
+}
+
+std::string Tensor::shape_string() const {
+  std::string s = "[";
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += std::to_string(dims_[i]);
+  }
+  s += "] ";
+  s += layout_name(layout_);
+  return s;
+}
+
+Tensor make_input_nchw(int N, int C, int H, int W) {
+  return Tensor({N, C, H, W}, Layout::NCHW);
+}
+Tensor make_input_nhwc(int N, int H, int W, int C) {
+  return Tensor({N, H, W, C}, Layout::NHWC);
+}
+Tensor make_filter_kcrs(int K, int C, int R, int S) {
+  return Tensor({K, C, R, S}, Layout::KCRS);
+}
+Tensor make_output_nchw(int N, int K, int P, int Q) {
+  return Tensor({N, K, P, Q}, Layout::NCHW);
+}
+Tensor make_output_nhwc(int N, int P, int Q, int K) {
+  return Tensor({N, P, Q, K}, Layout::NHWC);
+}
+Tensor make_matrix(std::int64_t rows, std::int64_t cols) {
+  return Tensor({rows, cols}, Layout::Matrix);
+}
+
+}  // namespace ndirect

@@ -1,0 +1,120 @@
+// Dense FP32 tensor with owning 64-byte-aligned storage.
+//
+// The layout tag records the *semantic* ordering of the dimensions so
+// that conversions and kernels can assert they were handed the format
+// they expect. Dims are stored outermost-first; element (i0, i1, ...)
+// lives at offset ((i0*d1 + i1)*d2 + i2)*... — plain row-major.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <initializer_list>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "runtime/aligned_buffer.h"
+
+namespace ndirect {
+
+/// Semantic data layouts appearing in the paper.
+enum class Layout {
+  NCHW,    ///< activations: batch, channels, height, width (default)
+  NHWC,    ///< activations: batch, height, width, channels
+  NCHWc,   ///< LIBXSMM-style blocked activations: N, C/c, H, W, c
+  KCRS,    ///< filters: out-ch, in-ch, kernel H, kernel W (default)
+  KRSC,    ///< filters: XNNPACK order
+  KCRSck,  ///< LIBXSMM-style blocked filters: K/k, C/c, R, S, c, k
+  KPacked, ///< nDirect transformed filters: ceil(K/Vk), C, R, S, Vk
+  Matrix,  ///< 2-D row-major matrix
+  Linear,  ///< flat buffer
+};
+
+const char* layout_name(Layout layout);
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  Tensor(std::vector<std::int64_t> dims, Layout layout)
+      : dims_(std::move(dims)), layout_(layout) {
+    data_.reset(static_cast<std::size_t>(element_count()));
+  }
+
+  Tensor(std::initializer_list<std::int64_t> dims, Layout layout)
+      : Tensor(std::vector<std::int64_t>(dims), layout) {}
+
+  Tensor(Tensor&&) noexcept = default;
+  Tensor& operator=(Tensor&&) noexcept = default;
+
+  /// Deep copy (explicit: accidental copies of big tensors are bugs).
+  Tensor clone() const {
+    Tensor t(dims_, layout_);
+    std::memcpy(t.data(), data(), sizeof(float) * size());
+    return t;
+  }
+
+  Layout layout() const { return layout_; }
+  const std::vector<std::int64_t>& dims() const { return dims_; }
+  int rank() const { return static_cast<int>(dims_.size()); }
+
+  std::int64_t dim(int i) const {
+    assert(i >= 0 && i < rank());
+    return dims_[static_cast<std::size_t>(i)];
+  }
+
+  std::int64_t element_count() const {
+    std::int64_t n = 1;
+    for (const std::int64_t d : dims_) n *= d;
+    return dims_.empty() ? 0 : n;
+  }
+  std::size_t size() const {
+    return static_cast<std::size_t>(element_count());
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  void fill_zero() { data_.fill_zero(); }
+  void fill(float v) {
+    for (std::size_t i = 0; i < size(); ++i) data_[i] = v;
+  }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  /// 4-D accessors (activations / filters). Debug-checked.
+  float& at4(std::int64_t a, std::int64_t b, std::int64_t c,
+             std::int64_t d) {
+    return data_[static_cast<std::size_t>(offset4(a, b, c, d))];
+  }
+  float at4(std::int64_t a, std::int64_t b, std::int64_t c,
+            std::int64_t d) const {
+    return data_[static_cast<std::size_t>(offset4(a, b, c, d))];
+  }
+
+  std::int64_t offset4(std::int64_t a, std::int64_t b, std::int64_t c,
+                       std::int64_t d) const {
+    assert(rank() == 4);
+    assert(a >= 0 && a < dims_[0] && b >= 0 && b < dims_[1]);
+    assert(c >= 0 && c < dims_[2] && d >= 0 && d < dims_[3]);
+    return ((a * dims_[1] + b) * dims_[2] + c) * dims_[3] + d;
+  }
+
+  std::string shape_string() const;
+
+ private:
+  std::vector<std::int64_t> dims_;
+  Layout layout_ = Layout::Linear;
+  AlignedBuffer<float> data_;
+};
+
+/// Factory helpers for the shapes used throughout the library.
+Tensor make_input_nchw(int N, int C, int H, int W);
+Tensor make_input_nhwc(int N, int H, int W, int C);
+Tensor make_filter_kcrs(int K, int C, int R, int S);
+Tensor make_output_nchw(int N, int K, int P, int Q);
+Tensor make_output_nhwc(int N, int P, int Q, int K);
+Tensor make_matrix(std::int64_t rows, std::int64_t cols);
+
+}  // namespace ndirect

@@ -1,0 +1,144 @@
+#include "tensor/transforms.h"
+
+#include <cassert>
+
+namespace ndirect {
+
+Tensor nchw_to_nhwc(const Tensor& in) {
+  assert(in.layout() == Layout::NCHW && in.rank() == 4);
+  const std::int64_t N = in.dim(0), C = in.dim(1), H = in.dim(2),
+                     W = in.dim(3);
+  Tensor out({N, H, W, C}, Layout::NHWC);
+  for (std::int64_t n = 0; n < N; ++n)
+    for (std::int64_t c = 0; c < C; ++c)
+      for (std::int64_t h = 0; h < H; ++h)
+        for (std::int64_t w = 0; w < W; ++w)
+          out.at4(n, h, w, c) = in.at4(n, c, h, w);
+  return out;
+}
+
+Tensor nhwc_to_nchw(const Tensor& in) {
+  assert(in.layout() == Layout::NHWC && in.rank() == 4);
+  const std::int64_t N = in.dim(0), H = in.dim(1), W = in.dim(2),
+                     C = in.dim(3);
+  Tensor out({N, C, H, W}, Layout::NCHW);
+  for (std::int64_t n = 0; n < N; ++n)
+    for (std::int64_t h = 0; h < H; ++h)
+      for (std::int64_t w = 0; w < W; ++w)
+        for (std::int64_t c = 0; c < C; ++c)
+          out.at4(n, c, h, w) = in.at4(n, h, w, c);
+  return out;
+}
+
+Tensor kcrs_to_krsc(const Tensor& filter) {
+  assert(filter.layout() == Layout::KCRS && filter.rank() == 4);
+  const std::int64_t K = filter.dim(0), C = filter.dim(1),
+                     R = filter.dim(2), S = filter.dim(3);
+  Tensor out({K, R, S, C}, Layout::KRSC);
+  for (std::int64_t k = 0; k < K; ++k)
+    for (std::int64_t c = 0; c < C; ++c)
+      for (std::int64_t r = 0; r < R; ++r)
+        for (std::int64_t s = 0; s < S; ++s)
+          out.at4(k, r, s, c) = filter.at4(k, c, r, s);
+  return out;
+}
+
+Tensor krsc_to_kcrs(const Tensor& filter) {
+  assert(filter.layout() == Layout::KRSC && filter.rank() == 4);
+  const std::int64_t K = filter.dim(0), R = filter.dim(1),
+                     S = filter.dim(2), C = filter.dim(3);
+  Tensor out({K, C, R, S}, Layout::KCRS);
+  for (std::int64_t k = 0; k < K; ++k)
+    for (std::int64_t r = 0; r < R; ++r)
+      for (std::int64_t s = 0; s < S; ++s)
+        for (std::int64_t c = 0; c < C; ++c)
+          out.at4(k, c, r, s) = filter.at4(k, r, s, c);
+  return out;
+}
+
+Tensor nchw_to_nchwc(const Tensor& in, int c_block) {
+  assert(in.layout() == Layout::NCHW && in.rank() == 4 && c_block > 0);
+  const std::int64_t N = in.dim(0), C = in.dim(1), H = in.dim(2),
+                     W = in.dim(3);
+  const std::int64_t CB = (C + c_block - 1) / c_block;
+  Tensor out({N, CB, H, W, c_block}, Layout::NCHWc);
+  out.fill_zero();
+  float* dst = out.data();
+  const float* src = in.data();
+  for (std::int64_t n = 0; n < N; ++n)
+    for (std::int64_t c = 0; c < C; ++c) {
+      const std::int64_t cb = c / c_block, ci = c % c_block;
+      for (std::int64_t h = 0; h < H; ++h)
+        for (std::int64_t w = 0; w < W; ++w) {
+          dst[(((n * CB + cb) * H + h) * W + w) * c_block + ci] =
+              src[((n * C + c) * H + h) * W + w];
+        }
+    }
+  return out;
+}
+
+Tensor nchwc_to_nchw(const Tensor& in, int C) {
+  assert(in.layout() == Layout::NCHWc && in.rank() == 5);
+  const std::int64_t N = in.dim(0), CB = in.dim(1), H = in.dim(2),
+                     W = in.dim(3), cb = in.dim(4);
+  assert(C <= CB * cb);
+  Tensor out({N, C, H, W}, Layout::NCHW);
+  const float* src = in.data();
+  float* dst = out.data();
+  for (std::int64_t n = 0; n < N; ++n)
+    for (std::int64_t c = 0; c < C; ++c) {
+      const std::int64_t b = c / cb, i = c % cb;
+      for (std::int64_t h = 0; h < H; ++h)
+        for (std::int64_t w = 0; w < W; ++w) {
+          dst[((n * C + c) * H + h) * W + w] =
+              src[(((n * CB + b) * H + h) * W + w) * cb + i];
+        }
+    }
+  return out;
+}
+
+Tensor kcrs_to_kcrsck(const Tensor& filter, int c_block, int k_block) {
+  assert(filter.layout() == Layout::KCRS && filter.rank() == 4);
+  const std::int64_t K = filter.dim(0), C = filter.dim(1),
+                     R = filter.dim(2), S = filter.dim(3);
+  const std::int64_t KB = (K + k_block - 1) / k_block;
+  const std::int64_t CB = (C + c_block - 1) / c_block;
+  Tensor out({KB, CB, R, S, c_block, std::int64_t{1} * k_block},
+             Layout::KCRSck);
+  out.fill_zero();
+  float* dst = out.data();
+  for (std::int64_t k = 0; k < K; ++k)
+    for (std::int64_t c = 0; c < C; ++c) {
+      const std::int64_t kb = k / k_block, ki = k % k_block;
+      const std::int64_t cb = c / c_block, ci = c % c_block;
+      for (std::int64_t r = 0; r < R; ++r)
+        for (std::int64_t s = 0; s < S; ++s) {
+          dst[((((kb * CB + cb) * R + r) * S + s) * c_block + ci) * k_block +
+              ki] = filter.at4(k, c, r, s);
+        }
+    }
+  return out;
+}
+
+Tensor pack_filter_kpacked(const Tensor& filter, int vk) {
+  assert(filter.layout() == Layout::KCRS && filter.rank() == 4);
+  assert(vk > 0);
+  const std::int64_t K = filter.dim(0), C = filter.dim(1),
+                     R = filter.dim(2), S = filter.dim(3);
+  const std::int64_t KB = (K + vk - 1) / vk;
+  Tensor out({KB, C, R, S, vk}, Layout::KPacked);
+  out.fill_zero();
+  float* dst = out.data();
+  for (std::int64_t k = 0; k < K; ++k) {
+    const std::int64_t kb = k / vk, ki = k % vk;
+    for (std::int64_t c = 0; c < C; ++c)
+      for (std::int64_t r = 0; r < R; ++r)
+        for (std::int64_t s = 0; s < S; ++s) {
+          dst[(((kb * C + c) * R + r) * S + s) * vk + ki] =
+              filter.at4(k, c, r, s);
+        }
+  }
+  return out;
+}
+
+}  // namespace ndirect

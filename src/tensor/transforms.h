@@ -1,0 +1,35 @@
+// Layout conversions between the formats used by the paper's baselines:
+//   NCHW <-> NHWC           (framework activations)
+//   KCRS <-> KRSC           (framework vs XNNPACK filters)
+//   NCHW  -> NCHWc          (LIBXSMM blocked activations)
+//   KCRS  -> KCRSck         (LIBXSMM blocked filters)
+//   KCRS  -> KPacked        (nDirect filter transform, ahead-of-time form)
+// Channel counts that do not divide the block size are zero-padded, which
+// keeps the kernels branch-free at the tails.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace ndirect {
+
+Tensor nchw_to_nhwc(const Tensor& in);
+Tensor nhwc_to_nchw(const Tensor& in);
+
+Tensor kcrs_to_krsc(const Tensor& filter);
+Tensor krsc_to_kcrs(const Tensor& filter);
+
+/// [N, C, H, W] -> [N, ceil(C/c), H, W, c], zero-padded in c.
+Tensor nchw_to_nchwc(const Tensor& in, int c_block);
+/// Inverse of nchw_to_nchwc (drops the zero padding).
+Tensor nchwc_to_nchw(const Tensor& in, int C);
+
+/// [K, C, R, S] -> [ceil(K/k), ceil(C/c), R, S, c, k], zero-padded.
+Tensor kcrs_to_kcrsck(const Tensor& filter, int c_block, int k_block);
+
+/// nDirect filter transform applied to the whole tensor at once:
+/// [K, C, R, S] -> [ceil(K/Vk), C, R, S, Vk], zero-padded in K.
+/// The on-the-fly tiled variant in src/core produces byte-identical
+/// blocks of this layout (tested).
+Tensor pack_filter_kpacked(const Tensor& filter, int vk);
+
+}  // namespace ndirect

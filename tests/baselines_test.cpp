@@ -1,0 +1,242 @@
+// Correctness of every baseline convolution against Algorithm 1.
+#include <gtest/gtest.h>
+
+#include "baselines/acl_direct.h"
+#include "baselines/acl_gemm.h"
+#include "baselines/im2col_conv.h"
+#include "baselines/indirect_conv.h"
+#include "baselines/naive_conv.h"
+#include "baselines/nchwc_conv.h"
+#include "conv_shapes.h"
+#include "tensor/compare.h"
+#include "tensor/rng.h"
+#include "tensor/transforms.h"
+
+namespace ndirect {
+namespace {
+
+struct ConvInputs {
+  Tensor input;
+  Tensor filter;
+  Tensor reference;
+};
+
+ConvInputs make_case(const ConvParams& p, std::uint64_t seed) {
+  ConvInputs c{make_input_nchw(p.N, p.C, p.H, p.W),
+               make_filter_kcrs(p.K, p.C, p.R, p.S), Tensor{}};
+  fill_random(c.input, seed);
+  fill_random(c.filter, seed + 1);
+  c.reference = naive_conv_nchw(c.input, c.filter, p);
+  return c;
+}
+
+TEST(NaiveConv, IdentityKernelCopiesInput) {
+  // A single-channel 1x1 filter of value 1 must reproduce the input.
+  const ConvParams p{.N = 1, .C = 1, .H = 4, .W = 5, .K = 1,
+                     .R = 1, .S = 1, .str = 1, .pad = 0};
+  Tensor in = make_input_nchw(1, 1, 4, 5);
+  fill_pattern(in);
+  Tensor f = make_filter_kcrs(1, 1, 1, 1);
+  f.fill(1.0f);
+  const Tensor out = naive_conv_nchw(in, f, p);
+  EXPECT_TRUE(allclose(out, in, 0.0, 0.0));
+}
+
+TEST(NaiveConv, KnownAnswer3x3) {
+  // All-ones 3x3 input and filter, no pad: single output = 9.
+  const ConvParams p{.N = 1, .C = 1, .H = 3, .W = 3, .K = 1,
+                     .R = 3, .S = 3, .str = 1, .pad = 0};
+  Tensor in = make_input_nchw(1, 1, 3, 3);
+  in.fill(1.0f);
+  Tensor f = make_filter_kcrs(1, 1, 3, 3);
+  f.fill(1.0f);
+  const Tensor out = naive_conv_nchw(in, f, p);
+  ASSERT_EQ(out.element_count(), 1);
+  EXPECT_FLOAT_EQ(out[0], 9.0f);
+}
+
+TEST(NaiveConv, PaddingContributesZero) {
+  // With pad=1, the corner output sees only 4 of the 9 filter taps.
+  const ConvParams p{.N = 1, .C = 1, .H = 3, .W = 3, .K = 1,
+                     .R = 3, .S = 3, .str = 1, .pad = 1};
+  Tensor in = make_input_nchw(1, 1, 3, 3);
+  in.fill(1.0f);
+  Tensor f = make_filter_kcrs(1, 1, 3, 3);
+  f.fill(1.0f);
+  const Tensor out = naive_conv_nchw(in, f, p);
+  EXPECT_FLOAT_EQ(out.at4(0, 0, 0, 0), 4.0f);  // corner
+  EXPECT_FLOAT_EQ(out.at4(0, 0, 0, 1), 6.0f);  // edge
+  EXPECT_FLOAT_EQ(out.at4(0, 0, 1, 1), 9.0f);  // center
+}
+
+TEST(NaiveConv, NhwcAgreesWithNchw) {
+  for (const ConvParams& p : quick_conv_shapes()) {
+    Tensor in = make_input_nchw(p.N, p.C, p.H, p.W);
+    Tensor f = make_filter_kcrs(p.K, p.C, p.R, p.S);
+    fill_random(in, 100);
+    fill_random(f, 101);
+    const Tensor ref = naive_conv_nchw(in, f, p);
+    const Tensor out_nhwc =
+        naive_conv_nhwc(nchw_to_nhwc(in), kcrs_to_krsc(f), p);
+    const Tensor out = nhwc_to_nchw(out_nhwc);
+    EXPECT_TRUE(allclose(out, ref))
+        << p.to_string() << " " << compare_tensors(out, ref).to_string();
+  }
+}
+
+class BaselineConvSweep : public ::testing::TestWithParam<ConvParams> {};
+
+TEST_P(BaselineConvSweep, Im2colMatchesNaive) {
+  const ConvParams p = GetParam();
+  const ConvInputs c = make_case(p, 7);
+  const Tensor out = im2col_conv_nchw(c.input, c.filter, p);
+  EXPECT_TRUE(allclose(out, c.reference))
+      << compare_tensors(out, c.reference).to_string();
+}
+
+TEST_P(BaselineConvSweep, NchwcMatchesNaive) {
+  const ConvParams p = GetParam();
+  const ConvInputs c = make_case(p, 8);
+  const Tensor out = nchwc_conv_nchw(c.input, c.filter, p);
+  EXPECT_TRUE(allclose(out, c.reference))
+      << compare_tensors(out, c.reference).to_string();
+}
+
+TEST_P(BaselineConvSweep, IndirectMatchesNaive) {
+  const ConvParams p = GetParam();
+  const ConvInputs c = make_case(p, 9);
+  const Tensor out = indirect_conv_nchw(c.input, c.filter, p);
+  EXPECT_TRUE(allclose(out, c.reference))
+      << compare_tensors(out, c.reference).to_string();
+}
+
+TEST_P(BaselineConvSweep, AclGemmMatchesNaive) {
+  const ConvParams p = GetParam();
+  const ConvInputs c = make_case(p, 11);
+  const Tensor out = acl_gemm_conv_nchw(c.input, c.filter, p);
+  EXPECT_TRUE(allclose(out, c.reference))
+      << compare_tensors(out, c.reference).to_string();
+}
+
+TEST_P(BaselineConvSweep, AclDirectMatchesNaive) {
+  const ConvParams p = GetParam();
+  const ConvInputs c = make_case(p, 10);
+  const Tensor out = acl_direct_conv_nchw(c.input, c.filter, p);
+  EXPECT_TRUE(allclose(out, c.reference))
+      << compare_tensors(out, c.reference).to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, BaselineConvSweep,
+                         ::testing::ValuesIn(correctness_conv_shapes()));
+
+TEST(Im2col, ColumnMatrixMatchesGatherReference) {
+  const ConvParams p{.N = 1, .C = 2, .H = 5, .W = 6, .K = 1,
+                     .R = 3, .S = 3, .str = 2, .pad = 1};
+  Tensor in = make_input_nchw(1, p.C, p.H, p.W);
+  fill_random(in, 11);
+  const int P = p.P(), Q = p.Q();
+  std::vector<float> col(static_cast<std::size_t>(p.C) * p.R * p.S * P * Q);
+  im2col_nchw(in.data(), p, col.data());
+  for (int c = 0; c < p.C; ++c)
+    for (int r = 0; r < p.R; ++r)
+      for (int s = 0; s < p.S; ++s)
+        for (int oj = 0; oj < P; ++oj)
+          for (int oi = 0; oi < Q; ++oi) {
+            const int ij = p.str * oj + r - p.pad;
+            const int ii = p.str * oi + s - p.pad;
+            const float expect =
+                (ij < 0 || ij >= p.H || ii < 0 || ii >= p.W)
+                    ? 0.0f
+                    : in.at4(0, c, ij, ii);
+            const std::size_t idx =
+                static_cast<std::size_t>(((c * p.R + r) * p.S + s)) * P * Q +
+                static_cast<std::size_t>(oj) * Q + oi;
+            ASSERT_EQ(col[idx], expect)
+                << "c=" << c << " r=" << r << " s=" << s << " oj=" << oj
+                << " oi=" << oi;
+          }
+}
+
+TEST(Im2col, IdentityDetection) {
+  EXPECT_TRUE(im2col_is_identity(
+      {.N = 1, .C = 1, .H = 4, .W = 4, .K = 1, .R = 1, .S = 1, .str = 1, .pad = 0}));
+  EXPECT_FALSE(im2col_is_identity(
+      {.N = 1, .C = 1, .H = 4, .W = 4, .K = 1, .R = 3, .S = 3, .str = 1, .pad = 1}));
+  EXPECT_FALSE(im2col_is_identity(
+      {.N = 1, .C = 1, .H = 4, .W = 4, .K = 1, .R = 1, .S = 1, .str = 2, .pad = 0}));
+}
+
+TEST(Im2col, PhaseTimerSeparatesIm2colFromGemm) {
+  const ConvParams p{.N = 1, .C = 8, .H = 16, .W = 16, .K = 8,
+                     .R = 3, .S = 3, .str = 1, .pad = 1};
+  const ConvInputs c = make_case(p, 12);
+  PhaseTimer pt;
+  Im2colOptions opts;
+  opts.phase_timer = &pt;
+  (void)im2col_conv_nchw(c.input, c.filter, p, &opts);
+  EXPECT_GT(pt.seconds("im2col"), 0.0);
+  EXPECT_GT(pt.seconds("micro-kernel"), 0.0);
+}
+
+TEST(Im2col, OneByOneSkipsIm2colPhase) {
+  const ConvParams p{.N = 1, .C = 8, .H = 16, .W = 16, .K = 8,
+                     .R = 1, .S = 1, .str = 1, .pad = 0};
+  const ConvInputs c = make_case(p, 13);
+  PhaseTimer pt;
+  Im2colOptions opts;
+  opts.phase_timer = &pt;
+  (void)im2col_conv_nchw(c.input, c.filter, p, &opts);
+  EXPECT_EQ(pt.seconds("im2col"), 0.0);
+}
+
+TEST(NchwcConv, BlockedOutputLayout) {
+  const ConvParams p{.N = 1, .C = 4, .H = 6, .W = 6, .K = 8,
+                     .R = 3, .S = 3, .str = 1, .pad = 1};
+  Tensor in = make_input_nchw(p.N, p.C, p.H, p.W);
+  Tensor f = make_filter_kcrs(p.K, p.C, p.R, p.S);
+  fill_random(in, 14);
+  fill_random(f, 15);
+  const NchwcConvConfig cfg{};
+  const Tensor in_b = nchwc_transform_input(in, p, cfg.c_block);
+  const Tensor f_b = nchwc_transform_filter(f, p, cfg.c_block, cfg.k_block);
+  const Tensor out_b = nchwc_conv_blocked(in_b, f_b, p, cfg);
+  EXPECT_EQ(out_b.rank(), 5);
+  EXPECT_EQ(out_b.dim(0), p.N);
+  EXPECT_EQ(out_b.dim(1), p.K / cfg.k_block);
+  EXPECT_EQ(out_b.dim(4), cfg.k_block);
+}
+
+TEST(NchwcConv, TransformFoldsPadding) {
+  const ConvParams p{.N = 1, .C = 4, .H = 3, .W = 3, .K = 4,
+                     .R = 3, .S = 3, .str = 1, .pad = 1};
+  Tensor in = make_input_nchw(p.N, p.C, p.H, p.W);
+  in.fill(1.0f);
+  const Tensor blocked = nchwc_transform_input(in, p, 4);
+  EXPECT_EQ(blocked.dim(2), p.H + 2);  // padded height
+  EXPECT_EQ(blocked.dim(3), p.W + 2);
+  // Border ring must be zero.
+  for (int w = 0; w < 5; ++w)
+    for (int ci = 0; ci < 4; ++ci) {
+      EXPECT_EQ(blocked.data()[(0 * 5 + w) * 4 + ci], 0.0f);  // top row
+    }
+}
+
+TEST(IndirectConv, OperatorIsReusableAcrossBatches) {
+  const ConvParams p{.N = 2, .C = 6, .H = 8, .W = 8, .K = 9,
+                     .R = 3, .S = 3, .str = 1, .pad = 1};
+  Tensor in = make_input_nchw(p.N, p.C, p.H, p.W);
+  Tensor f = make_filter_kcrs(p.K, p.C, p.R, p.S);
+  fill_random(in, 16);
+  fill_random(f, 17);
+  const Tensor ref = naive_conv_nchw(in, f, p);
+
+  const Tensor in_nhwc = nchw_to_nhwc(in);
+  IndirectConvOperator op(kcrs_to_krsc(f), p);
+  const Tensor out1 = op.run(in_nhwc);
+  const Tensor out2 = op.run(in_nhwc);  // second run, same operator
+  EXPECT_TRUE(allclose(nhwc_to_nchw(out1), ref));
+  EXPECT_TRUE(allclose(nhwc_to_nchw(out2), ref));
+}
+
+}  // namespace
+}  // namespace ndirect

@@ -1,0 +1,65 @@
+// Shared convolution shape sweep used by every conv-correctness suite.
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+#include "tensor/conv_params.h"
+
+namespace ndirect {
+
+inline std::ostream& operator<<(std::ostream& os, const ConvParams& p) {
+  return os << p.to_string();
+}
+
+/// Small-but-adversarial shapes: every combination of ragged channel
+/// counts, strides, pads, kernel sizes, and degenerate spatial dims that
+/// the tiled kernels must survive, plus downscaled Table 4 layers.
+inline std::vector<ConvParams> correctness_conv_shapes() {
+  return {
+      // 1x1 kernels (GEMM-shaped path)
+      {.N = 1, .C = 8, .H = 6, .W = 6, .K = 8, .R = 1, .S = 1, .str = 1, .pad = 0},
+      {.N = 2, .C = 5, .H = 7, .W = 9, .K = 10, .R = 1, .S = 1, .str = 1, .pad = 0},
+      {.N = 1, .C = 16, .H = 8, .W = 8, .K = 32, .R = 1, .S = 1, .str = 2, .pad = 0},
+      // 3x3 kernels, the paper's running example
+      {.N = 1, .C = 4, .H = 8, .W = 8, .K = 8, .R = 3, .S = 3, .str = 1, .pad = 1},
+      {.N = 2, .C = 3, .H = 10, .W = 14, .K = 6, .R = 3, .S = 3, .str = 1, .pad = 0},
+      {.N = 1, .C = 7, .H = 9, .W = 11, .K = 13, .R = 3, .S = 3, .str = 1, .pad = 1},
+      {.N = 1, .C = 8, .H = 12, .W = 12, .K = 16, .R = 3, .S = 3, .str = 2, .pad = 1},
+      {.N = 3, .C = 2, .H = 5, .W = 5, .K = 3, .R = 3, .S = 3, .str = 2, .pad = 0},
+      // 5x5 / 7x7 kernels
+      {.N = 1, .C = 3, .H = 12, .W = 12, .K = 4, .R = 5, .S = 5, .str = 1, .pad = 2},
+      {.N = 1, .C = 3, .H = 20, .W = 20, .K = 8, .R = 7, .S = 7, .str = 2, .pad = 3},
+      // non-square kernels and inputs
+      {.N = 1, .C = 4, .H = 9, .W = 17, .K = 5, .R = 3, .S = 1, .str = 1, .pad = 0},
+      {.N = 1, .C = 4, .H = 17, .W = 9, .K = 5, .R = 1, .S = 3, .str = 1, .pad = 1},
+      // degenerate spatial sizes
+      {.N = 1, .C = 6, .H = 3, .W = 3, .K = 6, .R = 3, .S = 3, .str = 1, .pad = 0},
+      {.N = 1, .C = 2, .H = 1, .W = 24, .K = 4, .R = 1, .S = 3, .str = 1, .pad = 1},
+      {.N = 2, .C = 12, .H = 2, .W = 2, .K = 24, .R = 1, .S = 1, .str = 1, .pad = 0},
+      // wide-W shapes exercising the Vw micro-kernel tail (W % 12 != 0)
+      {.N = 1, .C = 4, .H = 4, .W = 25, .K = 16, .R = 3, .S = 3, .str = 1, .pad = 1},
+      {.N = 1, .C = 4, .H = 4, .W = 13, .K = 9, .R = 3, .S = 3, .str = 1, .pad = 1},
+      // K tails (K % 8, K % 4 nonzero)
+      {.N = 1, .C = 8, .H = 6, .W = 14, .K = 7, .R = 3, .S = 3, .str = 1, .pad = 1},
+      {.N = 1, .C = 8, .H = 6, .W = 14, .K = 21, .R = 3, .S = 3, .str = 1, .pad = 1},
+      // downscaled Table 4 layers (spatial and channels reduced ~4x)
+      {.N = 2, .C = 3, .H = 56, .W = 56, .K = 16, .R = 7, .S = 7, .str = 2, .pad = 3},
+      {.N = 2, .C = 16, .H = 14, .W = 14, .K = 16, .R = 3, .S = 3, .str = 1, .pad = 1},
+      {.N = 2, .C = 32, .H = 14, .W = 14, .K = 64, .R = 1, .S = 1, .str = 2, .pad = 0},
+      {.N = 2, .C = 64, .H = 7, .W = 7, .K = 32, .R = 3, .S = 3, .str = 2, .pad = 1},
+      {.N = 1, .C = 128, .H = 3, .W = 3, .K = 128, .R = 3, .S = 3, .str = 1, .pad = 1},
+  };
+}
+
+/// A reduced sweep for the more expensive end-to-end style suites.
+inline std::vector<ConvParams> quick_conv_shapes() {
+  return {
+      {.N = 1, .C = 4, .H = 8, .W = 8, .K = 8, .R = 3, .S = 3, .str = 1, .pad = 1},
+      {.N = 2, .C = 5, .H = 7, .W = 9, .K = 10, .R = 1, .S = 1, .str = 1, .pad = 0},
+      {.N = 1, .C = 8, .H = 12, .W = 12, .K = 16, .R = 3, .S = 3, .str = 2, .pad = 1},
+      {.N = 1, .C = 3, .H = 20, .W = 20, .K = 8, .R = 7, .S = 7, .str = 2, .pad = 3},
+  };
+}
+
+}  // namespace ndirect

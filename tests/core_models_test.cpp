@@ -1,0 +1,290 @@
+// Tests for nDirect's analytical models: the register-block solver
+// (Eq. 3/4), the cache-tiling solver (Eq. 1/2), the thread-mapping model
+// (Eq. 5/6), and the alpha microbenchmark.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/alpha.h"
+#include "core/fai.h"
+#include "core/threading.h"
+#include "core/tiling.h"
+#include "simd/vec128.h"
+
+namespace ndirect {
+namespace {
+
+// ----------------------------------------------------------------------
+// Eq. 3 / Eq. 4: register blocking
+// ----------------------------------------------------------------------
+
+TEST(Fai, RegisterCostMatchesEq3ForPaperExample) {
+  // Vw=12, Vk=8, S=3: ceil(14/4) + 8/4 + 96/4 = 4 + 2 + 24 = 30.
+  EXPECT_EQ(register_cost(12, 8, 3), 30);
+}
+
+TEST(Fai, FaiMatchesEq4ForPaperExample) {
+  // FAI = 2*3*12*8 / (12+3-1 + 3*8) = 576/38.
+  EXPECT_NEAR(fai_microkernel(12, 8, 3), 576.0 / 38.0, 1e-12);
+}
+
+TEST(Fai, FaiEqualsBruteForceOpAndLoadCount) {
+  // Property: Eq. 4 must equal (flops) / (elements loaded) counted
+  // directly from the micro-kernel's structure: per L9 iteration the
+  // kernel loads (Vw+S-1) input floats once and Vk filter floats per s,
+  // and performs 2*Vw*Vk flops per s.
+  for (int S : {1, 3, 5, 7}) {
+    for (const RegisterBlock& b : feasible_register_blocks(S)) {
+      const double flops = 2.0 * b.vw * b.vk * S;
+      const double loads = (b.vw + S - 1) + static_cast<double>(S) * b.vk;
+      EXPECT_NEAR(fai_microkernel(b.vw, b.vk, S), flops / loads, 1e-12);
+    }
+  }
+}
+
+TEST(Fai, FeasibleBlocksRespectBudgetAndAlignment) {
+  for (int S : {1, 2, 3, 5, 7}) {
+    const auto blocks = feasible_register_blocks(S);
+    EXPECT_FALSE(blocks.empty());
+    for (const RegisterBlock& b : blocks) {
+      EXPECT_LE(register_cost(b.vw, b.vk, S), kNumVecRegs);
+      EXPECT_EQ(b.vk % kVecLanes, 0);
+      EXPECT_EQ(b.vw % kVecLanes, 0);
+    }
+  }
+}
+
+TEST(Fai, SolverReproducesPaperChoiceFor3x3) {
+  // Section 5.2.3: "the optimal value of Vk and Vw are 8 and 12".
+  const RegisterBlock b = solve_register_block(3);
+  EXPECT_EQ(b.vw, 12);
+  EXPECT_EQ(b.vk, 8);
+}
+
+TEST(Fai, SolverIsOptimalOverEnumeration) {
+  for (int S : {1, 2, 3, 5, 7}) {
+    const RegisterBlock best = solve_register_block(S);
+    const double best_fai = fai_microkernel(best.vw, best.vk, S);
+    for (const RegisterBlock& b : feasible_register_blocks(S)) {
+      EXPECT_LE(fai_microkernel(b.vw, b.vk, S), best_fai + 1e-9)
+          << "S=" << S << " rival vw=" << b.vw << " vk=" << b.vk;
+    }
+  }
+}
+
+TEST(Fai, SolverNearContinuousLagrangeOptimum) {
+  // The paper solves the relaxed problem with Lagrange multipliers; the
+  // integer solution's FAI must be within 20% of the relaxed optimum
+  // FAI evaluated on a fine grid of real-valued feasible points.
+  for (int S : {1, 3, 5}) {
+    double relaxed_best = 0;
+    for (double vw = 1; vw <= 32; vw += 0.25) {
+      for (double vk = 1; vk <= 32; vk += 0.25) {
+        const double regs = (vw + S - 1) / 4 + vk / 4 + vw * vk / 4;
+        if (regs > kNumVecRegs) continue;
+        const double fai = 2.0 * S * vw * vk / ((vw + S - 1) + S * vk);
+        relaxed_best = std::max(relaxed_best, fai);
+      }
+    }
+    const RegisterBlock b = solve_register_block(S);
+    EXPECT_GE(fai_microkernel(b.vw, b.vk, S), 0.8 * relaxed_best)
+        << "S=" << S;
+  }
+}
+
+// ----------------------------------------------------------------------
+// Eq. 1 / Eq. 2: cache tiling
+// ----------------------------------------------------------------------
+
+CacheInfo paper_cache(std::size_t l1, std::size_t l2, std::size_t l3) {
+  CacheInfo c;
+  c.l1d = l1;
+  c.l2 = l2;
+  c.l3 = l3;
+  return c;
+}
+
+TEST(Tiling, SolutionSatisfiesEq1AndEq2) {
+  const RegisterBlock rb{12, 8};
+  // Table 3 cache configurations.
+  const CacheInfo configs[] = {
+      paper_cache(32 << 10, 2 << 20, 0),          // Phytium 2000+
+      paper_cache(64 << 10, 512 << 10, 64 << 20), // KP920
+      paper_cache(32 << 10, 256 << 10, 32 << 20), // ThunderX2
+      paper_cache(32 << 10, 1 << 20, 0),          // RPi 4
+  };
+  const ConvParams shapes[] = {
+      {.N = 1, .C = 64, .H = 56, .W = 56, .K = 64, .R = 3, .S = 3, .str = 1, .pad = 1},
+      {.N = 1, .C = 512, .H = 28, .W = 28, .K = 1024, .R = 1, .S = 1, .str = 2, .pad = 0},
+      {.N = 1, .C = 3, .H = 224, .W = 224, .K = 64, .R = 7, .S = 7, .str = 2, .pad = 3},
+  };
+  for (const CacheInfo& cache : configs) {
+    for (const ConvParams& p : shapes) {
+      const TilingPlan t = solve_tiling(cache, rb, p);
+      EXPECT_TRUE(t.satisfies_l1(cache, rb, p.R, p.S))
+          << "L1=" << cache.l1d << " " << p.to_string() << " tc=" << t.tc;
+      EXPECT_TRUE(t.satisfies_l2(cache, rb, p.R, p.S))
+          << "L2=" << cache.l2 << " " << p.to_string() << " tk=" << t.tk;
+      EXPECT_GE(t.tc, 1);
+      EXPECT_LE(t.tc, p.C);
+      EXPECT_EQ(t.tk % rb.vk, 0);
+      EXPECT_GE(t.th, 1);
+      EXPECT_LE(t.th, p.P());
+    }
+  }
+}
+
+TEST(Tiling, TcIsMaximalUnderEq1) {
+  // Growing Tc by one channel must violate Eq. 1 (unless capped by C).
+  const RegisterBlock rb{12, 8};
+  const CacheInfo cache = paper_cache(32 << 10, 2 << 20, 0);
+  const ConvParams p{.N = 1, .C = 4096, .H = 56, .W = 56, .K = 64,
+                     .R = 3, .S = 3, .str = 1, .pad = 1};
+  const TilingPlan t = solve_tiling(cache, rb, p);
+  ASSERT_LT(t.tc, p.C);  // not capped
+  TilingPlan bigger = t;
+  bigger.tc = t.tc + 1;
+  EXPECT_FALSE(bigger.satisfies_l1(cache, rb, p.R, p.S));
+}
+
+TEST(Tiling, NoL3MeansNoRowBlocking) {
+  const RegisterBlock rb{12, 8};
+  const CacheInfo cache = paper_cache(32 << 10, 2 << 20, 0);
+  const ConvParams p{.N = 1, .C = 64, .H = 56, .W = 56, .K = 64,
+                     .R = 3, .S = 3, .str = 1, .pad = 1};
+  EXPECT_EQ(solve_tiling(cache, rb, p).th, p.P());
+}
+
+TEST(Tiling, SmallerL2ShrinksTk) {
+  const RegisterBlock rb{12, 8};
+  const ConvParams p{.N = 1, .C = 256, .H = 14, .W = 14, .K = 1024,
+                     .R = 3, .S = 3, .str = 1, .pad = 1};
+  const TilingPlan big = solve_tiling(paper_cache(32 << 10, 2 << 20, 0), rb, p);
+  const TilingPlan small =
+      solve_tiling(paper_cache(32 << 10, 256 << 10, 0), rb, p);
+  EXPECT_LT(small.tk, big.tk);
+}
+
+TEST(Tiling, TinyCacheStillProducesValidTiles) {
+  const RegisterBlock rb{12, 8};
+  const CacheInfo cache = paper_cache(4 << 10, 16 << 10, 0);
+  const ConvParams p{.N = 1, .C = 512, .H = 7, .W = 7, .K = 2048,
+                     .R = 3, .S = 3, .str = 1, .pad = 1};
+  const TilingPlan t = solve_tiling(cache, rb, p);
+  EXPECT_GE(t.tc, 1);
+  EXPECT_GE(t.tk, rb.vk);
+}
+
+// ----------------------------------------------------------------------
+// Eq. 5 / Eq. 6: thread mapping
+// ----------------------------------------------------------------------
+
+TEST(Threading, ContinuousOptimumMatchesEq6) {
+  const ConvParams p{.N = 64, .C = 64, .H = 56, .W = 56, .K = 64,
+                     .R = 3, .S = 3, .str = 1, .pad = 1};
+  const double alpha = 2.0;
+  const double expect = std::sqrt(2.0 * 64 * 56 * 56 / (64.0 * 9));
+  EXPECT_NEAR(ptn_continuous(p, alpha), expect, 1e-9);
+}
+
+TEST(Threading, FaiPeaksAtContinuousOptimum) {
+  const ConvParams p{.N = 64, .C = 64, .H = 56, .W = 56, .K = 256,
+                     .R = 3, .S = 3, .str = 1, .pad = 1};
+  const double alpha = 3.0;
+  const double star = ptn_continuous(p, alpha);
+  const double peak = thread_fai(p, alpha, static_cast<int>(star));
+  EXPECT_GT(peak, thread_fai(p, alpha, 1) * 0.999);
+  EXPECT_GT(peak, thread_fai(p, alpha, static_cast<int>(star * 8)));
+}
+
+TEST(Threading, MappingMultipliesToThreadCount) {
+  const ConvParams p{.N = 64, .C = 64, .H = 56, .W = 56, .K = 256,
+                     .R = 3, .S = 3, .str = 1, .pad = 1};
+  for (int threads : {1, 2, 4, 8, 16, 32, 64}) {
+    const ThreadMapping m = solve_thread_mapping(p, 2.0, threads);
+    EXPECT_EQ(m.total(), threads) << "threads=" << threads;
+    EXPECT_GE(m.ptn, 1);
+    EXPECT_GE(m.ptk, 1);
+  }
+}
+
+TEST(Threading, MappingIsBestDivisorByEq5) {
+  const ConvParams p{.N = 64, .C = 512, .H = 14, .W = 14, .K = 512,
+                     .R = 3, .S = 3, .str = 1, .pad = 1};
+  const double alpha = 2.0;
+  const int threads = 64;
+  const ThreadMapping m = solve_thread_mapping(p, alpha, threads);
+  for (int ptn = 1; ptn <= threads; ++ptn) {
+    if (threads % ptn != 0) continue;
+    if (std::int64_t{ptn} > std::int64_t{p.N} * p.P()) continue;
+    if (threads / ptn > p.K) continue;
+    EXPECT_LE(thread_fai(p, alpha, ptn), thread_fai(p, alpha, m.ptn) + 1e-9)
+        << "ptn=" << ptn;
+  }
+}
+
+TEST(Threading, LargeBatchShiftsThreadsTowardN) {
+  // More batch rows -> the model spends more threads on PTn.
+  const ConvParams small_n{.N = 1, .C = 64, .H = 14, .W = 14, .K = 1024,
+                           .R = 1, .S = 1, .str = 1, .pad = 0};
+  const ConvParams large_n{.N = 64, .C = 64, .H = 14, .W = 14, .K = 1024,
+                           .R = 1, .S = 1, .str = 1, .pad = 0};
+  const ThreadMapping ms = solve_thread_mapping(small_n, 2.0, 16);
+  const ThreadMapping ml = solve_thread_mapping(large_n, 2.0, 16);
+  EXPECT_GE(ml.ptn, ms.ptn);
+}
+
+TEST(Threading, LargeKShiftsThreadsTowardK) {
+  const ConvParams small_k{.N = 16, .C = 64, .H = 56, .W = 56, .K = 16,
+                           .R = 3, .S = 3, .str = 1, .pad = 1};
+  const ConvParams large_k{.N = 16, .C = 64, .H = 56, .W = 56, .K = 2048,
+                           .R = 3, .S = 3, .str = 1, .pad = 1};
+  const ThreadMapping ms = solve_thread_mapping(small_k, 2.0, 16);
+  const ThreadMapping ml = solve_thread_mapping(large_k, 2.0, 16);
+  EXPECT_GE(ml.ptk, ms.ptk);
+}
+
+TEST(Threading, SingleThreadIsIdentity) {
+  const ConvParams p{.N = 4, .C = 16, .H = 8, .W = 8, .K = 32,
+                     .R = 3, .S = 3, .str = 1, .pad = 1};
+  const ThreadMapping m = solve_thread_mapping(p, 2.0, 1);
+  EXPECT_EQ(m.ptn, 1);
+  EXPECT_EQ(m.ptk, 1);
+}
+
+TEST(Threading, SlicesTileTheIterationSpace) {
+  const ThreadMapping m{4, 3};
+  const std::int64_t rows = 103, kblocks = 17;
+  std::vector<int> row_hits(rows, 0), k_hits(kblocks, 0);
+  for (int tid = 0; tid < m.total(); ++tid) {
+    const ThreadSlice s = thread_slice(m, tid, rows, kblocks);
+    // Every (row, kblock) pair is covered exactly once across the grid.
+    for (std::size_t r = s.rows.begin; r < s.rows.end; ++r) row_hits[r]++;
+    for (std::size_t k = s.k_blocks.begin; k < s.k_blocks.end; ++k)
+      k_hits[k]++;
+  }
+  for (std::int64_t r = 0; r < rows; ++r) EXPECT_EQ(row_hits[r], m.ptk);
+  for (std::int64_t k = 0; k < kblocks; ++k) EXPECT_EQ(k_hits[k], m.ptn);
+}
+
+// ----------------------------------------------------------------------
+// Alpha microbenchmark
+// ----------------------------------------------------------------------
+
+TEST(Alpha, MeasurementIsInValidRange) {
+  const AlphaResult r = measure_alpha(4u << 20);
+  EXPECT_GE(r.alpha, 1.0);
+  EXPECT_LE(r.alpha, 16.0);
+  EXPECT_GT(r.streaming_gbps, 0.0);
+  EXPECT_GT(r.strided_gbps, 0.0);
+}
+
+TEST(Alpha, HostAlphaIsCachedAndStable) {
+  const double a1 = host_alpha();
+  const double a2 = host_alpha();
+  EXPECT_EQ(a1, a2);
+  EXPECT_GE(a1, 1.0);
+}
+
+}  // namespace
+}  // namespace ndirect

@@ -1,0 +1,129 @@
+// Randomized property sweep: nDirect (all execution modes) against
+// Algorithm 1 on ~40 randomly generated valid shapes, plus public-API
+// validation behaviour.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "baselines/naive_conv.h"
+#include "core/ndirect.h"
+#include "tensor/compare.h"
+#include "tensor/rng.h"
+#include "tensor/transforms.h"
+
+namespace ndirect {
+namespace {
+
+ConvParams random_params(std::mt19937_64& rng) {
+  auto pick = [&](int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(rng);
+  };
+  for (;;) {
+    ConvParams p;
+    p.N = pick(1, 3);
+    p.C = pick(1, 40);
+    p.K = pick(1, 40);
+    p.R = pick(1, 5);
+    p.S = pick(1, 5);
+    p.str = pick(1, 3);
+    p.pad = pick(0, 3);
+    p.H = pick(1, 30);
+    p.W = pick(1, 30);
+    if (p.valid() && p.output_elems() > 0 &&
+        p.input_elems() < 200'000) {
+      return p;
+    }
+  }
+}
+
+class RandomShapeFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomShapeFuzz, AllModesMatchNaive) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  const ConvParams p = random_params(rng);
+  SCOPED_TRACE(p.to_string());
+
+  Tensor in = make_input_nchw(p.N, p.C, p.H, p.W);
+  Tensor f = make_filter_kcrs(p.K, p.C, p.R, p.S);
+  fill_random(in, rng());
+  fill_random(f, rng());
+  const Tensor ref = naive_conv_nchw(in, f, p);
+
+  // Default plan, fused packing.
+  EXPECT_TRUE(allclose(ndirect_conv(in, f, p), ref));
+
+  // Sequential packing + ahead-of-time filter.
+  NdirectOptions seq;
+  seq.fuse_packing = false;
+  seq.aot_filter = true;
+  EXPECT_TRUE(allclose(ndirect_conv(in, f, p, seq), ref));
+
+  // Random valid forced register block.
+  const auto blocks = feasible_register_blocks(p.S);
+  NdirectOptions forced;
+  forced.force_rb =
+      blocks[std::uniform_int_distribution<std::size_t>(
+          0, blocks.size() - 1)(rng)];
+  EXPECT_TRUE(allclose(ndirect_conv(in, f, p, forced), ref))
+      << "vw=" << forced.force_rb.vw << " vk=" << forced.force_rb.vk;
+
+  // NHWC path.
+  const NdirectConv conv(p);
+  EXPECT_TRUE(
+      allclose(nhwc_to_nchw(conv.run_nhwc(nchw_to_nhwc(in), f)), ref));
+
+  // Multi-threaded grid.
+  ThreadPool pool(3);
+  NdirectOptions mt;
+  mt.pool = &pool;
+  mt.threads = 3;
+  EXPECT_TRUE(allclose(ndirect_conv(in, f, p, mt), ref));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomShapeFuzz, ::testing::Range(0, 40));
+
+// ----------------------------------------------------------------------
+// Public-API validation
+// ----------------------------------------------------------------------
+
+TEST(ApiValidation, InvalidParamsThrow) {
+  ConvParams bad{.N = 1, .C = 1, .H = 2, .W = 2, .K = 1,
+                 .R = 5, .S = 5, .str = 1, .pad = 0};
+  EXPECT_THROW(NdirectConv conv(bad), std::invalid_argument);
+  bad = {.N = 0, .C = 1, .H = 2, .W = 2, .K = 1,
+         .R = 1, .S = 1, .str = 1, .pad = 0};
+  EXPECT_THROW(NdirectConv conv(bad), std::invalid_argument);
+}
+
+TEST(ApiValidation, MismatchedTensorsThrow) {
+  const ConvParams p{.N = 1, .C = 4, .H = 8, .W = 8, .K = 4,
+                     .R = 3, .S = 3, .str = 1, .pad = 1};
+  const NdirectConv conv(p);
+  Tensor good_in = make_input_nchw(1, 4, 8, 8);
+  Tensor good_f = make_filter_kcrs(4, 4, 3, 3);
+  good_in.fill_zero();
+  good_f.fill_zero();
+
+  Tensor wrong_c = make_input_nchw(1, 5, 8, 8);
+  wrong_c.fill_zero();
+  EXPECT_THROW((void)conv.run(wrong_c, good_f), std::invalid_argument);
+
+  Tensor wrong_k = make_filter_kcrs(8, 4, 3, 3);
+  wrong_k.fill_zero();
+  EXPECT_THROW((void)conv.run(good_in, wrong_k), std::invalid_argument);
+
+  // NHWC tensor passed to the NCHW entry point.
+  Tensor nhwc = make_input_nhwc(1, 8, 8, 4);
+  nhwc.fill_zero();
+  EXPECT_THROW((void)conv.run(nhwc, good_f), std::invalid_argument);
+
+  // And vice versa.
+  EXPECT_THROW((void)conv.run_nhwc(good_in, good_f),
+               std::invalid_argument);
+
+  // The happy path still works.
+  EXPECT_NO_THROW((void)conv.run(good_in, good_f));
+}
+
+}  // namespace
+}  // namespace ndirect

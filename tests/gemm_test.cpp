@@ -1,0 +1,261 @@
+// Tests for the Goto SGEMM substrate.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "gemm/blocking.h"
+#include "gemm/gemm.h"
+#include "gemm/microkernel.h"
+#include "gemm/pack.h"
+#include "tensor/compare.h"
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace ndirect {
+namespace {
+
+Tensor random_matrix(std::int64_t rows, std::int64_t cols,
+                     std::uint64_t seed) {
+  Tensor m = make_matrix(rows, cols);
+  fill_random(m, seed);
+  return m;
+}
+
+TEST(GemmPack, PackAIsKMajorWithZeroTail) {
+  // 5 x 3 block, MR = 8: one panel, rows 5..7 zero.
+  const int mc = 5, kc = 3;
+  Tensor a = random_matrix(8, 8, 1);
+  std::vector<float> packed(kGemmMR * kc, -1.0f);
+  gemm_pack_a(a.data(), 8, mc, kc, packed.data());
+  for (int k = 0; k < kc; ++k)
+    for (int i = 0; i < kGemmMR; ++i) {
+      const float expect = i < mc ? a[i * 8 + k] : 0.0f;
+      EXPECT_EQ(packed[k * kGemmMR + i], expect) << "k=" << k << " i=" << i;
+    }
+}
+
+TEST(GemmPack, PackBIsKMajorWithZeroTail) {
+  const int kc = 4, nc = 14;  // 14 = 12 + ragged 2
+  Tensor b = random_matrix(4, 16, 2);
+  const int panels = (nc + kGemmNR - 1) / kGemmNR;
+  std::vector<float> packed(panels * kGemmNR * kc, -1.0f);
+  gemm_pack_b(b.data(), 16, kc, nc, packed.data());
+  for (int j0 = 0, panel = 0; j0 < nc; j0 += kGemmNR, ++panel) {
+    for (int k = 0; k < kc; ++k)
+      for (int j = 0; j < kGemmNR; ++j) {
+        const float expect = j0 + j < nc ? b[k * 16 + j0 + j] : 0.0f;
+        EXPECT_EQ(packed[(panel * kc + k) * kGemmNR + j], expect);
+      }
+  }
+}
+
+TEST(GemmMicrokernel, FullTileMatchesReference) {
+  const int kc = 37;
+  Tensor a = random_matrix(kGemmMR, kc, 3);
+  Tensor b = random_matrix(kc, kGemmNR, 4);
+  std::vector<float> pa(kGemmMR * kc), pb(kc * kGemmNR);
+  gemm_pack_a(a.data(), kc, kGemmMR, kc, pa.data());
+  gemm_pack_b(b.data(), kGemmNR, kc, kGemmNR, pb.data());
+
+  Tensor c = make_matrix(kGemmMR, kGemmNR);
+  gemm_microkernel_8x12(kc, pa.data(), pb.data(), c.data(), kGemmNR, false);
+
+  Tensor ref = make_matrix(kGemmMR, kGemmNR);
+  sgemm_reference(kGemmMR, kGemmNR, kc, a.data(), kc, b.data(), kGemmNR,
+                  ref.data(), kGemmNR);
+  EXPECT_TRUE(allclose(c, ref)) << compare_tensors(c, ref).to_string();
+}
+
+TEST(GemmMicrokernel, AccumulateAddsToExistingC) {
+  const int kc = 5;
+  Tensor a = random_matrix(kGemmMR, kc, 5);
+  Tensor b = random_matrix(kc, kGemmNR, 6);
+  std::vector<float> pa(kGemmMR * kc), pb(kc * kGemmNR);
+  gemm_pack_a(a.data(), kc, kGemmMR, kc, pa.data());
+  gemm_pack_b(b.data(), kGemmNR, kc, kGemmNR, pb.data());
+
+  Tensor c = make_matrix(kGemmMR, kGemmNR);
+  c.fill(2.0f);
+  gemm_microkernel_8x12(kc, pa.data(), pb.data(), c.data(), kGemmNR, true);
+
+  Tensor ref = make_matrix(kGemmMR, kGemmNR);
+  ref.fill(2.0f);
+  sgemm_reference(kGemmMR, kGemmNR, kc, a.data(), kc, b.data(), kGemmNR,
+                  ref.data(), kGemmNR, /*accumulate=*/true);
+  EXPECT_TRUE(allclose(c, ref));
+}
+
+TEST(GemmMicrokernel, EdgeTileWritesOnlyValidRegion) {
+  const int kc = 3, mr = 5, nr = 7;
+  Tensor a = random_matrix(mr, kc, 7);
+  Tensor b = random_matrix(kc, nr, 8);
+  std::vector<float> pa(kGemmMR * kc), pb(kc * kGemmNR);
+  gemm_pack_a(a.data(), kc, mr, kc, pa.data());
+  gemm_pack_b(b.data(), nr, kc, nr, pb.data());
+
+  Tensor c = make_matrix(kGemmMR, kGemmNR);
+  c.fill(-99.0f);
+  gemm_microkernel_edge(kc, pa.data(), pb.data(), c.data(), kGemmNR, mr, nr,
+                        false);
+  // Outside the mr x nr region the canary must survive.
+  for (int i = 0; i < kGemmMR; ++i)
+    for (int j = 0; j < kGemmNR; ++j) {
+      if (i >= mr || j >= nr) {
+        EXPECT_EQ(c[i * kGemmNR + j], -99.0f);
+      }
+    }
+  Tensor ref = make_matrix(mr, nr);
+  sgemm_reference(mr, nr, kc, a.data(), kc, b.data(), nr, ref.data(), nr);
+  for (int i = 0; i < mr; ++i)
+    for (int j = 0; j < nr; ++j)
+      EXPECT_NEAR(c[i * kGemmNR + j], ref[i * nr + j], 1e-4);
+}
+
+TEST(GemmBlocking, RespectsMicroTileMultiples) {
+  CacheInfo cache;
+  cache.l1d = 32 * 1024;
+  cache.l2 = 512 * 1024;
+  cache.l3 = 32 * 1024 * 1024;
+  const GemmBlocking b = GemmBlocking::from_cache(cache);
+  EXPECT_GT(b.kc, 0);
+  EXPECT_EQ(b.mc % kGemmMR, 0);
+  EXPECT_EQ(b.nc % kGemmNR, 0);
+  // The A panel must actually fit in half the L2 it was sized for.
+  EXPECT_LE(static_cast<std::size_t>(b.mc) * b.kc * sizeof(float),
+            cache.l2);
+}
+
+TEST(GemmBlocking, NoL3FallsBackToDefaultNc) {
+  CacheInfo cache;
+  cache.l3 = 0;
+  const GemmBlocking b = GemmBlocking::from_cache(cache);
+  EXPECT_GT(b.nc, 0);
+}
+
+struct GemmShape {
+  int m, n, k;
+};
+
+class SgemmShapes : public ::testing::TestWithParam<GemmShape> {};
+
+TEST_P(SgemmShapes, MatchesReference) {
+  const auto [m, n, k] = GetParam();
+  Tensor a = random_matrix(m, k, 11);
+  Tensor b = random_matrix(k, n, 12);
+  Tensor c = make_matrix(m, n);
+  Tensor ref = make_matrix(m, n);
+  sgemm(m, n, k, a.data(), k, b.data(), n, c.data(), n);
+  sgemm_reference(m, n, k, a.data(), k, b.data(), n, ref.data(), n);
+  EXPECT_TRUE(allclose(c, ref)) << "m=" << m << " n=" << n << " k=" << k
+                                << " " << compare_tensors(c, ref).to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SgemmShapes,
+    ::testing::Values(
+        GemmShape{1, 1, 1}, GemmShape{8, 12, 16}, GemmShape{7, 11, 13},
+        GemmShape{64, 64, 64}, GemmShape{100, 100, 100},
+        GemmShape{128, 384, 256},   // larger than one MC x KC panel
+        GemmShape{257, 131, 67},    // every dimension ragged
+        GemmShape{1, 512, 64},      // single row
+        GemmShape{512, 1, 64},      // single column
+        GemmShape{64, 3136, 27},    // conv-shaped: 3x3x3 kernel, 56x56 out
+        GemmShape{256, 196, 2304})  // conv-shaped: layer 16 of Table 4
+);
+
+class SgemmSimpleShapes : public ::testing::TestWithParam<GemmShape> {};
+
+TEST_P(SgemmSimpleShapes, MatchesReference) {
+  const auto [m, n, k] = GetParam();
+  Tensor a = random_matrix(m, k, 31);
+  Tensor b = random_matrix(k, n, 32);
+  Tensor c = make_matrix(m, n);
+  Tensor ref = make_matrix(m, n);
+  sgemm_simple(m, n, k, a.data(), k, b.data(), n, c.data(), n);
+  sgemm_reference(m, n, k, a.data(), k, b.data(), n, ref.data(), n);
+  EXPECT_TRUE(allclose(c, ref)) << "m=" << m << " n=" << n << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SgemmSimpleShapes,
+                         ::testing::Values(GemmShape{1, 1, 1},
+                                           GemmShape{7, 11, 13},
+                                           GemmShape{64, 100, 300},
+                                           GemmShape{33, 129, 65}));
+
+TEST(SgemmSimple, AccumulateFlagAddsToC) {
+  const int m = 9, n = 14, k = 21;
+  Tensor a = random_matrix(m, k, 33);
+  Tensor b = random_matrix(k, n, 34);
+  Tensor c = make_matrix(m, n);
+  fill_random(c, 35);
+  Tensor ref = c.clone();
+  sgemm_simple(m, n, k, a.data(), k, b.data(), n, c.data(), n, true);
+  sgemm_reference(m, n, k, a.data(), k, b.data(), n, ref.data(), n, true);
+  EXPECT_TRUE(allclose(c, ref));
+}
+
+TEST(Sgemm, AccumulateFlagAddsToC) {
+  const int m = 33, n = 29, k = 41;
+  Tensor a = random_matrix(m, k, 13);
+  Tensor b = random_matrix(k, n, 14);
+  Tensor c = make_matrix(m, n);
+  fill_random(c, 15);
+  Tensor ref = c.clone();
+  sgemm(m, n, k, a.data(), k, b.data(), n, c.data(), n, true);
+  sgemm_reference(m, n, k, a.data(), k, b.data(), n, ref.data(), n, true);
+  EXPECT_TRUE(allclose(c, ref));
+}
+
+TEST(Sgemm, MultiPanelReductionSplitsCorrectly) {
+  // k much larger than KC forces several reduction slices.
+  GemmContext ctx;
+  ctx.blocking.kc = 32;
+  ctx.blocking.mc = 16;
+  ctx.blocking.nc = 24;
+  const int m = 40, n = 52, k = 200;
+  Tensor a = random_matrix(m, k, 16);
+  Tensor b = random_matrix(k, n, 17);
+  Tensor c = make_matrix(m, n);
+  Tensor ref = make_matrix(m, n);
+  sgemm(m, n, k, a.data(), k, b.data(), n, c.data(), n, false, &ctx);
+  sgemm_reference(m, n, k, a.data(), k, b.data(), n, ref.data(), n);
+  EXPECT_TRUE(allclose(c, ref));
+}
+
+TEST(Sgemm, ZeroKClearsOrKeepsC) {
+  Tensor c = make_matrix(3, 3);
+  c.fill(5.0f);
+  sgemm(3, 3, 0, nullptr, 1, nullptr, 1, c.data(), 3, /*accumulate=*/true);
+  EXPECT_EQ(c[0], 5.0f);
+  sgemm(3, 3, 0, nullptr, 1, nullptr, 1, c.data(), 3, /*accumulate=*/false);
+  EXPECT_EQ(c[0], 0.0f);
+}
+
+TEST(Sgemm, StridedCMatrixLeavesGapsUntouched) {
+  // ldc > n: the gap columns must keep their canary.
+  const int m = 9, n = 10, k = 8, ldc = 13;
+  Tensor a = random_matrix(m, k, 18);
+  Tensor b = random_matrix(k, n, 19);
+  Tensor c = make_matrix(m, ldc);
+  c.fill(-7.0f);
+  sgemm(m, n, k, a.data(), k, b.data(), n, c.data(), ldc);
+  for (int i = 0; i < m; ++i)
+    for (int j = n; j < ldc; ++j) EXPECT_EQ(c[i * ldc + j], -7.0f);
+}
+
+TEST(Sgemm, PhaseTimerSplitsPackingAndMicrokernel) {
+  GemmContext ctx;
+  PhaseTimer pt;
+  ctx.phase_timer = &pt;
+  const int m = 64, n = 64, k = 64;
+  Tensor a = random_matrix(m, k, 20);
+  Tensor b = random_matrix(k, n, 21);
+  Tensor c = make_matrix(m, n);
+  sgemm(m, n, k, a.data(), k, b.data(), n, c.data(), n, false, &ctx);
+  EXPECT_GT(pt.seconds("packing"), 0.0);
+  EXPECT_GT(pt.seconds("micro-kernel"), 0.0);
+}
+
+}  // namespace
+}  // namespace ndirect

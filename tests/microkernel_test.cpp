@@ -1,0 +1,279 @@
+// Direct unit tests for the nDirect micro-kernels: each kernel variant
+// (generic, runtime-S specialized, fully unrolled, fused) against a
+// scalar tile oracle, plus store-path behaviours (NCHW transpose, NHWC
+// direct, ragged, accumulate, epilogue).
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "core/filter_transform.h"
+#include "core/microkernel.h"
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace ndirect {
+namespace {
+
+struct TileProblem {
+  int vw, vk, tc, R, S, str;
+  int packw() const { return (vw - 1) * str + S; }
+};
+
+// Scalar oracle: out[w][k] = sum_{c,r,s} pack[c][r][w*str+s] * flt[c][r][s][k].
+std::vector<float> oracle(const TileProblem& t,
+                          const std::vector<float>& pack,
+                          const std::vector<float>& ftile) {
+  std::vector<float> out(static_cast<std::size_t>(t.vw) * t.vk, 0.0f);
+  for (int c = 0; c < t.tc; ++c)
+    for (int r = 0; r < t.R; ++r)
+      for (int s = 0; s < t.S; ++s)
+        for (int w = 0; w < t.vw; ++w)
+          for (int k = 0; k < t.vk; ++k) {
+            const float x =
+                pack[static_cast<std::size_t>((c * t.R + r)) * t.packw() +
+                     w * t.str + s];
+            const float f =
+                ftile[static_cast<std::size_t>(
+                    ((c * t.R + r) * t.S + s)) * t.vk +
+                      k];
+            out[static_cast<std::size_t>(w) * t.vk + k] += x * f;
+          }
+  return out;
+}
+
+struct TileData {
+  std::vector<float> pack;   // +4 slack for whole-vector loads
+  std::vector<float> ftile;
+  MicroArgs args;
+  std::vector<float> out;    // staging [vw][vk], w-major like oracle
+};
+
+TileData make_tile(const TileProblem& t, unsigned seed) {
+  TileData d;
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  d.pack.resize(static_cast<std::size_t>(t.tc) * t.R * t.packw() + 4);
+  d.ftile.resize(static_cast<std::size_t>(t.tc) * t.R * t.S * t.vk);
+  for (float& v : d.pack) v = dist(rng);
+  for (float& v : d.ftile) v = dist(rng);
+  d.out.assign(static_cast<std::size_t>(t.vw) * t.vk, 0.0f);
+
+  MicroArgs& a = d.args;
+  a.pack = d.pack.data();
+  a.pack_c_stride = std::int64_t{t.R} * t.packw();
+  a.pack_r_stride = t.packw();
+  a.ftile = d.ftile.data();
+  a.f_c_stride = std::int64_t{t.R} * t.S * t.vk;
+  a.tc = t.tc;
+  a.R = t.R;
+  a.S = t.S;
+  a.str = t.str;
+  a.packw = t.packw();
+  a.out = d.out.data();
+  // Store as [k][w] planes of width vw: out_k_stride = vw, w stride 1
+  // (the NCHW shape with P*Q == vw).
+  a.out_k_stride = t.vw;
+  a.out_w_stride = 1;
+  a.wn = t.vw;
+  a.kn = t.vk;
+  a.accumulate = false;
+  return d;
+}
+
+// d.out is [k][w]; oracle returns [w][k].
+void expect_matches_oracle(const TileProblem& t, const TileData& d,
+                           const std::vector<float>& want,
+                           float tol = 1e-4f) {
+  for (int w = 0; w < t.vw; ++w) {
+    for (int k = 0; k < t.vk; ++k) {
+      ASSERT_NEAR(d.out[static_cast<std::size_t>(k) * t.vw + w],
+                  want[static_cast<std::size_t>(w) * t.vk + k], tol)
+          << "w=" << w << " k=" << k;
+    }
+  }
+}
+
+TEST(Microkernel, GenericMatchesOracleAcrossShapes) {
+  const TileProblem problems[] = {
+      {12, 8, 5, 3, 3, 1}, {8, 12, 7, 1, 1, 1}, {12, 8, 3, 3, 3, 2},
+      {4, 4, 2, 5, 5, 1},  {20, 4, 4, 7, 7, 2}, {16, 8, 6, 2, 2, 1},
+  };
+  unsigned seed = 1;
+  for (const TileProblem& t : problems) {
+    TileData d = make_tile(t, seed++);
+    compute_kernel_generic(d.args, t.vw, t.vk);
+    expect_matches_oracle(t, d, oracle(t, d.pack, d.ftile));
+  }
+}
+
+TEST(Microkernel, RuntimeSpecializedMatchesGeneric) {
+  const TileProblem t{12, 8, 6, 3, 3, 1};
+  TileData d1 = make_tile(t, 10);
+  TileData d2 = make_tile(t, 10);
+  ComputeKernelFn fn = find_compute_kernel(t.vw, t.vk);
+  ASSERT_NE(fn, nullptr);
+  fn(d1.args);
+  compute_kernel_generic(d2.args, t.vw, t.vk);
+  for (std::size_t i = 0; i < d1.out.size(); ++i) {
+    ASSERT_NEAR(d1.out[i], d2.out[i], 1e-5f) << i;
+  }
+}
+
+TEST(Microkernel, UnrolledMatchesOracleForEveryInstantiation) {
+  // Every (vw, vk, S, str) in the unrolled dispatch list.
+  struct Inst {
+    int vw, vk, S, str;
+  };
+  const Inst insts[] = {
+      {8, 12, 1, 1}, {8, 12, 1, 2},  {12, 8, 1, 1}, {12, 8, 1, 2},
+      {12, 8, 3, 1}, {12, 8, 3, 2},  {24, 4, 5, 1}, {24, 4, 5, 2},
+      {20, 4, 7, 1}, {20, 4, 7, 2},
+  };
+  unsigned seed = 20;
+  for (const Inst& i : insts) {
+    ComputeKernelFn fn = find_unrolled_kernel(i.vw, i.vk, i.S, i.str);
+    ASSERT_NE(fn, nullptr) << i.vw << "x" << i.vk << " S" << i.S << " str"
+                           << i.str;
+    const TileProblem t{i.vw, i.vk, 4, i.S, i.S, i.str};
+    TileData d = make_tile(t, seed++);
+    fn(d.args);
+    expect_matches_oracle(t, d, oracle(t, d.pack, d.ftile));
+  }
+}
+
+TEST(Microkernel, AccumulateAddsToExistingOutput) {
+  const TileProblem t{12, 8, 3, 3, 3, 1};
+  TileData d = make_tile(t, 30);
+  for (float& v : d.out) v = 2.5f;
+  d.args.accumulate = true;
+  ComputeKernelFn fn = find_compute_kernel(t.vw, t.vk);
+  ASSERT_NE(fn, nullptr);
+  fn(d.args);
+  const std::vector<float> want = oracle(t, d.pack, d.ftile);
+  for (int w = 0; w < t.vw; ++w) {
+    for (int k = 0; k < t.vk; ++k) {
+      ASSERT_NEAR(d.out[static_cast<std::size_t>(k) * t.vw + w],
+                  2.5f + want[static_cast<std::size_t>(w) * t.vk + k],
+                  1e-4f);
+    }
+  }
+}
+
+TEST(Microkernel, RaggedStoreTouchesOnlyValidRegion) {
+  const TileProblem t{12, 8, 3, 3, 3, 1};
+  TileData d = make_tile(t, 31);
+  for (float& v : d.out) v = -99.0f;
+  d.args.wn = 7;
+  d.args.kn = 5;
+  ComputeKernelFn fn = find_compute_kernel(t.vw, t.vk);
+  fn(d.args);
+  const std::vector<float> want = oracle(t, d.pack, d.ftile);
+  for (int w = 0; w < t.vw; ++w) {
+    for (int k = 0; k < t.vk; ++k) {
+      const float got = d.out[static_cast<std::size_t>(k) * t.vw + w];
+      if (w < 7 && k < 5) {
+        ASSERT_NEAR(got, want[static_cast<std::size_t>(w) * t.vk + k],
+                    1e-4f);
+      } else {
+        ASSERT_EQ(got, -99.0f) << "w=" << w << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(Microkernel, NhwcStoreLayout) {
+  // out strides for NHWC: k contiguous, w stride = vk.
+  const TileProblem t{8, 8, 2, 3, 3, 1};
+  TileData d = make_tile(t, 32);
+  d.args.out_k_stride = 1;
+  d.args.out_w_stride = t.vk;
+  ComputeKernelFn fn = find_compute_kernel(t.vw, t.vk);
+  ASSERT_NE(fn, nullptr);
+  fn(d.args);
+  const std::vector<float> want = oracle(t, d.pack, d.ftile);
+  for (int w = 0; w < t.vw; ++w) {
+    for (int k = 0; k < t.vk; ++k) {
+      ASSERT_NEAR(d.out[static_cast<std::size_t>(w) * t.vk + k],
+                  want[static_cast<std::size_t>(w) * t.vk + k], 1e-4f);
+    }
+  }
+}
+
+TEST(Microkernel, EpilogueBiasAndReluInStorePath) {
+  const TileProblem t{12, 8, 3, 3, 3, 1};
+  TileData d = make_tile(t, 33);
+  std::vector<float> bias(static_cast<std::size_t>(t.vk));
+  for (int k = 0; k < t.vk; ++k) {
+    bias[static_cast<std::size_t>(k)] = 0.5f * static_cast<float>(k - 4);
+  }
+  d.args.bias = bias.data();
+  d.args.relu = true;
+  ComputeKernelFn fn = find_compute_kernel(t.vw, t.vk);
+  fn(d.args);
+  const std::vector<float> want = oracle(t, d.pack, d.ftile);
+  for (int w = 0; w < t.vw; ++w) {
+    for (int k = 0; k < t.vk; ++k) {
+      const float expect = std::max(
+          0.0f, want[static_cast<std::size_t>(w) * t.vk + k] +
+                    bias[static_cast<std::size_t>(k)]);
+      ASSERT_NEAR(d.out[static_cast<std::size_t>(k) * t.vw + w], expect,
+                  1e-4f);
+    }
+  }
+}
+
+TEST(Microkernel, FusedKernelPacksAndComputes) {
+  // The fused kernel must (a) produce the same tile as pack+compute and
+  // (b) leave the pack buffer filled with the gathered window.
+  const int C = 5, H = 9, W = 11, R = 3, S = 3;
+  Tensor image = make_input_nchw(1, C, H, W);
+  fill_random(image, 40);
+  const TileProblem t{12, 8, C, R, S, 1};
+  TileData d = make_tile(t, 41);
+
+  PackGeometry g;
+  g.src = image.data();
+  g.chan_stride = H * W;
+  g.row_stride = W;
+  g.col_stride = 1;
+  g.H = H;
+  g.W = W;
+  g.ih0 = -1;  // window overlaps the top padding
+  g.iw0 = -1;
+
+  FusedKernelFn fused = find_fused_kernel(t.vw, t.vk);
+  ASSERT_NE(fused, nullptr);
+  fused(d.args, g);
+
+  // Reference: standalone pack, then oracle on the packed buffer.
+  std::vector<float> ref_pack(
+      static_cast<std::size_t>(C) * R * t.packw() + 4);
+  pack_window(ref_pack.data(), g, C, R, t.packw());
+  for (std::size_t i = 0;
+       i < static_cast<std::size_t>(C) * R * t.packw(); ++i) {
+    ASSERT_EQ(d.pack[i], ref_pack[i]) << "pack index " << i;
+  }
+  const std::vector<float> want = oracle(t, d.pack, d.ftile);
+  expect_matches_oracle(t, d, want);
+}
+
+TEST(Microkernel, DispatchTableConsistency) {
+  // Every compute specialization has a fused sibling and vice versa.
+  for (int vw = 4; vw <= 24; vw += 4) {
+    for (int vk = 4; vk <= 24; vk += 4) {
+      EXPECT_EQ(find_compute_kernel(vw, vk) != nullptr,
+                find_fused_kernel(vw, vk) != nullptr)
+          << vw << "x" << vk;
+    }
+  }
+  // The paper's blocks are specialized.
+  EXPECT_NE(find_compute_kernel(12, 8), nullptr);
+  EXPECT_NE(find_compute_kernel(8, 12), nullptr);
+  // Unrolled lookups reject non-instantiated (S, str) combos.
+  EXPECT_EQ(find_unrolled_kernel(12, 8, 2, 1), nullptr);
+  EXPECT_EQ(find_unrolled_kernel(12, 8, 3, 3), nullptr);
+}
+
+}  // namespace
+}  // namespace ndirect

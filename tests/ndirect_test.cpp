@@ -1,0 +1,337 @@
+// Correctness tests for the nDirect engine and micro-kernels.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "baselines/naive_conv.h"
+#include "conv_shapes.h"
+#include "core/filter_transform.h"
+#include "core/microkernel.h"
+#include "core/ndirect.h"
+#include "tensor/compare.h"
+#include "tensor/rng.h"
+#include "tensor/transforms.h"
+
+namespace ndirect {
+namespace {
+
+// ----------------------------------------------------------------------
+// Filter transform
+// ----------------------------------------------------------------------
+
+TEST(FilterTransform, TileMatchesWholeTensorTransform) {
+  // The tiled on-the-fly transform must produce byte-identical blocks of
+  // the ahead-of-time KPacked layout (restricted to the tile's channels).
+  const int K = 20, C = 10, R = 3, S = 3, vk = 8;
+  Tensor f = make_filter_kcrs(K, C, R, S);
+  fill_random(f, 1);
+  const Tensor whole = pack_filter_kpacked(f, vk);
+
+  const int kt = 8, tkn = 16, ct = 3, tcn = 5;
+  std::vector<float> tile(static_cast<std::size_t>((tkn + vk - 1) / vk) *
+                          tcn * R * S * vk);
+  transform_filter_tile(f.data(), K, C, R, S, kt, tkn, ct, tcn, vk,
+                        tile.data());
+
+  for (int kb = 0; kb < tkn / vk; ++kb) {
+    for (int c = 0; c < tcn; ++c) {
+      for (int e = 0; e < R * S * vk; ++e) {
+        const std::int64_t tile_idx =
+            (static_cast<std::int64_t>(kb) * tcn + c) * R * S * vk + e;
+        const std::int64_t whole_idx =
+            (static_cast<std::int64_t>(kt / vk + kb) * C + (ct + c)) * R *
+                S * vk +
+            e;
+        ASSERT_EQ(tile[tile_idx], whole.data()[whole_idx])
+            << "kb=" << kb << " c=" << c << " e=" << e;
+      }
+    }
+  }
+}
+
+TEST(FilterTransform, RaggedKBlockIsZeroPadded) {
+  const int K = 10, C = 2, R = 1, S = 1, vk = 8;
+  Tensor f = make_filter_kcrs(K, C, R, S);
+  f.fill(1.0f);
+  // Tile covering k in [8, 16): only k=8,9 exist.
+  std::vector<float> tile(static_cast<std::size_t>(1) * C * R * S * vk,
+                          -1.0f);
+  transform_filter_tile(f.data(), K, C, R, S, 8, 8, 0, C, vk, tile.data());
+  for (int c = 0; c < C; ++c) {
+    for (int ki = 0; ki < vk; ++ki) {
+      const float expect = ki < 2 ? 1.0f : 0.0f;
+      EXPECT_EQ(tile[c * vk + ki], expect) << "c=" << c << " ki=" << ki;
+    }
+  }
+}
+
+// ----------------------------------------------------------------------
+// Packing micro-kernel
+// ----------------------------------------------------------------------
+
+TEST(PackWindow, MatchesGatherReferenceNchw) {
+  const int C = 3, H = 6, W = 7;
+  Tensor in = make_input_nchw(1, C, H, W);
+  fill_random(in, 2);
+  const int R = 3, packw = 5;
+  // Window with its top-left corner hanging into the padding.
+  PackGeometry g;
+  g.src = in.data();
+  g.chan_stride = H * W;
+  g.row_stride = W;
+  g.col_stride = 1;
+  g.H = H;
+  g.W = W;
+  g.ih0 = -1;
+  g.iw0 = -1;
+  std::vector<float> pack(static_cast<std::size_t>(C) * R * packw, -1.0f);
+  pack_window(pack.data(), g, C, R, packw);
+  for (int c = 0; c < C; ++c)
+    for (int r = 0; r < R; ++r)
+      for (int t = 0; t < packw; ++t) {
+        const int ih = g.ih0 + r, iw = g.iw0 + t;
+        const float expect = (ih < 0 || ih >= H || iw < 0 || iw >= W)
+                                 ? 0.0f
+                                 : in.at4(0, c, ih, iw);
+        ASSERT_EQ(pack[(c * R + r) * packw + t], expect)
+            << "c=" << c << " r=" << r << " t=" << t;
+      }
+}
+
+TEST(PackWindow, MatchesGatherReferenceNhwcStrides) {
+  const int C = 4, H = 5, W = 6;
+  Tensor in = make_input_nhwc(1, H, W, C);
+  fill_random(in, 3);
+  const int R = 2, packw = 8;  // window wider than W: right side zeros
+  PackGeometry g;
+  g.src = in.data();  // channel 0
+  g.chan_stride = 1;
+  g.row_stride = static_cast<std::int64_t>(W) * C;
+  g.col_stride = C;
+  g.H = H;
+  g.W = W;
+  g.ih0 = 4;  // second row hangs off the bottom
+  g.iw0 = 2;
+  std::vector<float> pack(static_cast<std::size_t>(C) * R * packw, -1.0f);
+  pack_window(pack.data(), g, C, R, packw);
+  for (int c = 0; c < C; ++c)
+    for (int r = 0; r < R; ++r)
+      for (int t = 0; t < packw; ++t) {
+        const int ih = g.ih0 + r, iw = g.iw0 + t;
+        const float expect = (ih < 0 || ih >= H || iw < 0 || iw >= W)
+                                 ? 0.0f
+                                 : in.at4(0, ih, iw, c);
+        ASSERT_EQ(pack[(c * R + r) * packw + t], expect);
+      }
+}
+
+// ----------------------------------------------------------------------
+// Full convolutions vs Algorithm 1
+// ----------------------------------------------------------------------
+
+struct CaseData {
+  Tensor input;
+  Tensor filter;
+  Tensor reference;
+};
+
+CaseData make_case(const ConvParams& p, std::uint64_t seed) {
+  CaseData c{make_input_nchw(p.N, p.C, p.H, p.W),
+             make_filter_kcrs(p.K, p.C, p.R, p.S), Tensor{}};
+  fill_random(c.input, seed);
+  fill_random(c.filter, seed + 1);
+  c.reference = naive_conv_nchw(c.input, c.filter, p);
+  return c;
+}
+
+class NdirectSweep : public ::testing::TestWithParam<ConvParams> {};
+
+TEST_P(NdirectSweep, FusedPackingMatchesNaive) {
+  const ConvParams p = GetParam();
+  const CaseData c = make_case(p, 21);
+  const Tensor out = ndirect_conv(c.input, c.filter, p);
+  EXPECT_TRUE(allclose(out, c.reference))
+      << compare_tensors(out, c.reference).to_string();
+}
+
+TEST_P(NdirectSweep, SequentialPackingMatchesNaive) {
+  const ConvParams p = GetParam();
+  const CaseData c = make_case(p, 22);
+  NdirectOptions opts;
+  opts.fuse_packing = false;
+  const Tensor out = ndirect_conv(c.input, c.filter, p, opts);
+  EXPECT_TRUE(allclose(out, c.reference))
+      << compare_tensors(out, c.reference).to_string();
+}
+
+TEST_P(NdirectSweep, AheadOfTimeFilterMatchesNaive) {
+  const ConvParams p = GetParam();
+  const CaseData c = make_case(p, 23);
+  NdirectOptions opts;
+  opts.aot_filter = true;
+  const Tensor out = ndirect_conv(c.input, c.filter, p, opts);
+  EXPECT_TRUE(allclose(out, c.reference))
+      << compare_tensors(out, c.reference).to_string();
+}
+
+TEST_P(NdirectSweep, NhwcMatchesNaive) {
+  const ConvParams p = GetParam();
+  const CaseData c = make_case(p, 24);
+  const NdirectConv conv(p);
+  const Tensor out_nhwc = conv.run_nhwc(nchw_to_nhwc(c.input), c.filter);
+  EXPECT_EQ(out_nhwc.layout(), Layout::NHWC);
+  const Tensor out = nhwc_to_nchw(out_nhwc);
+  EXPECT_TRUE(allclose(out, c.reference))
+      << compare_tensors(out, c.reference).to_string();
+}
+
+TEST_P(NdirectSweep, MultiThreadedGridMatchesNaive) {
+  const ConvParams p = GetParam();
+  const CaseData c = make_case(p, 25);
+  ThreadPool pool(4);
+  NdirectOptions opts;
+  opts.pool = &pool;
+  opts.threads = 4;
+  const Tensor out = ndirect_conv(c.input, c.filter, p, opts);
+  EXPECT_TRUE(allclose(out, c.reference))
+      << compare_tensors(out, c.reference).to_string();
+}
+
+TEST_P(NdirectSweep, TinyTilesForceMultiTilePaths) {
+  // Forcing Tc/Tk/Th to minimum legal values makes every loop level
+  // iterate, exercising C-tile accumulation and filter tile reloads.
+  const ConvParams p = GetParam();
+  const CaseData c = make_case(p, 26);
+  NdirectOptions opts;
+  opts.force_rb = {8, 4};
+  opts.force_tiling = {2, 4, 2};  // tc=2, tk=vk, th=2
+  const Tensor out = ndirect_conv(c.input, c.filter, p, opts);
+  EXPECT_TRUE(allclose(out, c.reference))
+      << compare_tensors(out, c.reference).to_string();
+}
+
+TEST_P(NdirectSweep, GenericKernelFallbackMatchesNaive) {
+  // A register block with no template specialization must route through
+  // compute_kernel_generic / fused_kernel_generic.
+  const ConvParams p = GetParam();
+  const CaseData c = make_case(p, 27);
+  NdirectOptions opts;
+  opts.force_rb = {20, 4};  // instantiated
+  ASSERT_NE(find_compute_kernel(20, 4), nullptr);
+  opts.force_rb = {20, 8};  // NOT instantiated -> generic path
+  ASSERT_EQ(find_compute_kernel(20, 8), nullptr);
+  const Tensor out = ndirect_conv(c.input, c.filter, p, opts);
+  EXPECT_TRUE(allclose(out, c.reference))
+      << compare_tensors(out, c.reference).to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, NdirectSweep,
+                         ::testing::ValuesIn(correctness_conv_shapes()));
+
+// ----------------------------------------------------------------------
+// Plan/engine behaviours
+// ----------------------------------------------------------------------
+
+TEST(NdirectPlan, UsesSolvedRegisterBlockFor3x3) {
+  const ConvParams p{.N = 1, .C = 64, .H = 28, .W = 28, .K = 64,
+                     .R = 3, .S = 3, .str = 1, .pad = 1};
+  const NdirectConv conv(p);
+  EXPECT_EQ(conv.plan().rb.vw, 12);
+  EXPECT_EQ(conv.plan().rb.vk, 8);
+  EXPECT_EQ(conv.plan().packw, 11 * 1 + 3);
+}
+
+TEST(NdirectPlan, PackwAccountsForStride) {
+  const ConvParams p{.N = 1, .C = 8, .H = 28, .W = 28, .K = 8,
+                     .R = 3, .S = 3, .str = 2, .pad = 1};
+  const NdirectConv conv(p);
+  EXPECT_EQ(conv.plan().packw, (conv.plan().rb.vw - 1) * 2 + 3);
+}
+
+TEST(NdirectPlan, RespectsCacheOverride) {
+  CacheInfo tiny;
+  tiny.l1d = 8 << 10;
+  tiny.l2 = 64 << 10;
+  tiny.l3 = 0;
+  CacheInfo big;
+  big.l1d = 64 << 10;
+  big.l2 = 2 << 20;
+  big.l3 = 0;
+  const ConvParams p{.N = 1, .C = 256, .H = 14, .W = 14, .K = 256,
+                     .R = 3, .S = 3, .str = 1, .pad = 1};
+  NdirectOptions o1, o2;
+  o1.cache = &tiny;
+  o2.cache = &big;
+  const NdirectConv c1(p, o1), c2(p, o2);
+  EXPECT_LT(c1.plan().tiling.tc, c2.plan().tiling.tc);
+}
+
+TEST(NdirectEngine, RepeatedRunsAreDeterministic) {
+  const ConvParams p{.N = 1, .C = 16, .H = 12, .W = 12, .K = 16,
+                     .R = 3, .S = 3, .str = 1, .pad = 1};
+  const CaseData c = make_case(p, 30);
+  const NdirectConv conv(p);
+  const Tensor a = conv.run(c.input, c.filter);
+  const Tensor b = conv.run(c.input, c.filter);
+  EXPECT_TRUE(allclose(a, b, 0.0, 0.0));  // bitwise identical
+}
+
+TEST(NdirectEngine, PhaseTimerRecordsTransformAndMicrokernel) {
+  const ConvParams p{.N = 1, .C = 16, .H = 12, .W = 12, .K = 16,
+                     .R = 3, .S = 3, .str = 1, .pad = 1};
+  const CaseData c = make_case(p, 31);
+  PhaseTimer pt;
+  NdirectOptions opts;
+  opts.threads = 1;
+  opts.fuse_packing = false;
+  opts.phase_timer = &pt;
+  (void)ndirect_conv(c.input, c.filter, p, opts);
+  EXPECT_GT(pt.seconds("transform"), 0.0);
+  EXPECT_GT(pt.seconds("packing"), 0.0);
+  EXPECT_GT(pt.seconds("micro-kernel"), 0.0);
+}
+
+TEST(NdirectEngine, FusedModeFoldsPackingIntoMicrokernelPhase) {
+  const ConvParams p{.N = 1, .C = 16, .H = 12, .W = 12, .K = 16,
+                     .R = 3, .S = 3, .str = 1, .pad = 1};
+  const CaseData c = make_case(p, 32);
+  PhaseTimer pt;
+  NdirectOptions opts;
+  opts.threads = 1;
+  opts.fuse_packing = true;
+  opts.phase_timer = &pt;
+  (void)ndirect_conv(c.input, c.filter, p, opts);
+  EXPECT_EQ(pt.seconds("packing"), 0.0);
+  EXPECT_GT(pt.seconds("micro-kernel"), 0.0);
+}
+
+TEST(NdirectEngine, ManyThreadConfigurationsAgree) {
+  const ConvParams p{.N = 4, .C = 12, .H = 16, .W = 16, .K = 24,
+                     .R = 3, .S = 3, .str = 1, .pad = 1};
+  const CaseData c = make_case(p, 33);
+  for (int threads : {1, 2, 3, 5, 8}) {
+    ThreadPool pool(threads);
+    NdirectOptions opts;
+    opts.pool = &pool;
+    opts.threads = threads;
+    const Tensor out = ndirect_conv(c.input, c.filter, p, opts);
+    EXPECT_TRUE(allclose(out, c.reference)) << "threads=" << threads;
+  }
+}
+
+TEST(NdirectEngine, OversubscribedThreadGridStillCorrect) {
+  // More logical threads than the pool has workers (the SMT experiment's
+  // mechanism: tasks stack round-robin onto pool threads).
+  const ConvParams p{.N = 2, .C = 8, .H = 12, .W = 12, .K = 16,
+                     .R = 3, .S = 3, .str = 1, .pad = 1};
+  const CaseData c = make_case(p, 34);
+  ThreadPool pool(2);
+  NdirectOptions opts;
+  opts.pool = &pool;
+  opts.threads = 8;
+  const Tensor out = ndirect_conv(c.input, c.filter, p, opts);
+  EXPECT_TRUE(allclose(out, c.reference));
+}
+
+}  // namespace
+}  // namespace ndirect

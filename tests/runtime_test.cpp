@@ -1,0 +1,212 @@
+// Tests for the runtime substrate: aligned buffers, partitioning,
+// thread pool, timers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "runtime/aligned_buffer.h"
+#include "runtime/cpu_info.h"
+#include "runtime/partition.h"
+#include "runtime/thread_pool.h"
+#include "runtime/timer.h"
+
+namespace ndirect {
+namespace {
+
+TEST(AlignedBuffer, AllocatesCacheLineAligned) {
+  AlignedBuffer<float> buf(7);
+  ASSERT_NE(buf.data(), nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % kCacheLineBytes,
+            0u);
+  EXPECT_EQ(buf.size(), 7u);
+}
+
+TEST(AlignedBuffer, ZeroFill) {
+  AlignedBuffer<float> buf(100);
+  buf.fill_zero();
+  for (std::size_t i = 0; i < buf.size(); ++i) EXPECT_EQ(buf[i], 0.0f);
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer<float> a(10);
+  a[0] = 42.0f;
+  float* p = a.data();
+  AlignedBuffer<float> b(std::move(a));
+  EXPECT_EQ(b.data(), p);
+  EXPECT_EQ(b[0], 42.0f);
+  EXPECT_EQ(a.data(), nullptr);
+  EXPECT_EQ(a.size(), 0u);
+}
+
+TEST(AlignedBuffer, EnsureGrowsOnlyWhenNeeded) {
+  AlignedBuffer<float> buf(16);
+  float* p = buf.data();
+  buf.ensure(8);
+  EXPECT_EQ(buf.data(), p);  // no reallocation
+  buf.ensure(32);
+  EXPECT_GE(buf.size(), 32u);
+}
+
+TEST(AlignedBuffer, EmptyBufferIsSafe) {
+  AlignedBuffer<float> buf;
+  EXPECT_TRUE(buf.empty());
+  buf.fill_zero();  // must not crash
+  AlignedBuffer<float> moved(std::move(buf));
+  EXPECT_TRUE(moved.empty());
+}
+
+TEST(Partition, CoversRangeExactlyOnce) {
+  for (std::size_t count : {0u, 1u, 7u, 64u, 100u, 1001u}) {
+    for (std::size_t parts : {1u, 2u, 3u, 7u, 64u}) {
+      std::vector<int> hits(count, 0);
+      for (std::size_t i = 0; i < parts; ++i) {
+        const Range r = partition_range(count, parts, i);
+        for (std::size_t j = r.begin; j < r.end; ++j) ++hits[j];
+      }
+      for (std::size_t j = 0; j < count; ++j) {
+        EXPECT_EQ(hits[j], 1) << "count=" << count << " parts=" << parts
+                              << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(Partition, ChunkSizesDifferByAtMostOne) {
+  const Range r0 = partition_range(10, 3, 0);
+  const Range r1 = partition_range(10, 3, 1);
+  const Range r2 = partition_range(10, 3, 2);
+  EXPECT_EQ(r0.size(), 4u);
+  EXPECT_EQ(r1.size(), 3u);
+  EXPECT_EQ(r2.size(), 3u);
+  EXPECT_EQ(r0.begin, 0u);
+  EXPECT_EQ(r2.end, 10u);
+}
+
+TEST(Partition, MorePartsThanWork) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    total += partition_range(3, 8, i).size();
+  }
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(ThreadPool, RunExecutesEveryTaskOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.run(100, [&](std::size_t tid) { hits[tid]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, OversubscriptionRunsAllTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.run(16, [&](std::size_t) { count++; });  // 8 tasks per thread
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ThreadPool, ParallelForSumsCorrectly) {
+  ThreadPool pool(3);
+  std::vector<int> data(10007);
+  std::iota(data.begin(), data.end(), 0);
+  std::atomic<long long> sum{0};
+  pool.parallel_for(data.size(), [&](std::size_t b, std::size_t e) {
+    long long local = 0;
+    for (std::size_t i = b; i < e; ++i) local += data[i];
+    sum += local;
+  });
+  EXPECT_EQ(sum.load(), 10007LL * 10006 / 2);
+}
+
+TEST(ThreadPool, ReusableAcrossManyInvocations) {
+  ThreadPool pool(4);
+  for (int iter = 0; iter < 50; ++iter) {
+    std::atomic<int> count{0};
+    pool.run(8, [&](std::size_t) { count++; });
+    ASSERT_EQ(count.load(), 8);
+  }
+}
+
+TEST(ThreadPool, SingleThreadPoolStillWorks) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<int> count{0};
+  pool.run(5, [&](std::size_t) { count++; });
+  EXPECT_EQ(count.load(), 5);
+}
+
+TEST(ThreadPool, ZeroTasksIsNoOp) {
+  ThreadPool pool(2);
+  pool.run(0, [&](std::size_t) { FAIL(); });
+  pool.parallel_for(0, [&](std::size_t, std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, ConcurrentCallersSerializeSafely) {
+  // Several caller threads share one pool; every task of every call
+  // must run exactly once (run() dispatches serialize internally).
+  ThreadPool pool(3);
+  constexpr int kCallers = 4, kTasksPerCall = 25, kCallsPerCaller = 20;
+  std::atomic<int> total{0};
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&] {
+      for (int call = 0; call < kCallsPerCaller; ++call) {
+        pool.run(kTasksPerCall, [&](std::size_t) { total++; });
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(total.load(), kCallers * kTasksPerCall * kCallsPerCaller);
+}
+
+TEST(ThreadPool, GlobalPoolExists) {
+  EXPECT_GE(ThreadPool::global().size(), 1u);
+}
+
+TEST(Timer, MeasuresMonotonicallyIncreasingTime) {
+  WallTimer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  const double first = t.seconds();
+  for (int i = 0; i < 100000; ++i) sink += i;
+  const double second = t.seconds();
+  EXPECT_GE(first, 0.0);
+  EXPECT_GE(second, first);
+}
+
+TEST(PhaseTimer, AccumulatesAndNormalizes) {
+  PhaseTimer pt;
+  pt.add("a", 1.0);
+  pt.add("b", 3.0);
+  pt.add("a", 1.0);
+  EXPECT_DOUBLE_EQ(pt.seconds("a"), 2.0);
+  EXPECT_DOUBLE_EQ(pt.seconds("b"), 3.0);
+  EXPECT_DOUBLE_EQ(pt.total(), 5.0);
+  EXPECT_DOUBLE_EQ(pt.fraction("a"), 0.4);
+  EXPECT_DOUBLE_EQ(pt.fraction("missing"), 0.0);
+  pt.clear();
+  EXPECT_DOUBLE_EQ(pt.total(), 0.0);
+}
+
+TEST(PhaseTimer, ScopeAddsElapsedTime) {
+  PhaseTimer pt;
+  {
+    auto scope = pt.scope("work");
+    volatile double sink = 0;
+    for (int i = 0; i < 10000; ++i) sink += i;
+  }
+  EXPECT_GT(pt.seconds("work"), 0.0);
+}
+
+TEST(CpuInfo, ProbeReturnsSaneValues) {
+  const CpuInfo info = probe_host_cpu();
+  EXPECT_GE(info.logical_cores, 1);
+  EXPECT_GE(info.cache.l1d, 4u * 1024);
+  EXPECT_GE(info.cache.l2, info.cache.l1d);
+}
+
+}  // namespace
+}  // namespace ndirect

@@ -1,0 +1,133 @@
+// Tests for the NEON-model 128-bit SIMD abstraction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "simd/vec128.h"
+
+namespace ndirect {
+namespace {
+
+TEST(Vec128, LoadStoreRoundTrip) {
+  const float src[4] = {1.5f, -2.25f, 3.0f, 0.0f};
+  float dst[4] = {};
+  vstore(dst, vload(src));
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(dst[i], src[i]);
+}
+
+TEST(Vec128, UnalignedLoad) {
+  alignas(64) float buf[9] = {0, 1, 2, 3, 4, 5, 6, 7, 8};
+  float dst[4];
+  vstore(dst, vload(buf + 1));  // deliberately misaligned by 4 bytes
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(dst[i], static_cast<float>(i + 1));
+}
+
+TEST(Vec128, ZeroAndBroadcast) {
+  float z[4], d[4];
+  vstore(z, vzero());
+  vstore(d, vdup(7.5f));
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(z[i], 0.0f);
+    EXPECT_EQ(d[i], 7.5f);
+  }
+}
+
+TEST(Vec128, Arithmetic) {
+  const float a[4] = {1, 2, 3, 4}, b[4] = {10, 20, 30, 40};
+  float sum[4], diff[4], prod[4], mx[4], mn[4];
+  vstore(sum, vadd(vload(a), vload(b)));
+  vstore(diff, vsub(vload(b), vload(a)));
+  vstore(prod, vmul(vload(a), vload(b)));
+  vstore(mx, vmax(vload(a), vload(b)));
+  vstore(mn, vmin(vload(a), vload(b)));
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(sum[i], a[i] + b[i]);
+    EXPECT_EQ(diff[i], b[i] - a[i]);
+    EXPECT_EQ(prod[i], a[i] * b[i]);
+    EXPECT_EQ(mx[i], b[i]);
+    EXPECT_EQ(mn[i], a[i]);
+  }
+}
+
+TEST(Vec128, FusedMultiplyAdd) {
+  const float acc[4] = {1, 1, 1, 1}, a[4] = {2, 3, 4, 5},
+              b[4] = {10, 10, 10, 10};
+  float r[4];
+  vstore(r, vfma(vload(acc), vload(a), vload(b)));
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(r[i], 1.0f + a[i] * 10.0f);
+}
+
+TEST(Vec128, LaneFmaMatchesScalar) {
+  const float acc[4] = {0.5f, -1.0f, 2.0f, 0.0f};
+  const float a[4] = {2, 3, 4, 5};
+  const float b[4] = {1, 10, 100, 1000};
+  float r0[4], r1[4], r2[4], r3[4];
+  vstore(r0, vfma_lane<0>(vload(acc), vload(a), vload(b)));
+  vstore(r1, vfma_lane<1>(vload(acc), vload(a), vload(b)));
+  vstore(r2, vfma_lane<2>(vload(acc), vload(a), vload(b)));
+  vstore(r3, vfma_lane<3>(vload(acc), vload(a), vload(b)));
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FLOAT_EQ(r0[i], acc[i] + a[0] * b[i]);
+    EXPECT_FLOAT_EQ(r1[i], acc[i] + a[1] * b[i]);
+    EXPECT_FLOAT_EQ(r2[i], acc[i] + a[2] * b[i]);
+    EXPECT_FLOAT_EQ(r3[i], acc[i] + a[3] * b[i]);
+  }
+}
+
+TEST(Vec128, LaneExtraction) {
+  const float a[4] = {11, 22, 33, 44};
+  const vec128f v = vload(a);
+  EXPECT_EQ(vget_lane<0>(v), 11.0f);
+  EXPECT_EQ(vget_lane<1>(v), 22.0f);
+  EXPECT_EQ(vget_lane<2>(v), 33.0f);
+  EXPECT_EQ(vget_lane<3>(v), 44.0f);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(vget_lane_dyn(v, i), a[i]);
+}
+
+TEST(Vec128, ReduceAdd) {
+  const float a[4] = {1.5f, 2.5f, -3.0f, 10.0f};
+  EXPECT_FLOAT_EQ(vreduce_add(vload(a)), 11.0f);
+}
+
+TEST(Vec128, Transpose4x4) {
+  float m[4][4];
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j) m[i][j] = static_cast<float>(i * 10 + j);
+  vec128f r0 = vload(m[0]), r1 = vload(m[1]), r2 = vload(m[2]),
+          r3 = vload(m[3]);
+  vtranspose4x4(r0, r1, r2, r3);
+  float t[4][4];
+  vstore(t[0], r0);
+  vstore(t[1], r1);
+  vstore(t[2], r2);
+  vstore(t[3], r3);
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j) EXPECT_EQ(t[i][j], m[j][i]);
+}
+
+TEST(Vec128, TransposeIsAnInvolution) {
+  float m[4][4];
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j) m[i][j] = static_cast<float>(i * 4 + j) * 0.5f;
+  vec128f r[4] = {vload(m[0]), vload(m[1]), vload(m[2]), vload(m[3])};
+  vtranspose4x4(r[0], r[1], r[2], r[3]);
+  vtranspose4x4(r[0], r[1], r[2], r[3]);
+  for (int i = 0; i < 4; ++i) {
+    float row[4];
+    vstore(row, r[i]);
+    for (int j = 0; j < 4; ++j) EXPECT_EQ(row[j], m[i][j]);
+  }
+}
+
+TEST(Vec128, ConstantsMatchTheNeonModel) {
+  EXPECT_EQ(kVecLanes, 4);
+  EXPECT_EQ(kNumVecRegs, 32);
+}
+
+TEST(Vec128, BackendNameIsKnown) {
+  const std::string name = simd_backend_name();
+  EXPECT_TRUE(name == "neon" || name == "sse" || name == "scalar");
+}
+
+}  // namespace
+}  // namespace ndirect

@@ -1,0 +1,180 @@
+// Tests for tensors, conv parameters, and layout transforms.
+#include <gtest/gtest.h>
+
+#include "tensor/compare.h"
+#include "tensor/conv_params.h"
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+#include "tensor/transforms.h"
+
+namespace ndirect {
+namespace {
+
+TEST(ConvParams, OutputShapeBasic) {
+  // ResNet-50 layer 1: 224x224, 7x7, stride 2, pad 3 -> 112x112.
+  const ConvParams p{.N = 1, .C = 3, .H = 224, .W = 224, .K = 64,
+                     .R = 7, .S = 7, .str = 2, .pad = 3};
+  EXPECT_EQ(p.P(), 112);
+  EXPECT_EQ(p.Q(), 112);
+  EXPECT_TRUE(p.valid());
+}
+
+TEST(ConvParams, OutputShapeUnpaddedStride2) {
+  // ResNet 1x1 stride-2 projection: 56 -> 28.
+  const ConvParams p{.N = 1, .C = 256, .H = 56, .W = 56, .K = 512,
+                     .R = 1, .S = 1, .str = 2, .pad = 0};
+  EXPECT_EQ(p.P(), 28);
+  EXPECT_EQ(p.Q(), 28);
+}
+
+TEST(ConvParams, FlopCount) {
+  const ConvParams p{.N = 2, .C = 3, .H = 8, .W = 8, .K = 4,
+                     .R = 3, .S = 3, .str = 1, .pad = 1};
+  // 2 * N*K*P*Q*C*R*S = 2 * 2*4*8*8*3*3*3
+  EXPECT_EQ(p.flops(), 2LL * 2 * 4 * 8 * 8 * 3 * 3 * 3);
+}
+
+TEST(ConvParams, InvalidWhenKernelExceedsPaddedInput) {
+  ConvParams p{.N = 1, .C = 1, .H = 2, .W = 2, .K = 1,
+               .R = 5, .S = 5, .str = 1, .pad = 0};
+  EXPECT_FALSE(p.valid());
+  p.pad = 2;  // padded input is 6x6 >= 5x5
+  EXPECT_TRUE(p.valid());
+}
+
+TEST(Tensor, ShapeAndIndexing) {
+  Tensor t({2, 3, 4, 5}, Layout::NCHW);
+  EXPECT_EQ(t.rank(), 4);
+  EXPECT_EQ(t.element_count(), 120);
+  t.fill_zero();
+  t.at4(1, 2, 3, 4) = 9.0f;
+  EXPECT_EQ(t[119], 9.0f);  // last element
+  EXPECT_EQ(t.at4(0, 0, 0, 0), 0.0f);
+}
+
+TEST(Tensor, CloneIsDeep) {
+  Tensor t({4, 4}, Layout::Matrix);
+  fill_pattern(t);
+  Tensor c = t.clone();
+  c[0] += 1.0f;
+  EXPECT_NE(t[0], c[0]);
+  for (std::size_t i = 1; i < t.size(); ++i) EXPECT_EQ(t[i], c[i]);
+}
+
+TEST(Tensor, FillRandomIsDeterministic) {
+  Tensor a({100}, Layout::Linear), b({100}, Layout::Linear);
+  fill_random(a, 42);
+  fill_random(b, 42);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  fill_random(b, 43);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) any_diff |= a[i] != b[i];
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Compare, DetectsMismatch) {
+  Tensor a({10}, Layout::Linear), b({10}, Layout::Linear);
+  a.fill(1.0f);
+  b.fill(1.0f);
+  EXPECT_TRUE(allclose(a, b));
+  b[7] = 2.0f;
+  const CompareResult r = compare_tensors(a, b);
+  EXPECT_EQ(r.worst_index, 7u);
+  EXPECT_FALSE(allclose(a, b));
+}
+
+TEST(Compare, ShapeMismatchIsNotClose) {
+  Tensor a({10}, Layout::Linear), b({11}, Layout::Linear);
+  a.fill_zero();
+  b.fill_zero();
+  EXPECT_FALSE(allclose(a, b));
+}
+
+TEST(Transforms, NchwNhwcRoundTrip) {
+  Tensor t = make_input_nchw(2, 3, 5, 7);
+  fill_random(t, 1);
+  const Tensor back = nhwc_to_nchw(nchw_to_nhwc(t));
+  EXPECT_TRUE(allclose(t, back, 0.0, 0.0));
+}
+
+TEST(Transforms, NhwcPlacesChannelsInnermost) {
+  Tensor t = make_input_nchw(1, 2, 2, 2);
+  fill_pattern(t);
+  const Tensor nhwc = nchw_to_nhwc(t);
+  EXPECT_EQ(nhwc.layout(), Layout::NHWC);
+  EXPECT_EQ(nhwc.at4(0, 1, 0, 1), t.at4(0, 1, 1, 0));
+}
+
+TEST(Transforms, KcrsKrscRoundTrip) {
+  Tensor f = make_filter_kcrs(6, 5, 3, 3);
+  fill_random(f, 2);
+  const Tensor back = krsc_to_kcrs(kcrs_to_krsc(f));
+  EXPECT_TRUE(allclose(f, back, 0.0, 0.0));
+}
+
+TEST(Transforms, NchwcRoundTripWithRaggedChannels) {
+  Tensor t = make_input_nchw(2, 7, 3, 4);  // 7 % 4 != 0
+  fill_random(t, 3);
+  const Tensor blocked = nchw_to_nchwc(t, 4);
+  EXPECT_EQ(blocked.dim(1), 2);  // ceil(7/4)
+  EXPECT_EQ(blocked.dim(4), 4);
+  const Tensor back = nchwc_to_nchw(blocked, 7);
+  EXPECT_TRUE(allclose(t, back, 0.0, 0.0));
+}
+
+TEST(Transforms, NchwcPadLanesAreZero) {
+  Tensor t = make_input_nchw(1, 5, 2, 2);
+  t.fill(1.0f);
+  const Tensor blocked = nchw_to_nchwc(t, 4);
+  // Channels 5..7 of block 1 must be zero.
+  const float* d = blocked.data();
+  const std::int64_t HW = 2 * 2;
+  for (std::int64_t hw = 0; hw < HW; ++hw) {
+    for (int ci = 1; ci < 4; ++ci) {  // block 1, lanes 1..3 = channels 5..7
+      EXPECT_EQ(d[(1 * HW + hw) * 4 + ci], 0.0f);
+    }
+  }
+}
+
+TEST(Transforms, KcrsckLayoutCorrect) {
+  Tensor f = make_filter_kcrs(8, 4, 3, 3);
+  fill_random(f, 4);
+  const Tensor blocked = kcrs_to_kcrsck(f, 4, 4);
+  EXPECT_EQ(blocked.dim(0), 2);  // K blocks
+  EXPECT_EQ(blocked.dim(1), 1);  // C blocks
+  // Spot-check: element (k=5, c=2, r=1, s=2) lives at
+  // [kb=1][cb=0][r=1][s=2][ci=2][ki=1].
+  const float* d = blocked.data();
+  const std::int64_t idx =
+      ((((1 * 1 + 0) * 3 + 1) * 3 + 2) * 4 + 2) * 4 + 1;
+  EXPECT_EQ(d[idx], f.at4(5, 2, 1, 2));
+}
+
+TEST(Transforms, KPackedMatchesDefinition) {
+  const int K = 10, C = 3, R = 3, S = 3, Vk = 8;
+  Tensor f = make_filter_kcrs(K, C, R, S);
+  fill_random(f, 5);
+  const Tensor packed = pack_filter_kpacked(f, Vk);
+  EXPECT_EQ(packed.dim(0), 2);  // ceil(10/8)
+  const float* d = packed.data();
+  for (int k = 0; k < K; ++k)
+    for (int c = 0; c < C; ++c)
+      for (int r = 0; r < R; ++r)
+        for (int s = 0; s < S; ++s) {
+          const std::int64_t idx =
+              ((((k / Vk) * C + c) * R + r) * S + s) * Vk + (k % Vk);
+          ASSERT_EQ(d[idx], f.at4(k, c, r, s));
+        }
+  // Padded K lanes are zero.
+  for (int c = 0; c < C; ++c)
+    for (int r = 0; r < R; ++r)
+      for (int s = 0; s < S; ++s)
+        for (int ki = K % Vk; ki < Vk; ++ki) {
+          const std::int64_t idx =
+              (((1 * C + c) * R + r) * S + s) * Vk + ki;
+          ASSERT_EQ(d[idx], 0.0f);
+        }
+}
+
+}  // namespace
+}  // namespace ndirect
