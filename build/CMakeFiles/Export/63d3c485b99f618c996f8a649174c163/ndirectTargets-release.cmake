@@ -1,0 +1,89 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "Release".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "ndirect::ndirect_runtime" for configuration "Release"
+set_property(TARGET ndirect::ndirect_runtime APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(ndirect::ndirect_runtime PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libndirect_runtime.a"
+  )
+
+list(APPEND _cmake_import_check_targets ndirect::ndirect_runtime )
+list(APPEND _cmake_import_check_files_for_ndirect::ndirect_runtime "${_IMPORT_PREFIX}/lib/libndirect_runtime.a" )
+
+# Import target "ndirect::ndirect_tensor" for configuration "Release"
+set_property(TARGET ndirect::ndirect_tensor APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(ndirect::ndirect_tensor PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libndirect_tensor.a"
+  )
+
+list(APPEND _cmake_import_check_targets ndirect::ndirect_tensor )
+list(APPEND _cmake_import_check_files_for_ndirect::ndirect_tensor "${_IMPORT_PREFIX}/lib/libndirect_tensor.a" )
+
+# Import target "ndirect::ndirect_gemm" for configuration "Release"
+set_property(TARGET ndirect::ndirect_gemm APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(ndirect::ndirect_gemm PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libndirect_gemm.a"
+  )
+
+list(APPEND _cmake_import_check_targets ndirect::ndirect_gemm )
+list(APPEND _cmake_import_check_files_for_ndirect::ndirect_gemm "${_IMPORT_PREFIX}/lib/libndirect_gemm.a" )
+
+# Import target "ndirect::ndirect_baselines" for configuration "Release"
+set_property(TARGET ndirect::ndirect_baselines APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(ndirect::ndirect_baselines PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libndirect_baselines.a"
+  )
+
+list(APPEND _cmake_import_check_targets ndirect::ndirect_baselines )
+list(APPEND _cmake_import_check_files_for_ndirect::ndirect_baselines "${_IMPORT_PREFIX}/lib/libndirect_baselines.a" )
+
+# Import target "ndirect::ndirect_core" for configuration "Release"
+set_property(TARGET ndirect::ndirect_core APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(ndirect::ndirect_core PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libndirect_core.a"
+  )
+
+list(APPEND _cmake_import_check_targets ndirect::ndirect_core )
+list(APPEND _cmake_import_check_files_for_ndirect::ndirect_core "${_IMPORT_PREFIX}/lib/libndirect_core.a" )
+
+# Import target "ndirect::ndirect_autotune" for configuration "Release"
+set_property(TARGET ndirect::ndirect_autotune APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(ndirect::ndirect_autotune PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libndirect_autotune.a"
+  )
+
+list(APPEND _cmake_import_check_targets ndirect::ndirect_autotune )
+list(APPEND _cmake_import_check_files_for_ndirect::ndirect_autotune "${_IMPORT_PREFIX}/lib/libndirect_autotune.a" )
+
+# Import target "ndirect::ndirect_platform" for configuration "Release"
+set_property(TARGET ndirect::ndirect_platform APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(ndirect::ndirect_platform PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libndirect_platform.a"
+  )
+
+list(APPEND _cmake_import_check_targets ndirect::ndirect_platform )
+list(APPEND _cmake_import_check_files_for_ndirect::ndirect_platform "${_IMPORT_PREFIX}/lib/libndirect_platform.a" )
+
+# Import target "ndirect::ndirect_nn" for configuration "Release"
+set_property(TARGET ndirect::ndirect_nn APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(ndirect::ndirect_nn PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libndirect_nn.a"
+  )
+
+list(APPEND _cmake_import_check_targets ndirect::ndirect_nn )
+list(APPEND _cmake_import_check_files_for_ndirect::ndirect_nn "${_IMPORT_PREFIX}/lib/libndirect_nn.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_alpha.dir/bench_alpha.cpp.o"
+  "CMakeFiles/bench_alpha.dir/bench_alpha.cpp.o.d"
+  "bench_alpha"
+  "bench_alpha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_alpha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

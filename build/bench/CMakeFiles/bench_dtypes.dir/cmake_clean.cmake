@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dtypes.dir/bench_dtypes.cpp.o"
+  "CMakeFiles/bench_dtypes.dir/bench_dtypes.cpp.o.d"
+  "bench_dtypes"
+  "bench_dtypes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dtypes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_ansor.dir/bench_fig6_ansor.cpp.o"
+  "CMakeFiles/bench_fig6_ansor.dir/bench_fig6_ansor.cpp.o.d"
+  "bench_fig6_ansor"
+  "bench_fig6_ansor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_ansor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig7_e2e.cpp" "bench/CMakeFiles/bench_fig7_e2e.dir/bench_fig7_e2e.cpp.o" "gcc" "bench/CMakeFiles/bench_fig7_e2e.dir/bench_fig7_e2e.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/ndirect_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ndirect_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/ndirect_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/ndirect_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/autotune/CMakeFiles/ndirect_autotune.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ndirect_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ndirect_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/gemm/CMakeFiles/ndirect_gemm.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ndirect_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

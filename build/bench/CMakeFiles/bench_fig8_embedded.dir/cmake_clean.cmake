@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_embedded.dir/bench_fig8_embedded.cpp.o"
+  "CMakeFiles/bench_fig8_embedded.dir/bench_fig8_embedded.cpp.o.d"
+  "bench_fig8_embedded"
+  "bench_fig8_embedded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_embedded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

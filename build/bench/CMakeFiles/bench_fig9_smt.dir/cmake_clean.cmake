@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_smt.dir/bench_fig9_smt.cpp.o"
+  "CMakeFiles/bench_fig9_smt.dir/bench_fig9_smt.cpp.o.d"
+  "bench_fig9_smt"
+  "bench_fig9_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndirect_bench_util.dir/bench_util.cpp.o"
+  "CMakeFiles/ndirect_bench_util.dir/bench_util.cpp.o.d"
+  "libndirect_bench_util.a"
+  "libndirect_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndirect_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tune_conv.dir/tune_conv.cpp.o"
+  "CMakeFiles/tune_conv.dir/tune_conv.cpp.o.d"
+  "tune_conv"
+  "tune_conv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tune_conv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

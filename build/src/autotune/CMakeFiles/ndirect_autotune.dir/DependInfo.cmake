@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autotune/cost_model.cpp" "src/autotune/CMakeFiles/ndirect_autotune.dir/cost_model.cpp.o" "gcc" "src/autotune/CMakeFiles/ndirect_autotune.dir/cost_model.cpp.o.d"
+  "/root/repo/src/autotune/registry.cpp" "src/autotune/CMakeFiles/ndirect_autotune.dir/registry.cpp.o" "gcc" "src/autotune/CMakeFiles/ndirect_autotune.dir/registry.cpp.o.d"
+  "/root/repo/src/autotune/space.cpp" "src/autotune/CMakeFiles/ndirect_autotune.dir/space.cpp.o" "gcc" "src/autotune/CMakeFiles/ndirect_autotune.dir/space.cpp.o.d"
+  "/root/repo/src/autotune/tuner.cpp" "src/autotune/CMakeFiles/ndirect_autotune.dir/tuner.cpp.o" "gcc" "src/autotune/CMakeFiles/ndirect_autotune.dir/tuner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ndirect_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ndirect_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ndirect_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndirect_autotune.dir/cost_model.cpp.o"
+  "CMakeFiles/ndirect_autotune.dir/cost_model.cpp.o.d"
+  "CMakeFiles/ndirect_autotune.dir/registry.cpp.o"
+  "CMakeFiles/ndirect_autotune.dir/registry.cpp.o.d"
+  "CMakeFiles/ndirect_autotune.dir/space.cpp.o"
+  "CMakeFiles/ndirect_autotune.dir/space.cpp.o.d"
+  "CMakeFiles/ndirect_autotune.dir/tuner.cpp.o"
+  "CMakeFiles/ndirect_autotune.dir/tuner.cpp.o.d"
+  "libndirect_autotune.a"
+  "libndirect_autotune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndirect_autotune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/acl_direct.cpp" "src/baselines/CMakeFiles/ndirect_baselines.dir/acl_direct.cpp.o" "gcc" "src/baselines/CMakeFiles/ndirect_baselines.dir/acl_direct.cpp.o.d"
+  "/root/repo/src/baselines/acl_gemm.cpp" "src/baselines/CMakeFiles/ndirect_baselines.dir/acl_gemm.cpp.o" "gcc" "src/baselines/CMakeFiles/ndirect_baselines.dir/acl_gemm.cpp.o.d"
+  "/root/repo/src/baselines/im2col_conv.cpp" "src/baselines/CMakeFiles/ndirect_baselines.dir/im2col_conv.cpp.o" "gcc" "src/baselines/CMakeFiles/ndirect_baselines.dir/im2col_conv.cpp.o.d"
+  "/root/repo/src/baselines/indirect_conv.cpp" "src/baselines/CMakeFiles/ndirect_baselines.dir/indirect_conv.cpp.o" "gcc" "src/baselines/CMakeFiles/ndirect_baselines.dir/indirect_conv.cpp.o.d"
+  "/root/repo/src/baselines/naive_conv.cpp" "src/baselines/CMakeFiles/ndirect_baselines.dir/naive_conv.cpp.o" "gcc" "src/baselines/CMakeFiles/ndirect_baselines.dir/naive_conv.cpp.o.d"
+  "/root/repo/src/baselines/nchwc_conv.cpp" "src/baselines/CMakeFiles/ndirect_baselines.dir/nchwc_conv.cpp.o" "gcc" "src/baselines/CMakeFiles/ndirect_baselines.dir/nchwc_conv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/ndirect_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/gemm/CMakeFiles/ndirect_gemm.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ndirect_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

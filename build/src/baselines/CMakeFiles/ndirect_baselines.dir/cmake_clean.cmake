@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndirect_baselines.dir/acl_direct.cpp.o"
+  "CMakeFiles/ndirect_baselines.dir/acl_direct.cpp.o.d"
+  "CMakeFiles/ndirect_baselines.dir/acl_gemm.cpp.o"
+  "CMakeFiles/ndirect_baselines.dir/acl_gemm.cpp.o.d"
+  "CMakeFiles/ndirect_baselines.dir/im2col_conv.cpp.o"
+  "CMakeFiles/ndirect_baselines.dir/im2col_conv.cpp.o.d"
+  "CMakeFiles/ndirect_baselines.dir/indirect_conv.cpp.o"
+  "CMakeFiles/ndirect_baselines.dir/indirect_conv.cpp.o.d"
+  "CMakeFiles/ndirect_baselines.dir/naive_conv.cpp.o"
+  "CMakeFiles/ndirect_baselines.dir/naive_conv.cpp.o.d"
+  "CMakeFiles/ndirect_baselines.dir/nchwc_conv.cpp.o"
+  "CMakeFiles/ndirect_baselines.dir/nchwc_conv.cpp.o.d"
+  "libndirect_baselines.a"
+  "libndirect_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndirect_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

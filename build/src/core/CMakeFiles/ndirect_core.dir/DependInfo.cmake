@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/alpha.cpp" "src/core/CMakeFiles/ndirect_core.dir/alpha.cpp.o" "gcc" "src/core/CMakeFiles/ndirect_core.dir/alpha.cpp.o.d"
+  "/root/repo/src/core/conv3d.cpp" "src/core/CMakeFiles/ndirect_core.dir/conv3d.cpp.o" "gcc" "src/core/CMakeFiles/ndirect_core.dir/conv3d.cpp.o.d"
+  "/root/repo/src/core/conv_fp16.cpp" "src/core/CMakeFiles/ndirect_core.dir/conv_fp16.cpp.o" "gcc" "src/core/CMakeFiles/ndirect_core.dir/conv_fp16.cpp.o.d"
+  "/root/repo/src/core/conv_fp64.cpp" "src/core/CMakeFiles/ndirect_core.dir/conv_fp64.cpp.o" "gcc" "src/core/CMakeFiles/ndirect_core.dir/conv_fp64.cpp.o.d"
+  "/root/repo/src/core/depthwise.cpp" "src/core/CMakeFiles/ndirect_core.dir/depthwise.cpp.o" "gcc" "src/core/CMakeFiles/ndirect_core.dir/depthwise.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "src/core/CMakeFiles/ndirect_core.dir/engine.cpp.o" "gcc" "src/core/CMakeFiles/ndirect_core.dir/engine.cpp.o.d"
+  "/root/repo/src/core/fai.cpp" "src/core/CMakeFiles/ndirect_core.dir/fai.cpp.o" "gcc" "src/core/CMakeFiles/ndirect_core.dir/fai.cpp.o.d"
+  "/root/repo/src/core/filter_transform.cpp" "src/core/CMakeFiles/ndirect_core.dir/filter_transform.cpp.o" "gcc" "src/core/CMakeFiles/ndirect_core.dir/filter_transform.cpp.o.d"
+  "/root/repo/src/core/fp16.cpp" "src/core/CMakeFiles/ndirect_core.dir/fp16.cpp.o" "gcc" "src/core/CMakeFiles/ndirect_core.dir/fp16.cpp.o.d"
+  "/root/repo/src/core/grouped.cpp" "src/core/CMakeFiles/ndirect_core.dir/grouped.cpp.o" "gcc" "src/core/CMakeFiles/ndirect_core.dir/grouped.cpp.o.d"
+  "/root/repo/src/core/microkernel.cpp" "src/core/CMakeFiles/ndirect_core.dir/microkernel.cpp.o" "gcc" "src/core/CMakeFiles/ndirect_core.dir/microkernel.cpp.o.d"
+  "/root/repo/src/core/quantized.cpp" "src/core/CMakeFiles/ndirect_core.dir/quantized.cpp.o" "gcc" "src/core/CMakeFiles/ndirect_core.dir/quantized.cpp.o.d"
+  "/root/repo/src/core/threading.cpp" "src/core/CMakeFiles/ndirect_core.dir/threading.cpp.o" "gcc" "src/core/CMakeFiles/ndirect_core.dir/threading.cpp.o.d"
+  "/root/repo/src/core/tiling.cpp" "src/core/CMakeFiles/ndirect_core.dir/tiling.cpp.o" "gcc" "src/core/CMakeFiles/ndirect_core.dir/tiling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/ndirect_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ndirect_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

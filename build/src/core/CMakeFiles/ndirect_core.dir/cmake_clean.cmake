@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndirect_core.dir/alpha.cpp.o"
+  "CMakeFiles/ndirect_core.dir/alpha.cpp.o.d"
+  "CMakeFiles/ndirect_core.dir/conv3d.cpp.o"
+  "CMakeFiles/ndirect_core.dir/conv3d.cpp.o.d"
+  "CMakeFiles/ndirect_core.dir/conv_fp16.cpp.o"
+  "CMakeFiles/ndirect_core.dir/conv_fp16.cpp.o.d"
+  "CMakeFiles/ndirect_core.dir/conv_fp64.cpp.o"
+  "CMakeFiles/ndirect_core.dir/conv_fp64.cpp.o.d"
+  "CMakeFiles/ndirect_core.dir/depthwise.cpp.o"
+  "CMakeFiles/ndirect_core.dir/depthwise.cpp.o.d"
+  "CMakeFiles/ndirect_core.dir/engine.cpp.o"
+  "CMakeFiles/ndirect_core.dir/engine.cpp.o.d"
+  "CMakeFiles/ndirect_core.dir/fai.cpp.o"
+  "CMakeFiles/ndirect_core.dir/fai.cpp.o.d"
+  "CMakeFiles/ndirect_core.dir/filter_transform.cpp.o"
+  "CMakeFiles/ndirect_core.dir/filter_transform.cpp.o.d"
+  "CMakeFiles/ndirect_core.dir/fp16.cpp.o"
+  "CMakeFiles/ndirect_core.dir/fp16.cpp.o.d"
+  "CMakeFiles/ndirect_core.dir/grouped.cpp.o"
+  "CMakeFiles/ndirect_core.dir/grouped.cpp.o.d"
+  "CMakeFiles/ndirect_core.dir/microkernel.cpp.o"
+  "CMakeFiles/ndirect_core.dir/microkernel.cpp.o.d"
+  "CMakeFiles/ndirect_core.dir/quantized.cpp.o"
+  "CMakeFiles/ndirect_core.dir/quantized.cpp.o.d"
+  "CMakeFiles/ndirect_core.dir/threading.cpp.o"
+  "CMakeFiles/ndirect_core.dir/threading.cpp.o.d"
+  "CMakeFiles/ndirect_core.dir/tiling.cpp.o"
+  "CMakeFiles/ndirect_core.dir/tiling.cpp.o.d"
+  "libndirect_core.a"
+  "libndirect_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndirect_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

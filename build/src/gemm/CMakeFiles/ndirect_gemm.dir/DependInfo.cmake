@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gemm/gemm.cpp" "src/gemm/CMakeFiles/ndirect_gemm.dir/gemm.cpp.o" "gcc" "src/gemm/CMakeFiles/ndirect_gemm.dir/gemm.cpp.o.d"
+  "/root/repo/src/gemm/microkernel.cpp" "src/gemm/CMakeFiles/ndirect_gemm.dir/microkernel.cpp.o" "gcc" "src/gemm/CMakeFiles/ndirect_gemm.dir/microkernel.cpp.o.d"
+  "/root/repo/src/gemm/pack.cpp" "src/gemm/CMakeFiles/ndirect_gemm.dir/pack.cpp.o" "gcc" "src/gemm/CMakeFiles/ndirect_gemm.dir/pack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/ndirect_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndirect_gemm.dir/gemm.cpp.o"
+  "CMakeFiles/ndirect_gemm.dir/gemm.cpp.o.d"
+  "CMakeFiles/ndirect_gemm.dir/microkernel.cpp.o"
+  "CMakeFiles/ndirect_gemm.dir/microkernel.cpp.o.d"
+  "CMakeFiles/ndirect_gemm.dir/pack.cpp.o"
+  "CMakeFiles/ndirect_gemm.dir/pack.cpp.o.d"
+  "libndirect_gemm.a"
+  "libndirect_gemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndirect_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

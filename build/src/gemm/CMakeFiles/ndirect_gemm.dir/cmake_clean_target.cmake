@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libndirect_gemm.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndirect_nn.dir/graph.cpp.o"
+  "CMakeFiles/ndirect_nn.dir/graph.cpp.o.d"
+  "CMakeFiles/ndirect_nn.dir/models.cpp.o"
+  "CMakeFiles/ndirect_nn.dir/models.cpp.o.d"
+  "CMakeFiles/ndirect_nn.dir/op.cpp.o"
+  "CMakeFiles/ndirect_nn.dir/op.cpp.o.d"
+  "CMakeFiles/ndirect_nn.dir/optimize.cpp.o"
+  "CMakeFiles/ndirect_nn.dir/optimize.cpp.o.d"
+  "libndirect_nn.a"
+  "libndirect_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndirect_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

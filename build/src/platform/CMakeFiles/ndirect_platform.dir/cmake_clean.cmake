@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndirect_platform.dir/perf_model.cpp.o"
+  "CMakeFiles/ndirect_platform.dir/perf_model.cpp.o.d"
+  "CMakeFiles/ndirect_platform.dir/specs.cpp.o"
+  "CMakeFiles/ndirect_platform.dir/specs.cpp.o.d"
+  "CMakeFiles/ndirect_platform.dir/workloads.cpp.o"
+  "CMakeFiles/ndirect_platform.dir/workloads.cpp.o.d"
+  "libndirect_platform.a"
+  "libndirect_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndirect_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndirect_runtime.dir/cpu_info.cpp.o"
+  "CMakeFiles/ndirect_runtime.dir/cpu_info.cpp.o.d"
+  "CMakeFiles/ndirect_runtime.dir/thread_pool.cpp.o"
+  "CMakeFiles/ndirect_runtime.dir/thread_pool.cpp.o.d"
+  "libndirect_runtime.a"
+  "libndirect_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndirect_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

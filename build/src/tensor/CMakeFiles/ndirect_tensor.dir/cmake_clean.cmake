@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndirect_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/ndirect_tensor.dir/tensor.cpp.o.d"
+  "CMakeFiles/ndirect_tensor.dir/transforms.cpp.o"
+  "CMakeFiles/ndirect_tensor.dir/transforms.cpp.o.d"
+  "libndirect_tensor.a"
+  "libndirect_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndirect_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

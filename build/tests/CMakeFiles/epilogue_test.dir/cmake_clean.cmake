@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epilogue_test.dir/epilogue_test.cpp.o"
+  "CMakeFiles/epilogue_test.dir/epilogue_test.cpp.o.d"
+  "epilogue_test"
+  "epilogue_test.pdb"
+  "epilogue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epilogue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

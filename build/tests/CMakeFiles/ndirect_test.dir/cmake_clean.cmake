@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndirect_test.dir/ndirect_test.cpp.o"
+  "CMakeFiles/ndirect_test.dir/ndirect_test.cpp.o.d"
+  "ndirect_test"
+  "ndirect_test.pdb"
+  "ndirect_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndirect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
