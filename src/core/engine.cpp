@@ -1,6 +1,8 @@
 // The nDirect execution engine: Algorithm 2's loop nest around the
 // micro-kernels, with the PTn x PTk thread grid of Section 6.
+#include <atomic>
 #include <cassert>
+#include <mutex>
 #include <stdexcept>
 
 #include "core/alpha.h"
@@ -8,9 +10,21 @@
 #include "core/microkernel.h"
 #include "core/ndirect.h"
 #include "runtime/aligned_buffer.h"
+#include "runtime/scratch.h"
 #include "tensor/transforms.h"
 
 namespace ndirect {
+
+/// Lazily filled packed-filter cache. Keyed by the source filter data
+/// pointer: inference weights live at a stable address for the model's
+/// lifetime, so a pointer match means the packed copy is current (an
+/// in-place weight update must call invalidate_filter_cache()). Held by
+/// shared_ptr so NdirectConv copies share one packed tensor.
+struct NdirectConv::FilterCache {
+  std::mutex mutex;
+  Tensor packed;                          ///< KPacked, whole filter
+  std::atomic<const float*> src{nullptr};  ///< key; nullptr = cold
+};
 namespace {
 
 /// Per-layout addressing used by the shared loop nest.
@@ -83,7 +97,9 @@ ConvParams flatten_rows(const ConvParams& p, int vw) {
 
 NdirectConv::NdirectConv(const ConvParams& params,
                          const NdirectOptions& options)
-    : params_(params), options_(options) {
+    : params_(params),
+      options_(options),
+      fcache_(std::make_shared<FilterCache>()) {
   if (!params.valid()) {
     throw std::invalid_argument("NdirectConv: invalid convolution " +
                                 params.to_string());
@@ -159,12 +175,30 @@ void run_nest(const ConvParams& p, const NdirectPlan& plan,
 
     // +4 floats of slack: the unrolled kernel reads the final row in
     // whole vectors (the extra lanes are loaded but never consumed).
-    AlignedBuffer<float> pack(static_cast<std::size_t>(tc) * p.R *
-                                  plan.packw +
-                              4);
-    AlignedBuffer<float> ftile;
-    if (aot_packed == nullptr) {
-      ftile.reset(static_cast<std::size_t>(tk_blocks) * vk * tc * p.R * p.S);
+    const std::size_t pack_floats =
+        static_cast<std::size_t>(tc) * p.R * plan.packw + 4;
+    const std::size_t ftile_floats =
+        aot_packed == nullptr
+            ? static_cast<std::size_t>(tk_blocks) * vk * tc * p.R * p.S
+            : 0;
+    // Working buffers: from this OS thread's persistent arena (steady
+    // state: no heap allocation), or call-local heap buffers when the
+    // arena is disabled (seed behaviour, kept for overhead A/B benches).
+    AlignedBuffer<float> local_pack, local_ftile;
+    float* pack;
+    float* ftile = nullptr;
+    if (opts.persistent_scratch) {
+      ScratchArena& arena = this_thread_scratch();
+      pack = arena.floats(ScratchSlot::kPack, pack_floats);
+      if (ftile_floats > 0)
+        ftile = arena.floats(ScratchSlot::kFilterTile, ftile_floats);
+    } else {
+      local_pack.reset(pack_floats);
+      pack = local_pack.data();
+      if (ftile_floats > 0) {
+        local_ftile.reset(ftile_floats);
+        ftile = local_ftile.data();
+      }
     }
 
     std::int64_t row = static_cast<std::int64_t>(slice.rows.begin);
@@ -204,9 +238,9 @@ void run_nest(const ConvParams& p, const NdirectPlan& plan,
               transform_filter_tile(filter, p.K, p.C, p.R, p.S,
                                     static_cast<int>(kb0) * vk,
                                     static_cast<int>(kbn) * vk, ct, tcn, vk,
-                                    ftile.data());
+                                    ftile);
               if (pt != nullptr) pt->add("transform", t.seconds());
-              ftile_base = ftile.data();
+              ftile_base = ftile;
               f_kb_stride = std::int64_t{tcn} * f_c_stride;
             }
 
@@ -244,7 +278,7 @@ void run_nest(const ConvParams& p, const NdirectPlan& plan,
                   a.pack_c_stride = ls.in_chan;
                   a.pack_r_stride = ls.in_row;
                 } else {
-                  a.pack = pack.data();
+                  a.pack = pack;
                   a.pack_c_stride = std::int64_t{p.R} * plan.packw;
                   a.pack_r_stride = plan.packw;
                 }
@@ -334,13 +368,13 @@ void run_nest(const ConvParams& p, const NdirectPlan& plan,
                       }
                     } else if (pt != nullptr) {
                       WallTimer t0;
-                      pack_window(pack.data(), g, tcn, p.R, plan.packw);
+                      pack_window(pack, g, tcn, p.R, plan.packw);
                       pt->add("packing", t0.seconds());
                       WallTimer t1;
                       call_compute(a);
                       pt->add("micro-kernel", t1.seconds());
                     } else {
-                      pack_window(pack.data(), g, tcn, p.R, plan.packw);
+                      pack_window(pack, g, tcn, p.R, plan.packw);
                       call_compute(a);
                     }
                   } else if (pt != nullptr) {
@@ -390,8 +424,11 @@ Tensor NdirectConv::run(const Tensor& input, const Tensor& filter,
 
 void NdirectConv::run_into(const float* input, const float* filter,
                            float* output, const Epilogue& epilogue) const {
+  const float* aot_data = nullptr;
   Tensor aot;
-  if (options_.aot_filter) {
+  if (options_.cache_packed_filter) {
+    aot_data = prepare_filter(filter);
+  } else if (options_.aot_filter) {
     WallTimer t;
     // Wrap the raw filter in a transform call via the tiled routine on
     // the whole tensor (identical layout to pack_filter_kpacked).
@@ -404,9 +441,45 @@ void NdirectConv::run_into(const float* input, const float* filter,
                           p.C, plan_.rb.vk, aot.data());
     if (options_.phase_timer != nullptr)
       options_.phase_timer->add("transform", t.seconds());
+    aot_data = aot.data();
   }
   run_nest(exec_, plan_, options_, nchw_strides(exec_), input, filter,
-           options_.aot_filter ? aot.data() : nullptr, output, epilogue);
+           aot_data, output, epilogue);
+}
+
+const float* NdirectConv::prepare_filter(const float* filter) const {
+  if (!options_.cache_packed_filter) return nullptr;
+  FilterCache& fc = *fcache_;
+  // Warm path: one acquire load, no lock. The release store below
+  // orders the packed contents before the key becoming visible.
+  if (fc.src.load(std::memory_order_acquire) == filter)
+    return fc.packed.data();
+  std::lock_guard<std::mutex> lock(fc.mutex);
+  if (fc.src.load(std::memory_order_relaxed) != filter) {
+    const ConvParams& p = params_;
+    const int vk = plan_.rb.vk;
+    if (fc.packed.size() == 0) {
+      fc.packed = Tensor({(p.K + vk - 1) / vk, p.C, p.R, p.S, vk},
+                         Layout::KPacked);
+    }
+    WallTimer t;
+    transform_filter_tile(filter, p.K, p.C, p.R, p.S, 0,
+                          static_cast<int>(fc.packed.dim(0)) * vk, 0, p.C,
+                          vk, fc.packed.data());
+    if (options_.phase_timer != nullptr)
+      options_.phase_timer->add("transform", t.seconds());
+    fc.src.store(filter, std::memory_order_release);
+  }
+  return fc.packed.data();
+}
+
+void NdirectConv::invalidate_filter_cache() {
+  std::lock_guard<std::mutex> lock(fcache_->mutex);
+  fcache_->src.store(nullptr, std::memory_order_release);
+}
+
+bool NdirectConv::filter_cache_warm(const float* filter) const {
+  return fcache_->src.load(std::memory_order_acquire) == filter;
 }
 
 Tensor NdirectConv::run_nhwc(const Tensor& input, const Tensor& filter,
@@ -429,13 +502,16 @@ Tensor NdirectConv::run_nhwc(const Tensor& input, const Tensor& filter,
   }
 
   Tensor out = make_output_nhwc(p.N, p.P(), p.Q(), p.K);
+  const float* aot_data = nullptr;
   Tensor aot;
-  if (options_.aot_filter) {
+  if (options_.cache_packed_filter) {
+    aot_data = prepare_filter(filter.data());
+  } else if (options_.aot_filter) {
     aot = pack_filter_kpacked(filter, plan_.rb.vk);
+    aot_data = aot.data();
   }
   run_nest(exec_, plan_, options_, nhwc_strides(exec_), input.data(),
-           filter.data(), options_.aot_filter ? aot.data() : nullptr,
-           out.data(), epilogue);
+           filter.data(), aot_data, out.data(), epilogue);
   return out;
 }
 

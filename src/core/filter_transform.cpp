@@ -1,10 +1,22 @@
 #include "core/filter_transform.h"
 
+#include <atomic>
+
 namespace ndirect {
+namespace {
+
+std::atomic<std::uint64_t> g_transform_calls{0};
+
+}  // namespace
+
+std::uint64_t transform_filter_tile_calls() {
+  return g_transform_calls.load(std::memory_order_relaxed);
+}
 
 void transform_filter_tile(const float* filter, int K, int C, int R, int S,
                            int kt, int tkn, int ct, int tcn, int vk,
                            float* tile) {
+  g_transform_calls.fetch_add(1, std::memory_order_relaxed);
   const int kb_count = (tkn + vk - 1) / vk;
   const std::int64_t crs = static_cast<std::int64_t>(C) * R * S;
   const std::int64_t rs = static_cast<std::int64_t>(R) * S;

@@ -19,4 +19,10 @@ void transform_filter_tile(const float* filter, int K, int C, int R, int S,
                            int kt, int tkn, int ct, int tcn, int vk,
                            float* tile);
 
+/// Process-wide count of transform_filter_tile invocations (relaxed
+/// atomic; monotonic). Lets tests and benches prove the packed-filter
+/// cache eliminates per-call transforms: the count must not move across
+/// steady-state inference calls.
+std::uint64_t transform_filter_tile_calls();
+
 }  // namespace ndirect

@@ -16,6 +16,8 @@
 // or the one-shot helper `ndirect_conv(input, filter, p)`.
 #pragma once
 
+#include <memory>
+
 #include "core/fai.h"
 #include "core/threading.h"
 #include "core/tiling.h"
@@ -45,6 +47,24 @@ struct NdirectOptions {
   /// Transform the whole filter ahead of time instead of per tile inside
   /// loop L4 (ablation; the paper's nDirect transforms on the fly).
   bool aot_filter = false;
+
+  /// Cache the ahead-of-time packed filter inside the engine, keyed by
+  /// the filter data pointer: the first run packs the KCRS filter to the
+  /// ceil(K/Vk) x C x R x S x Vk layout once, and every later run with
+  /// the same pointer skips the transform entirely. This is the
+  /// inference-serving mode (weights are immutable across calls); the
+  /// graph executor's ConvOp turns it on. If the filter data is mutated
+  /// in place, call NdirectConv::invalidate_filter_cache(). Off by
+  /// default: the paper's nDirect transforms on the fly, and the
+  /// figure benches measure that path.
+  bool cache_packed_filter = false;
+
+  /// Take the workers' pack/filter-tile buffers from the per-OS-thread
+  /// persistent scratch arena (runtime/scratch.h) instead of
+  /// heap-allocating them on every call. On steady-state calls the loop
+  /// nest then performs zero heap allocations. Off reproduces the seed's
+  /// per-call allocation behaviour (A/B benching of the fixed overhead).
+  bool persistent_scratch = true;
 
   /// Force the register block instead of solving Eq. 3/4 (ablation and
   /// auto-tuner use). Zero fields mean "solve".
@@ -118,11 +138,27 @@ class NdirectConv {
   void run_into(const float* input, const float* filter, float* output,
                 const Epilogue& epilogue = {}) const;
 
+  /// Pack `filter` into the engine's cached KPacked buffer now (instead
+  /// of lazily on the first run). Only meaningful with
+  /// options().cache_packed_filter; a no-op otherwise. Returns the
+  /// cached packed data (nullptr when caching is off).
+  const float* prepare_filter(const float* filter) const;
+
+  /// Drop the cached packed filter (weights were mutated in place or
+  /// freed). The next run re-packs.
+  void invalidate_filter_cache();
+
+  /// True when a packed copy for `filter` is resident.
+  bool filter_cache_warm(const float* filter) const;
+
  private:
+  struct FilterCache;  ///< engine.cpp; shared so the engine stays copyable
+
   ConvParams params_;
   ConvParams exec_;
   NdirectOptions options_;
   NdirectPlan plan_;
+  std::shared_ptr<FilterCache> fcache_;
 };
 
 /// One-shot convenience wrapper around NdirectConv.

@@ -10,6 +10,7 @@
 #include "baselines/im2col_conv.h"
 #include "baselines/naive_conv.h"
 #include "gemm/gemm.h"
+#include "simd/vec128.h"
 #include "tensor/rng.h"
 
 namespace ndirect {
@@ -73,6 +74,12 @@ void ConvOp::set_backend(ConvBackend b) {
   engine_.reset();
 }
 
+void ConvOp::set_filter_cache(bool enabled) {
+  if (filter_cache_ == enabled) return;
+  filter_cache_ = enabled;
+  engine_.reset();  // the cache flag is baked into the engine's options
+}
+
 TensorShape ConvOp::infer(const std::vector<TensorShape>& in) const {
   expect_arity("conv", in.size(), 1);
   const TensorShape& s = in[0];
@@ -89,7 +96,14 @@ Tensor ConvOp::forward(const std::vector<const Tensor*>& in) const {
   Tensor out;
   switch (backend_) {
     case ConvBackend::Ndirect: {
-      if (!engine_) engine_ = std::make_unique<NdirectConv>(params_);
+      if (!engine_) {
+        // Inference configuration: persistent scratch arenas plus the
+        // packed-filter cache, so steady-state forward passes allocate
+        // nothing and never re-run the filter transform.
+        NdirectOptions nopts;
+        nopts.cache_packed_filter = filter_cache_;
+        engine_ = std::make_unique<NdirectConv>(params_, nopts);
+      }
       // Bias and fused ReLU ride the store epilogue: zero extra passes.
       ConvEpilogue epi;
       epi.bias = bias_.empty() ? nullptr : bias_.data();
@@ -118,20 +132,32 @@ Tensor ConvOp::forward(const std::vector<const Tensor*>& in) const {
       out = naive_conv_nchw(x, filter_, params_);
       break;
   }
-  if (!bias_.empty()) {
+  // Non-Ndirect backends cannot fuse into their stores; apply bias and
+  // ReLU in ONE vectorized pass over the output instead of the two
+  // scalar passes the seed ran (the Ndirect path returned above with
+  // both folded into the store epilogue).
+  if (!bias_.empty() || fused_relu_) {
     const std::int64_t hw = std::int64_t{params_.P()} * params_.Q();
-    float* d = out.data();
+    const vec128f zero = vzero();
     for (int n = 0; n < params_.N; ++n) {
       for (int k = 0; k < params_.K; ++k) {
-        const float b = bias_[static_cast<std::size_t>(k)];
-        float* plane = d + (std::int64_t{n} * params_.K + k) * hw;
-        for (std::int64_t i = 0; i < hw; ++i) plane[i] += b;
+        const float b =
+            bias_.empty() ? 0.0f : bias_[static_cast<std::size_t>(k)];
+        float* plane =
+            out.data() + (std::int64_t{n} * params_.K + k) * hw;
+        const vec128f vb = vdup(b);
+        std::int64_t i = 0;
+        if (fused_relu_) {
+          for (; i + kVecLanes <= hw; i += kVecLanes)
+            vstore(plane + i, vmax(vadd(vload(plane + i), vb), zero));
+          for (; i < hw; ++i) plane[i] = std::max(plane[i] + b, 0.0f);
+        } else {
+          for (; i + kVecLanes <= hw; i += kVecLanes)
+            vstore(plane + i, vadd(vload(plane + i), vb));
+          for (; i < hw; ++i) plane[i] += b;
+        }
       }
     }
-  }
-  if (fused_relu_) {
-    float* d = out.data();
-    for (std::size_t i = 0; i < out.size(); ++i) d[i] = std::max(d[i], 0.0f);
   }
   return out;
 }

@@ -69,7 +69,19 @@ class ConvOp final : public Op {
   void set_fused_relu(bool fused) { fused_relu_ = fused; }
   bool fused_relu() const { return fused_relu_; }
 
-  Tensor& filter() { return filter_; }
+  /// Cache the packed filter inside the Ndirect engine (on by default:
+  /// graph inference packs each layer's weights exactly once). Off
+  /// restores the seed's transform-per-forward behaviour for A/B
+  /// benching of the fixed overhead.
+  void set_filter_cache(bool enabled);
+  bool filter_cache() const { return filter_cache_; }
+
+  /// Mutable access invalidates the engine's packed-filter cache — the
+  /// graph passes (e.g. fold_batchnorm) scale weights in place.
+  Tensor& filter() {
+    if (engine_) engine_->invalidate_filter_cache();
+    return filter_;
+  }
   const Tensor& filter() const { return filter_; }
   std::vector<float>& bias() { return bias_; }
 
@@ -81,6 +93,7 @@ class ConvOp final : public Op {
   Schedule schedule_{};
   bool has_schedule_ = false;
   bool fused_relu_ = false;
+  bool filter_cache_ = true;
   // Planned engine for the Ndirect backend (lazy, shape is fixed).
   mutable std::unique_ptr<NdirectConv> engine_;
 };

@@ -1,0 +1,41 @@
+#include "runtime/scratch.h"
+
+#include <atomic>
+
+namespace ndirect {
+namespace {
+
+std::atomic<std::uint64_t> g_grow_events{0};
+
+}  // namespace
+
+float* ScratchArena::floats(ScratchSlot slot, std::size_t count) {
+  AlignedBuffer<float>& buf = slots_[static_cast<int>(slot)];
+  if (count > buf.size()) {
+    buf.reset(count);
+    ++grows_;
+    g_grow_events.fetch_add(1, std::memory_order_relaxed);
+  }
+  return buf.data();
+}
+
+std::size_t ScratchArena::capacity_bytes() const {
+  std::size_t total = 0;
+  for (const auto& buf : slots_) total += buf.size() * sizeof(float);
+  return total;
+}
+
+void ScratchArena::release() {
+  for (auto& buf : slots_) buf.reset(0);
+}
+
+ScratchArena& this_thread_scratch() {
+  thread_local ScratchArena arena;
+  return arena;
+}
+
+std::uint64_t scratch_grow_events() {
+  return g_grow_events.load(std::memory_order_relaxed);
+}
+
+}  // namespace ndirect

@@ -1,0 +1,75 @@
+// Persistent per-thread scratch arenas for the kernel hot paths.
+//
+// Every convolution call needs small, short-lived working buffers (the
+// packed input window, the on-the-fly transformed filter tile). The seed
+// engine heap-allocated these inside each worker on every call, a fixed
+// cost that dominates exactly the small late-stage layers (7x7 spatial)
+// where the kernel itself runs in microseconds. An arena instead lives
+// as long as its OS thread: buffers grow monotonically to the high-water
+// mark of the shapes the thread has executed and are reused verbatim on
+// every later call, so steady-state inference performs zero heap
+// allocations inside the loop nest.
+//
+// Concurrency model: one arena per OS thread (`this_thread_scratch()`),
+// never shared. Pool workers and caller threads each get their own, so
+// concurrent convolutions on different pools or engines can never alias
+// a buffer. Oversubscribed task ids reuse their OS thread's arena
+// sequentially, which is safe because a task's scratch use ends before
+// the next task starts on that thread.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "runtime/aligned_buffer.h"
+
+namespace ndirect {
+
+/// Independently grown buffers within one arena. A kernel that needs two
+/// live buffers at once must use two distinct slots.
+enum class ScratchSlot : int {
+  kPack = 0,     ///< packed input window ([tc][R][packw] + vector slack)
+  kFilterTile,   ///< on-the-fly transformed filter tile
+  kAux0,         ///< free for other engines (fp16/grouped/depthwise)
+  kAux1,
+};
+
+inline constexpr int kScratchSlotCount = 4;
+
+/// A set of cache-line-aligned, grow-only float buffers owned by one OS
+/// thread. Obtain via this_thread_scratch(); do not share across threads.
+class ScratchArena {
+ public:
+  /// Buffer for `slot` holding at least `count` floats. Grows (and
+  /// invalidates prior contents of that slot) only when `count` exceeds
+  /// the slot's high-water mark; otherwise returns the existing storage
+  /// untouched. The underlying allocation carries a cache line of tail
+  /// slack, so kernels may read (not write) a few lanes past the end.
+  float* floats(ScratchSlot slot, std::size_t count);
+
+  /// Number of times any slot of this arena (re)allocated. Constant
+  /// across calls once the arena is warm — tests assert on this.
+  std::uint64_t grow_count() const { return grows_; }
+
+  /// Current total capacity across slots, in bytes.
+  std::size_t capacity_bytes() const;
+
+  /// Free all slots (memory pressure / tests). The next floats() call
+  /// reallocates.
+  void release();
+
+ private:
+  AlignedBuffer<float> slots_[kScratchSlotCount];
+  std::uint64_t grows_ = 0;
+};
+
+/// The calling OS thread's persistent arena (thread-local singleton;
+/// created on first use, freed at thread exit).
+ScratchArena& this_thread_scratch();
+
+/// Process-wide count of arena growth events across all threads.
+/// Monotonic; a window with no growth proves the hot path ran
+/// allocation-free (see runtime_test).
+std::uint64_t scratch_grow_events();
+
+}  // namespace ndirect

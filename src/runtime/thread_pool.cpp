@@ -2,12 +2,47 @@
 
 #include <cstdlib>
 
+#include "runtime/env.h"
 #include "runtime/partition.h"
 
 namespace ndirect {
+namespace {
 
-ThreadPool::ThreadPool(std::size_t num_threads) {
+// One iteration of polite busy-waiting: a pipeline-drain hint on the
+// architectures we target, a scheduler yield elsewhere.
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+// Spin backoff: mostly pause instructions, with a scheduler yield every
+// 64 iterations so oversubscribed hosts (more pool threads than cores)
+// hand the core to whoever holds the work.
+inline void spin_backoff(long iteration) {
+  if (iteration % 64 == 63) {
+    std::this_thread::yield();
+  } else {
+    cpu_relax();
+  }
+}
+
+long resolve_spin_iters(long spin_iters) {
+  if (spin_iters >= 0) return spin_iters;
+  const long v = env_long("NDIRECT_POOL_SPIN", ThreadPool::kDefaultSpinIters);
+  return v < 0 ? ThreadPool::kDefaultSpinIters : v;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t num_threads, long spin_iters)
+    : spin_iters_(resolve_spin_iters(spin_iters)) {
   if (num_threads == 0) num_threads = 1;
+  slots_ = std::vector<WorkerSlot>(num_threads);  // slot 0 unused (caller)
   workers_.reserve(num_threads - 1);
   for (std::size_t i = 1; i < num_threads; ++i) {
     workers_.emplace_back([this, i] { worker_loop(i); });
@@ -15,11 +50,12 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 }
 
 ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    stop_ = true;
-    ++generation_;
-  }
+  stop_.store(true, std::memory_order_seq_cst);
+  generation_.fetch_add(1, std::memory_order_seq_cst);
+  // Empty critical section: a worker that checked the predicate before
+  // the stores above either reached cv_start_.wait() (the notify below
+  // lands) or will re-check and see stop_ — never a lost wakeup.
+  { std::lock_guard<std::mutex> lock(wake_mutex_); }
   cv_start_.notify_all();
   for (auto& w : workers_) w.join();
 }
@@ -34,18 +70,40 @@ void ThreadPool::execute_slice(std::size_t worker_index) {
 }
 
 void ThreadPool::worker_loop(std::size_t worker_index) {
-  std::uint64_t seen_generation = 0;
+  std::uint64_t seen = 0;
   while (true) {
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_start_.wait(lock, [&] { return generation_ != seen_generation; });
-      seen_generation = generation_;
-      if (stop_) return;
+    // Wait for a new generation: spin for the budget, then park.
+    std::uint64_t gen = generation_.load(std::memory_order_acquire);
+    long spins = 0;
+    while (gen == seen) {
+      if (spins < spin_iters_) {
+        spin_backoff(spins++);
+      } else {
+        std::unique_lock<std::mutex> lock(wake_mutex_);
+        // seq_cst pairs with the submitter's generation bump followed by
+        // its num_parked_ read: one side always observes the other, so
+        // either we see the new generation here or the submitter sees us
+        // parked and notifies.
+        num_parked_.fetch_add(1, std::memory_order_seq_cst);
+        cv_start_.wait(lock, [&] {
+          return generation_.load(std::memory_order_relaxed) != seen ||
+                 stop_.load(std::memory_order_relaxed);
+        });
+        num_parked_.fetch_sub(1, std::memory_order_relaxed);
+      }
+      gen = generation_.load(std::memory_order_acquire);
     }
+    if (stop_.load(std::memory_order_acquire)) return;
+    seen = gen;
+
     execute_slice(worker_index);
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (--pending_workers_ == 0) cv_done_.notify_one();
+    slots_[worker_index].done_gen.store(seen, std::memory_order_release);
+    // Arrival: the last worker wakes a parked submitter. seq_cst pairs
+    // with the submitter's caller_waiting_ store / pending_ re-read.
+    if (pending_.fetch_sub(1, std::memory_order_seq_cst) == 1 &&
+        caller_waiting_.load(std::memory_order_seq_cst)) {
+      std::lock_guard<std::mutex> lock(done_mutex_);
+      cv_done_.notify_one();
     }
   }
 }
@@ -60,20 +118,46 @@ void ThreadPool::run(std::size_t num_tasks,
   // One dispatch at a time: a second caller would otherwise overwrite
   // task_/num_tasks_ while workers still read them.
   std::lock_guard<std::mutex> submit_lock(submit_mutex_);
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    num_tasks_ = num_tasks;
-    task_ = &fn;
-    pending_workers_ = workers_.size();
-    ++generation_;
+  num_tasks_ = num_tasks;
+  task_ = &fn;
+  pending_.store(workers_.size(), std::memory_order_relaxed);
+  const std::uint64_t gen =
+      generation_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  if (num_parked_.load(std::memory_order_seq_cst) > 0) {
+    // Workers increment num_parked_ under wake_mutex_, so acquiring it
+    // here serializes against any worker between its predicate check and
+    // its wait — the notify cannot slip into that window.
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    cv_start_.notify_all();
   }
-  cv_start_.notify_all();
+
   execute_slice(0);  // caller acts as worker 0
-  {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_done_.wait(lock, [&] { return pending_workers_ == 0; });
-    task_ = nullptr;
+
+  // Wait for all workers to arrive. The spin phase polls the per-worker
+  // arrival slots (each written once, by its owner) instead of the
+  // shared countdown the workers RMW, then parks on cv_done_.
+  long spins = 0;
+  std::size_t next_unarrived = 1;
+  while (next_unarrived < size()) {
+    if (slots_[next_unarrived].done_gen.load(std::memory_order_acquire) >=
+        gen) {
+      ++next_unarrived;
+      continue;
+    }
+    if (spins < spin_iters_) {
+      spin_backoff(spins++);
+    } else {
+      caller_waiting_.store(true, std::memory_order_seq_cst);
+      {
+        std::unique_lock<std::mutex> lock(done_mutex_);
+        cv_done_.wait(lock, [&] {
+          return pending_.load(std::memory_order_relaxed) == 0;
+        });
+      }
+      caller_waiting_.store(false, std::memory_order_relaxed);
+    }
   }
+  task_ = nullptr;
 }
 
 void ThreadPool::parallel_for(

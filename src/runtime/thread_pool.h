@@ -1,17 +1,31 @@
-// Persistent worker-thread pool with static work partitioning.
+// Persistent worker-thread pool with static work partitioning and a
+// low-latency spin-then-park dispatch path.
 //
 // The paper parallelizes with OpenMP static scheduling over a PTn x PTk
 // logical thread grid (Section 6). We use an explicit pool so the thread
 // count and the (thread id -> work slice) mapping are fully controlled by
 // the library, which is what the Eq. 5/6 thread-mapping model requires.
+//
+// Dispatch protocol (see thread_pool.cpp for the memory-ordering
+// argument): the submitter publishes the task and bumps an atomic
+// generation counter; workers spin (pause/yield) on the generation for a
+// bounded budget before parking on a condition variable, and announce
+// completion through cache-line-aligned per-worker arrival slots plus a
+// shared countdown. A back-to-back stream of convolutions therefore pays
+// no mutex round-trips and no OS wakeups per call — the fixed cost the
+// seed's mutex+condvar handshake charged every NdirectConv invocation.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "runtime/aligned_buffer.h"
 
 namespace ndirect {
 
@@ -20,13 +34,20 @@ namespace ndirect {
 /// reusing workers (oversubscription, used by the SMT experiment).
 class ThreadPool {
  public:
-  explicit ThreadPool(std::size_t num_threads);
+  /// `spin_iters` bounds the busy-wait budget (in pause iterations)
+  /// before a waiter parks on a condition variable. -1 reads
+  /// NDIRECT_POOL_SPIN (default kDefaultSpinIters); 0 parks immediately,
+  /// reproducing the seed's mutex+condvar behaviour for A/B benches.
+  explicit ThreadPool(std::size_t num_threads, long spin_iters = -1);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   std::size_t size() const { return workers_.size() + 1; }
+
+  /// Busy-wait budget in effect (pause iterations before parking).
+  long spin_iters() const { return spin_iters_; }
 
   /// Run fn(tid) for every tid in [0, num_tasks). Blocks until all done.
   /// Task tid is executed by OS thread (tid % size()); tid 0 runs on the
@@ -42,21 +63,43 @@ class ThreadPool {
   /// Process-wide pool sized from NDIRECT_THREADS or hardware concurrency.
   static ThreadPool& global();
 
+  static constexpr long kDefaultSpinIters = 4096;
+
  private:
+  /// Per-worker state on its own cache line: the generation this worker
+  /// last completed. Workers write only their own slot, so completion
+  /// signalling never bounces a shared line between workers.
+  struct alignas(kCacheLineBytes) WorkerSlot {
+    std::atomic<std::uint64_t> done_gen{0};
+    char pad[kCacheLineBytes - sizeof(std::atomic<std::uint64_t>)];
+  };
+
   void worker_loop(std::size_t worker_index);
   void execute_slice(std::size_t worker_index);
 
   std::vector<std::thread> workers_;
+  std::vector<WorkerSlot> slots_;  ///< one per worker (index 1..size-1)
+  long spin_iters_ = kDefaultSpinIters;
 
   std::mutex submit_mutex_;  ///< serializes concurrent run() callers
-  std::mutex mutex_;
-  std::condition_variable cv_start_;
-  std::condition_variable cv_done_;
-  std::uint64_t generation_ = 0;
+
+  // Dispatch state. task_/num_tasks_ are published before the
+  // generation_ bump and read only after observing it.
+  std::atomic<std::uint64_t> generation_{0};
+  std::atomic<std::size_t> pending_{0};   ///< workers yet to arrive
+  std::atomic<bool> stop_{false};
   std::size_t num_tasks_ = 0;
-  std::size_t pending_workers_ = 0;
   const std::function<void(std::size_t)>* task_ = nullptr;
-  bool stop_ = false;
+
+  // Park/wake fallback for workers that exhausted their spin budget.
+  std::mutex wake_mutex_;
+  std::condition_variable cv_start_;
+  std::atomic<int> num_parked_{0};
+
+  // Park/wake fallback for a submitter waiting on completion.
+  std::mutex done_mutex_;
+  std::condition_variable cv_done_;
+  std::atomic<bool> caller_waiting_{false};
 };
 
 }  // namespace ndirect

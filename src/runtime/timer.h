@@ -50,6 +50,16 @@ class PhaseTimer {
 
   void add(const std::string& name, double seconds) {
     phases_[name] += seconds;
+    ++counts_[name];
+  }
+
+  /// Number of add() calls recorded for a phase (0 if never seen).
+  /// Distinguishes "phase ran fast" from "phase never ran" — e.g. the
+  /// packed-filter cache must drive the "transform" count to zero on
+  /// steady-state inference calls.
+  long count(const std::string& name) const {
+    auto it = counts_.find(name);
+    return it == counts_.end() ? 0 : it->second;
   }
 
   double total() const {
@@ -71,10 +81,14 @@ class PhaseTimer {
 
   const std::map<std::string, double>& phases() const { return phases_; }
 
-  void clear() { phases_.clear(); }
+  void clear() {
+    phases_.clear();
+    counts_.clear();
+  }
 
  private:
   std::map<std::string, double> phases_;
+  std::map<std::string, long> counts_;
 };
 
 }  // namespace ndirect

@@ -1,6 +1,7 @@
 // Correctness tests for the nDirect engine and micro-kernels.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <vector>
 
 #include "baselines/naive_conv.h"
@@ -8,6 +9,7 @@
 #include "core/filter_transform.h"
 #include "core/microkernel.h"
 #include "core/ndirect.h"
+#include "runtime/scratch.h"
 #include "tensor/compare.h"
 #include "tensor/rng.h"
 #include "tensor/transforms.h"
@@ -225,8 +227,161 @@ TEST_P(NdirectSweep, GenericKernelFallbackMatchesNaive) {
       << compare_tensors(out, c.reference).to_string();
 }
 
+TEST_P(NdirectSweep, CachedFilterMatchesFreshBitExact) {
+  // Inference path: the packed-filter cache must change nothing about
+  // the arithmetic — cached-packed and fresh-packed (on-the-fly
+  // transform every call) results are bitwise identical, and the
+  // second cached run (pure cache hit) matches the first.
+  const ConvParams p = GetParam();
+  const CaseData c = make_case(p, 28);
+  NdirectOptions cached_opts;
+  cached_opts.cache_packed_filter = true;
+  const NdirectConv cached(p, cached_opts);
+  const NdirectConv fresh(p);
+  const Tensor a = cached.run(c.input, c.filter);  // packs into cache
+  const Tensor b = cached.run(c.input, c.filter);  // cache hit
+  const Tensor d = fresh.run(c.input, c.filter);
+  EXPECT_TRUE(allclose(a, b, 0.0, 0.0))
+      << compare_tensors(a, b).to_string();
+  EXPECT_TRUE(allclose(a, d, 0.0, 0.0))
+      << compare_tensors(a, d).to_string();
+  EXPECT_TRUE(allclose(a, c.reference))
+      << compare_tensors(a, c.reference).to_string();
+}
+
+TEST_P(NdirectSweep, CachedFilterMatchesFreshBitExactNhwc) {
+  const ConvParams p = GetParam();
+  const CaseData c = make_case(p, 29);
+  const Tensor input_nhwc = nchw_to_nhwc(c.input);
+  NdirectOptions cached_opts;
+  cached_opts.cache_packed_filter = true;
+  const NdirectConv cached(p, cached_opts);
+  const NdirectConv fresh(p);
+  const Tensor a = cached.run_nhwc(input_nhwc, c.filter);
+  const Tensor b = cached.run_nhwc(input_nhwc, c.filter);
+  const Tensor d = fresh.run_nhwc(input_nhwc, c.filter);
+  EXPECT_TRUE(allclose(a, b, 0.0, 0.0))
+      << compare_tensors(a, b).to_string();
+  EXPECT_TRUE(allclose(a, d, 0.0, 0.0))
+      << compare_tensors(a, d).to_string();
+  EXPECT_TRUE(allclose(nhwc_to_nchw(a), c.reference))
+      << compare_tensors(nhwc_to_nchw(a), c.reference).to_string();
+}
+
+TEST_P(NdirectSweep, CachedFilterAgreesWithGenericReference)  {
+  // Third independent witness: the cached-packed result vs. the
+  // generic (non-specialized) kernel path. The generic kernel
+  // accumulates in the same order, so this too is bit-exact.
+  const ConvParams p = GetParam();
+  const CaseData c = make_case(p, 30);
+  NdirectOptions cached_opts;
+  cached_opts.cache_packed_filter = true;
+  const NdirectConv cached(p, cached_opts);
+  NdirectOptions generic_opts;
+  generic_opts.generic_kernel_only = true;
+  const NdirectConv generic(p, generic_opts);
+  const Tensor a = cached.run(c.input, c.filter);
+  const Tensor g = generic.run(c.input, c.filter);
+  EXPECT_TRUE(allclose(a, g, 0.0, 0.0))
+      << compare_tensors(a, g).to_string();
+}
+
 INSTANTIATE_TEST_SUITE_P(Shapes, NdirectSweep,
                          ::testing::ValuesIn(correctness_conv_shapes()));
+
+// ----------------------------------------------------------------------
+// Packed-filter cache lifecycle
+// ----------------------------------------------------------------------
+
+TEST(NdirectFilterCache, TransformsStopAfterFirstRun) {
+  const ConvParams p = quick_conv_shapes().front();
+  const CaseData c = make_case(p, 31);
+  NdirectOptions opts;
+  opts.cache_packed_filter = true;
+  const NdirectConv conv(p, opts);
+  (void)conv.run(c.input, c.filter);  // packs once
+  const std::uint64_t warm = transform_filter_tile_calls();
+  for (int i = 0; i < 5; ++i) (void)conv.run(c.input, c.filter);
+  EXPECT_EQ(transform_filter_tile_calls(), warm)
+      << "steady-state runs must not re-transform the filter";
+}
+
+TEST(NdirectFilterCache, PrepareWarmInvalidateCycle) {
+  const ConvParams p = quick_conv_shapes().front();
+  CaseData c = make_case(p, 32);
+  NdirectOptions opts;
+  opts.cache_packed_filter = true;
+  NdirectConv conv(p, opts);
+
+  EXPECT_FALSE(conv.filter_cache_warm(c.filter.data()));
+  const float* packed = conv.prepare_filter(c.filter.data());
+  EXPECT_NE(packed, nullptr);
+  EXPECT_TRUE(conv.filter_cache_warm(c.filter.data()));
+  // prepare_filter is idempotent and stable for the same weights.
+  EXPECT_EQ(conv.prepare_filter(c.filter.data()), packed);
+
+  // Mutate the weights in place (what fold_batchnorm does), invalidate,
+  // and check the next run uses the new values.
+  for (std::size_t i = 0; i < c.filter.size(); ++i)
+    c.filter.data()[i] *= 2.0f;
+  conv.invalidate_filter_cache();
+  EXPECT_FALSE(conv.filter_cache_warm(c.filter.data()));
+  const Tensor out = conv.run(c.input, c.filter);
+  const Tensor ref = naive_conv_nchw(c.input, c.filter, p);
+  EXPECT_TRUE(allclose(out, ref)) << compare_tensors(out, ref).to_string();
+  EXPECT_TRUE(conv.filter_cache_warm(c.filter.data()));
+}
+
+TEST(NdirectFilterCache, CacheIsKeyedByFilterPointer) {
+  const ConvParams p = quick_conv_shapes().front();
+  const CaseData c = make_case(p, 33);
+  Tensor other = make_filter_kcrs(p.K, p.C, p.R, p.S);
+  fill_random(other, 99);
+  NdirectOptions opts;
+  opts.cache_packed_filter = true;
+  const NdirectConv conv(p, opts);
+  (void)conv.run(c.input, c.filter);
+  EXPECT_TRUE(conv.filter_cache_warm(c.filter.data()));
+  EXPECT_FALSE(conv.filter_cache_warm(other.data()));
+  // A different weight tensor re-packs and computes correctly.
+  const Tensor out = conv.run(c.input, other);
+  const Tensor ref = naive_conv_nchw(c.input, other, p);
+  EXPECT_TRUE(allclose(out, ref)) << compare_tensors(out, ref).to_string();
+  EXPECT_TRUE(conv.filter_cache_warm(other.data()));
+}
+
+TEST(NdirectFilterCache, OffByDefaultAndNoopPrepare) {
+  const ConvParams p = quick_conv_shapes().front();
+  const CaseData c = make_case(p, 34);
+  const NdirectConv conv(p);  // cache_packed_filter defaults to false
+  EXPECT_EQ(conv.prepare_filter(c.filter.data()), nullptr);
+  EXPECT_FALSE(conv.filter_cache_warm(c.filter.data()));
+}
+
+// ----------------------------------------------------------------------
+// Scratch arena steady state: no heap growth inside run_nest workers
+// ----------------------------------------------------------------------
+
+TEST(NdirectArena, SteadyStateRunsDoNotGrowScratch) {
+  const ConvParams p = correctness_conv_shapes().front();
+  const CaseData c = make_case(p, 35);
+  ThreadPool pool(3);  // persistent workers -> persistent arenas
+  NdirectOptions opts;
+  opts.pool = &pool;
+  opts.threads = 3;
+  opts.cache_packed_filter = true;
+  const NdirectConv conv(p, opts);
+  (void)conv.run(c.input, c.filter);  // warm-up grows the arenas
+  const std::uint64_t grows = scratch_grow_events();
+  const std::uint64_t transforms = transform_filter_tile_calls();
+  for (int i = 0; i < 10; ++i) {
+    const Tensor out = conv.run(c.input, c.filter);
+    ASSERT_TRUE(allclose(out, c.reference));
+  }
+  EXPECT_EQ(scratch_grow_events(), grows)
+      << "steady-state calls must reuse the per-thread arenas";
+  EXPECT_EQ(transform_filter_tile_calls(), transforms);
+}
 
 // ----------------------------------------------------------------------
 // Plan/engine behaviours

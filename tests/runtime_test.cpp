@@ -2,14 +2,18 @@
 // thread pool, timers.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "runtime/aligned_buffer.h"
 #include "runtime/cpu_info.h"
 #include "runtime/partition.h"
+#include "runtime/scratch.h"
 #include "runtime/thread_pool.h"
 #include "runtime/timer.h"
 
@@ -164,6 +168,168 @@ TEST(ThreadPool, ConcurrentCallersSerializeSafely) {
 
 TEST(ThreadPool, GlobalPoolExists) {
   EXPECT_GE(ThreadPool::global().size(), 1u);
+}
+
+// ----------------------------------------------------------------------
+// Spin-then-park dispatch path
+// ----------------------------------------------------------------------
+
+TEST(ThreadPool, SpinBudgetConstructorOverride) {
+  ThreadPool pool(2, 123);
+  EXPECT_EQ(pool.spin_iters(), 123);
+  std::atomic<int> count{0};
+  pool.run(4, [&](std::size_t) { count++; });
+  EXPECT_EQ(count.load(), 4);
+}
+
+TEST(ThreadPool, RepeatedSubMicrosecondDispatches) {
+  // A stream of back-to-back tiny dispatches keeps workers inside their
+  // spin window; every task must still run exactly once per call.
+  ThreadPool pool(4);
+  std::atomic<long> total{0};
+  constexpr int kCalls = 5000;
+  for (int i = 0; i < kCalls; ++i) {
+    pool.run(4, [&](std::size_t) { total++; });
+  }
+  EXPECT_EQ(total.load(), 4L * kCalls);
+}
+
+TEST(ThreadPool, ParkedWorkersRewakeCorrectly) {
+  // Let every worker exhaust its spin budget and park, then dispatch
+  // again: the condvar fallback must wake them all.
+  ThreadPool pool(3, 64);  // tiny budget so parking happens fast
+  for (int round = 0; round < 5; ++round) {
+    std::atomic<int> count{0};
+    pool.run(3, [&](std::size_t) { count++; });
+    EXPECT_EQ(count.load(), 3) << "round " << round;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+TEST(ThreadPool, ZeroSpinPoolParksImmediately) {
+  // NDIRECT_POOL_SPIN=0 semantics: pure mutex+condvar operation (the
+  // seed behaviour, kept as the A/B baseline) must stay correct.
+  ThreadPool pool(3, 0);
+  EXPECT_EQ(pool.spin_iters(), 0);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> count{0};
+    pool.run(6, [&](std::size_t) { count++; });
+    ASSERT_EQ(count.load(), 6);
+  }
+}
+
+TEST(ThreadPool, ConcurrentCallersWithTinyTasks) {
+  // Multiple caller threads hammering one pool with sub-microsecond
+  // tasks: dispatches must serialize, tasks must never be lost or run
+  // twice. (The TSan tier exercises the atomic handshake here.)
+  ThreadPool pool(2);
+  constexpr int kCallers = 4, kCallsPerCaller = 300;
+  std::atomic<long> total{0};
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&] {
+      for (int i = 0; i < kCallsPerCaller; ++i) {
+        pool.run(3, [&](std::size_t) { total++; });
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(total.load(), 3L * kCallers * kCallsPerCaller);
+}
+
+TEST(ThreadPool, OversubscribedConcurrentCallers) {
+  // num_tasks > size() from several callers at once: round-robin
+  // stacking and dispatch serialization must compose.
+  ThreadPool pool(2, 256);
+  constexpr int kCallers = 3, kTasks = 16, kCalls = 50;
+  std::atomic<long> total{0};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&] {
+      for (int i = 0; i < kCalls; ++i) {
+        pool.run(kTasks, [&](std::size_t) { total++; });
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(total.load(), long{kCallers} * kTasks * kCalls);
+}
+
+TEST(ThreadPool, TaskIndexToThreadMappingStable) {
+  // Task tid runs on OS thread (tid % size()); with 2 threads and 8
+  // tasks, tasks {0,2,4,6} share one thread and {1,3,5,7} the other.
+  ThreadPool pool(2);
+  std::array<std::atomic<std::thread::id>, 8> ran_on{};
+  pool.run(8, [&](std::size_t tid) {
+    ran_on[tid].store(std::this_thread::get_id());
+  });
+  for (std::size_t tid = 2; tid < 8; ++tid) {
+    EXPECT_EQ(ran_on[tid].load(), ran_on[tid % 2].load()) << "tid " << tid;
+  }
+}
+
+// ----------------------------------------------------------------------
+// Scratch arena
+// ----------------------------------------------------------------------
+
+TEST(ScratchArena, GrowOnlyAndStablePointers) {
+  ScratchArena arena;
+  float* p = arena.floats(ScratchSlot::kPack, 100);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % kCacheLineBytes, 0u);
+  const std::uint64_t grows = arena.grow_count();
+  // Smaller or equal requests reuse the same storage without growth.
+  EXPECT_EQ(arena.floats(ScratchSlot::kPack, 50), p);
+  EXPECT_EQ(arena.floats(ScratchSlot::kPack, 100), p);
+  EXPECT_EQ(arena.grow_count(), grows);
+  // A larger request grows exactly once.
+  float* q = arena.floats(ScratchSlot::kPack, 200);
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(arena.grow_count(), grows + 1);
+}
+
+TEST(ScratchArena, SlotsAreIndependent) {
+  ScratchArena arena;
+  float* a = arena.floats(ScratchSlot::kPack, 64);
+  float* b = arena.floats(ScratchSlot::kFilterTile, 64);
+  ASSERT_NE(a, b);
+  a[0] = 1.0f;
+  b[0] = 2.0f;
+  // Re-requesting either slot must not disturb the other.
+  EXPECT_EQ(arena.floats(ScratchSlot::kPack, 32), a);
+  EXPECT_EQ(a[0], 1.0f);
+  EXPECT_EQ(b[0], 2.0f);
+}
+
+TEST(ScratchArena, ReleaseFreesAndReallocates) {
+  ScratchArena arena;
+  arena.floats(ScratchSlot::kAux0, 128);
+  EXPECT_GT(arena.capacity_bytes(), 0u);
+  arena.release();
+  EXPECT_EQ(arena.capacity_bytes(), 0u);
+  EXPECT_NE(arena.floats(ScratchSlot::kAux0, 16), nullptr);
+}
+
+TEST(ScratchArena, ThreadLocalInstancesAreDistinct) {
+  ScratchArena* main_arena = &this_thread_scratch();
+  EXPECT_EQ(main_arena, &this_thread_scratch());  // stable per thread
+  ScratchArena* other_arena = nullptr;
+  std::thread t([&] { other_arena = &this_thread_scratch(); });
+  t.join();
+  EXPECT_NE(main_arena, other_arena);
+}
+
+TEST(ScratchArena, GlobalGrowCounterTracksGrowth) {
+  ScratchArena arena;
+  const std::uint64_t before = scratch_grow_events();
+  arena.floats(ScratchSlot::kAux1, 4096);
+  EXPECT_GT(scratch_grow_events(), before);
+  // Reuse does not move the global counter from this arena.
+  const std::uint64_t warm = scratch_grow_events();
+  arena.floats(ScratchSlot::kAux1, 4096);
+  EXPECT_EQ(arena.grow_count(), 1u);
+  EXPECT_GE(scratch_grow_events(), warm);  // other threads may grow
 }
 
 TEST(Timer, MeasuresMonotonicallyIncreasingTime) {
