@@ -2,8 +2,11 @@
 // micro-kernels, with the PTn x PTk thread grid of Section 6.
 #include <atomic>
 #include <cassert>
+#include <cstring>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
+#include <vector>
 
 #include "core/alpha.h"
 #include "core/filter_transform.h"
@@ -15,16 +18,52 @@
 
 namespace ndirect {
 
-/// Lazily filled packed-filter cache. Keyed by the source filter data
-/// pointer: inference weights live at a stable address for the model's
-/// lifetime, so a pointer match means the packed copy is current (an
-/// in-place weight update must call invalidate_filter_cache()). Held by
-/// shared_ptr so NdirectConv copies share one packed tensor.
+/// Lazily filled packed-filter cache. One immutable entry per source
+/// filter pointer: an entry is packed once under the cache mutex,
+/// published, and never written again, so warm readers need no lock and
+/// two concurrent const runs with *different* filters can never
+/// overwrite a buffer the other is reading. Pointer keying is validated
+/// by a sampled content fingerprint on every hit, which catches the
+/// silent-failure modes a raw pointer cannot: a freed weight tensor
+/// whose address the allocator reuses, or in-place mutation without
+/// invalidate_filter_cache(). Held by shared_ptr so NdirectConv copies
+/// share one cache.
 struct NdirectConv::FilterCache {
+  struct Entry {
+    std::atomic<const float*> src{nullptr};  ///< key; nullptr = retired
+    std::uint64_t fp = 0;  ///< filter_fingerprint at pack time
+    Tensor packed;         ///< KPacked, whole filter
+  };
   std::mutex mutex;
-  Tensor packed;                          ///< KPacked, whole filter
-  std::atomic<const float*> src{nullptr};  ///< key; nullptr = cold
+  /// Most-recently-used entry, for the lock-free warm path.
+  std::atomic<Entry*> hot{nullptr};
+  /// Owning list (stable heap addresses). Mutated only under `mutex`;
+  /// superseded entries are retired (src = nullptr), not destroyed, so
+  /// a racing reader's pointer stays valid until invalidate.
+  std::vector<std::unique_ptr<Entry>> entries;
 };
+
+namespace {
+
+/// Content fingerprint validating warm filter-cache hits: the element
+/// count mixed with up to 64 values sampled evenly across the tensor
+/// (a few cache lines per call — noise next to the convolution). A
+/// stale hit slips through only if the replacement tensor matches size
+/// and every sampled bit pattern; invalidate_filter_cache() remains the
+/// authoritative API, the fingerprint is the safety net.
+std::uint64_t filter_fingerprint(const float* data, std::size_t n) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ull ^ n;
+  const std::size_t samples = n < 64 ? n : 64;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const std::size_t idx = samples > 1 ? i * (n - 1) / (samples - 1) : 0;
+    std::uint32_t bits;
+    std::memcpy(&bits, data + idx, sizeof(bits));
+    h = (h ^ bits) * 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
 namespace {
 
 /// Per-layout addressing used by the shared loop nest.
@@ -450,36 +489,63 @@ void NdirectConv::run_into(const float* input, const float* filter,
 const float* NdirectConv::prepare_filter(const float* filter) const {
   if (!options_.cache_packed_filter) return nullptr;
   FilterCache& fc = *fcache_;
-  // Warm path: one acquire load, no lock. The release store below
-  // orders the packed contents before the key becoming visible.
-  if (fc.src.load(std::memory_order_acquire) == filter)
-    return fc.packed.data();
+  const ConvParams& p = params_;
+  const std::uint64_t fp = filter_fingerprint(
+      filter, static_cast<std::size_t>(p.K) * p.C * p.R * p.S);
+  // Warm path: one acquire load, no lock. The release publish below
+  // orders the entry's packed contents before it becoming visible; the
+  // fingerprint check rejects stale hits instead of serving stale
+  // weights.
+  FilterCache::Entry* hot = fc.hot.load(std::memory_order_acquire);
+  if (hot != nullptr &&
+      hot->src.load(std::memory_order_relaxed) == filter && hot->fp == fp)
+    return hot->packed.data();
+
   std::lock_guard<std::mutex> lock(fc.mutex);
-  if (fc.src.load(std::memory_order_relaxed) != filter) {
-    const ConvParams& p = params_;
-    const int vk = plan_.rb.vk;
-    if (fc.packed.size() == 0) {
-      fc.packed = Tensor({(p.K + vk - 1) / vk, p.C, p.R, p.S, vk},
-                         Layout::KPacked);
+  for (const auto& e : fc.entries) {
+    if (e->src.load(std::memory_order_relaxed) != filter) continue;
+    if (e->fp == fp) {
+      fc.hot.store(e.get(), std::memory_order_release);
+      return e->packed.data();
     }
-    WallTimer t;
-    transform_filter_tile(filter, p.K, p.C, p.R, p.S, 0,
-                          static_cast<int>(fc.packed.dim(0)) * vk, 0, p.C,
-                          vk, fc.packed.data());
-    if (options_.phase_timer != nullptr)
-      options_.phase_timer->add("transform", t.seconds());
-    fc.src.store(filter, std::memory_order_release);
+    // Same address, different contents: the weight tensor was freed and
+    // its address reused, or it was mutated in place without an
+    // invalidate. Retire the entry — a racing run may still read it, so
+    // it is only unlinked, never destroyed here — and pack afresh.
+    e->src.store(nullptr, std::memory_order_relaxed);
   }
-  return fc.packed.data();
+  auto entry = std::make_unique<FilterCache::Entry>();
+  const int vk = plan_.rb.vk;
+  entry->packed =
+      Tensor({(p.K + vk - 1) / vk, p.C, p.R, p.S, vk}, Layout::KPacked);
+  WallTimer t;
+  transform_filter_tile(filter, p.K, p.C, p.R, p.S, 0,
+                        static_cast<int>(entry->packed.dim(0)) * vk, 0, p.C,
+                        vk, entry->packed.data());
+  if (options_.phase_timer != nullptr)
+    options_.phase_timer->add("transform", t.seconds());
+  entry->fp = fp;
+  entry->src.store(filter, std::memory_order_relaxed);
+  FilterCache::Entry* raw = entry.get();
+  fc.entries.push_back(std::move(entry));
+  fc.hot.store(raw, std::memory_order_release);
+  return raw->packed.data();
 }
 
 void NdirectConv::invalidate_filter_cache() {
+  // Destroys the packed buffers, so this must not race with a
+  // concurrent run()/run_into() on the same cache (concurrent runs with
+  // stable weight pointers need no invalidation in the first place).
   std::lock_guard<std::mutex> lock(fcache_->mutex);
-  fcache_->src.store(nullptr, std::memory_order_release);
+  fcache_->hot.store(nullptr, std::memory_order_relaxed);
+  fcache_->entries.clear();
 }
 
 bool NdirectConv::filter_cache_warm(const float* filter) const {
-  return fcache_->src.load(std::memory_order_acquire) == filter;
+  std::lock_guard<std::mutex> lock(fcache_->mutex);
+  for (const auto& e : fcache_->entries)
+    if (e->src.load(std::memory_order_relaxed) == filter) return true;
+  return false;
 }
 
 Tensor NdirectConv::run_nhwc(const Tensor& input, const Tensor& filter,

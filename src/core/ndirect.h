@@ -53,8 +53,14 @@ struct NdirectOptions {
   /// ceil(K/Vk) x C x R x S x Vk layout once, and every later run with
   /// the same pointer skips the transform entirely. This is the
   /// inference-serving mode (weights are immutable across calls); the
-  /// graph executor's ConvOp turns it on. If the filter data is mutated
-  /// in place, call NdirectConv::invalidate_filter_cache(). Off by
+  /// graph executor's ConvOp turns it on. Each distinct pointer gets its
+  /// own immutable packed copy (concurrent const runs with different
+  /// filters stay thread-safe), and hits are validated with a sampled
+  /// content fingerprint so allocator address reuse or in-place
+  /// mutation is detected and re-packed instead of silently serving
+  /// stale weights. After mutating or freeing filter data, still call
+  /// NdirectConv::invalidate_filter_cache() — it also releases the
+  /// packed copies; the fingerprint is a best-effort safety net. Off by
   /// default: the paper's nDirect transforms on the fly, and the
   /// figure benches measure that path.
   bool cache_packed_filter = false;
@@ -144,11 +150,14 @@ class NdirectConv {
   /// cached packed data (nullptr when caching is off).
   const float* prepare_filter(const float* filter) const;
 
-  /// Drop the cached packed filter (weights were mutated in place or
-  /// freed). The next run re-packs.
+  /// Drop all cached packed filters (weights were mutated in place or
+  /// freed). The next run re-packs. Must not be called concurrently
+  /// with run()/run_into() on this engine or a copy sharing its cache:
+  /// it frees the packed buffers a racing run could be reading.
   void invalidate_filter_cache();
 
-  /// True when a packed copy for `filter` is resident.
+  /// True when a packed copy keyed by `filter` is resident (its
+  /// contents are re-validated against the live weights on use).
   bool filter_cache_warm(const float* filter) const;
 
  private:

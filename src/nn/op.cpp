@@ -104,6 +104,12 @@ Tensor ConvOp::forward(const std::vector<const Tensor*>& in) const {
         nopts.cache_packed_filter = filter_cache_;
         engine_ = std::make_unique<NdirectConv>(params_, nopts);
       }
+      if (filter_dirty_) {
+        // Weights were handed out mutably since the last forward (e.g.
+        // fold_batchnorm); drop the packed copy before this run.
+        engine_->invalidate_filter_cache();
+        filter_dirty_ = false;
+      }
       // Bias and fused ReLU ride the store epilogue: zero extra passes.
       ConvEpilogue epi;
       epi.bias = bias_.empty() ? nullptr : bias_.data();

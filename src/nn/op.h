@@ -76,10 +76,17 @@ class ConvOp final : public Op {
   void set_filter_cache(bool enabled);
   bool filter_cache() const { return filter_cache_; }
 
-  /// Mutable access invalidates the engine's packed-filter cache — the
-  /// graph passes (e.g. fold_batchnorm) scale weights in place.
+  /// Mutable access marks the filter dirty; the next forward()
+  /// invalidates the engine's packed-filter cache — the graph passes
+  /// (e.g. fold_batchnorm) scale weights in place. Deferring to
+  /// forward() means any number of accesses between two forwards cost
+  /// one re-pack, not one each. Hazard: a retained Tensor& mutated
+  /// after a later forward() bypasses the flag (the engine's sampled
+  /// content fingerprint usually still catches it, but is best-effort)
+  /// — re-take filter() before each round of mutation, and use the
+  /// const overload for pure reads so nothing re-packs at all.
   Tensor& filter() {
-    if (engine_) engine_->invalidate_filter_cache();
+    filter_dirty_ = true;
     return filter_;
   }
   const Tensor& filter() const { return filter_; }
@@ -94,6 +101,8 @@ class ConvOp final : public Op {
   bool has_schedule_ = false;
   bool fused_relu_ = false;
   bool filter_cache_ = true;
+  /// Set by the mutable filter() accessor, consumed by forward().
+  mutable bool filter_dirty_ = false;
   // Planned engine for the Ndirect backend (lazy, shape is fixed).
   mutable std::unique_ptr<NdirectConv> engine_;
 };

@@ -86,8 +86,12 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
         // parked and notifies.
         num_parked_.fetch_add(1, std::memory_order_seq_cst);
         cv_start_.wait(lock, [&] {
-          return generation_.load(std::memory_order_relaxed) != seen ||
-                 stop_.load(std::memory_order_relaxed);
+          // seq_cst loads: the predicate is the decisive read of the
+          // Dekker pairing, so it must participate in the total order
+          // with the submitter's generation bump (a relaxed load is not
+          // guaranteed to observe it under the formal memory model).
+          return generation_.load(std::memory_order_seq_cst) != seen ||
+                 stop_.load(std::memory_order_seq_cst);
         });
         num_parked_.fetch_sub(1, std::memory_order_relaxed);
       }
@@ -97,11 +101,16 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
     seen = gen;
 
     execute_slice(worker_index);
-    slots_[worker_index].done_gen.store(seen, std::memory_order_release);
-    // Arrival: the last worker wakes a parked submitter. seq_cst pairs
-    // with the submitter's caller_waiting_ store / pending_ re-read.
-    if (pending_.fetch_sub(1, std::memory_order_seq_cst) == 1 &&
-        caller_waiting_.load(std::memory_order_seq_cst)) {
+    // Publish arrival through this worker's own slot. The slot is the
+    // ONLY completion signal: a shared countdown would race across
+    // generations (run() returns once every slot shows `gen`, so a
+    // straggler's decrement could land after the next run() re-armed
+    // the counter and corrupt it). seq_cst Dekker-pairs with the
+    // submitter, which stores caller_waiting_ and then re-reads the
+    // slot: one side always observes the other, so a parked submitter
+    // is either never parked on this slot or gets the notify below.
+    slots_[worker_index].done_gen.store(seen, std::memory_order_seq_cst);
+    if (caller_waiting_.load(std::memory_order_seq_cst)) {
       std::lock_guard<std::mutex> lock(done_mutex_);
       cv_done_.notify_one();
     }
@@ -120,7 +129,6 @@ void ThreadPool::run(std::size_t num_tasks,
   std::lock_guard<std::mutex> submit_lock(submit_mutex_);
   num_tasks_ = num_tasks;
   task_ = &fn;
-  pending_.store(workers_.size(), std::memory_order_relaxed);
   const std::uint64_t gen =
       generation_.fetch_add(1, std::memory_order_seq_cst) + 1;
   if (num_parked_.load(std::memory_order_seq_cst) > 0) {
@@ -133,9 +141,11 @@ void ThreadPool::run(std::size_t num_tasks,
 
   execute_slice(0);  // caller acts as worker 0
 
-  // Wait for all workers to arrive. The spin phase polls the per-worker
-  // arrival slots (each written once, by its owner) instead of the
-  // shared countdown the workers RMW, then parks on cv_done_.
+  // Wait for all workers to arrive. Completion is tracked only through
+  // the per-worker arrival slots (each written by its owner, monotone
+  // in the generation): unlike a shared countdown, a slot cannot be
+  // corrupted by a straggler from the previous generation publishing
+  // after this run() re-armed dispatch state.
   long spins = 0;
   std::size_t next_unarrived = 1;
   while (next_unarrived < size()) {
@@ -147,11 +157,19 @@ void ThreadPool::run(std::size_t num_tasks,
     if (spins < spin_iters_) {
       spin_backoff(spins++);
     } else {
+      // Park until the slot we are blocked on arrives. Every arriving
+      // worker that sees caller_waiting_ notifies under done_mutex_;
+      // the predicate's seq_cst load pairs with the worker's seq_cst
+      // slot store (Dekker), so the arrival is either visible here or
+      // its worker saw caller_waiting_ and will take the mutex and
+      // notify — no lost wakeup. Wakes for other slots re-check and
+      // sleep again; the loop then parks on the next unarrived slot.
       caller_waiting_.store(true, std::memory_order_seq_cst);
       {
         std::unique_lock<std::mutex> lock(done_mutex_);
         cv_done_.wait(lock, [&] {
-          return pending_.load(std::memory_order_relaxed) == 0;
+          return slots_[next_unarrived].done_gen.load(
+                     std::memory_order_seq_cst) >= gen;
         });
       }
       caller_waiting_.store(false, std::memory_order_relaxed);

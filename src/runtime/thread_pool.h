@@ -10,8 +10,9 @@
 // argument): the submitter publishes the task and bumps an atomic
 // generation counter; workers spin (pause/yield) on the generation for a
 // bounded budget before parking on a condition variable, and announce
-// completion through cache-line-aligned per-worker arrival slots plus a
-// shared countdown. A back-to-back stream of convolutions therefore pays
+// completion through cache-line-aligned per-worker arrival slots (no
+// shared counter: one would race across back-to-back generations). A
+// back-to-back stream of convolutions therefore pays
 // no mutex round-trips and no OS wakeups per call — the fixed cost the
 // seed's mutex+condvar handshake charged every NdirectConv invocation.
 #pragma once
@@ -86,7 +87,6 @@ class ThreadPool {
   // Dispatch state. task_/num_tasks_ are published before the
   // generation_ bump and read only after observing it.
   std::atomic<std::uint64_t> generation_{0};
-  std::atomic<std::size_t> pending_{0};   ///< workers yet to arrive
   std::atomic<bool> stop_{false};
   std::size_t num_tasks_ = 0;
   const std::function<void(std::size_t)>* task_ = nullptr;

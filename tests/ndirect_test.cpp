@@ -1,7 +1,9 @@
 // Correctness tests for the nDirect engine and micro-kernels.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
+#include <thread>
 #include <vector>
 
 #include "baselines/naive_conv.h"
@@ -348,6 +350,61 @@ TEST(NdirectFilterCache, CacheIsKeyedByFilterPointer) {
   const Tensor ref = naive_conv_nchw(c.input, other, p);
   EXPECT_TRUE(allclose(out, ref)) << compare_tensors(out, ref).to_string();
   EXPECT_TRUE(conv.filter_cache_warm(other.data()));
+}
+
+TEST(NdirectFilterCache, ConcurrentRunsWithDifferentFiltersAreSafe) {
+  // Two threads hammer the SAME engine (shared cache) with different
+  // weight tensors. Each filter pointer owns an immutable packed entry,
+  // so neither thread can overwrite a buffer the other is mid-read —
+  // every iteration must produce the correct result for its weights.
+  const ConvParams p = quick_conv_shapes().front();
+  const CaseData a = make_case(p, 36);
+  Tensor filter_b = make_filter_kcrs(p.K, p.C, p.R, p.S);
+  fill_random(filter_b, 98);
+  const Tensor ref_b = naive_conv_nchw(a.input, filter_b, p);
+  NdirectOptions opts;
+  opts.cache_packed_filter = true;
+  const NdirectConv conv(p, opts);
+
+  constexpr int kIters = 50;
+  std::atomic<int> mismatches{0};
+  auto hammer = [&](const Tensor& filter, const Tensor& ref) {
+    for (int i = 0; i < kIters; ++i) {
+      const Tensor out = conv.run(a.input, filter);
+      if (!allclose(out, ref)) mismatches.fetch_add(1);
+    }
+  };
+  std::thread t1(hammer, std::cref(a.filter), std::cref(a.reference));
+  std::thread t2(hammer, std::cref(filter_b), std::cref(ref_b));
+  t1.join();
+  t2.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(NdirectFilterCache, StaleContentsAtSameAddressAreRepacked) {
+  // Allocator address reuse (or in-place mutation without invalidate):
+  // the pointer key matches but the contents changed. The sampled
+  // content fingerprint must reject the stale entry and re-pack instead
+  // of silently serving the old weights.
+  const ConvParams p = quick_conv_shapes().front();
+  CaseData c = make_case(p, 37);
+  NdirectOptions opts;
+  opts.cache_packed_filter = true;
+  const NdirectConv conv(p, opts);
+  (void)conv.run(c.input, c.filter);  // packs the original weights
+  const std::uint64_t warm = transform_filter_tile_calls();
+  // A "different tensor" appears at the same address.
+  for (std::size_t i = 0; i < c.filter.size(); ++i)
+    c.filter.data()[i] = 0.25f - c.filter.data()[i];
+  const Tensor ref = naive_conv_nchw(c.input, c.filter, p);
+  const Tensor out = conv.run(c.input, c.filter);
+  EXPECT_GT(transform_filter_tile_calls(), warm)
+      << "a stale pointer hit must re-pack, not serve old weights";
+  EXPECT_TRUE(allclose(out, ref)) << compare_tensors(out, ref).to_string();
+  // The re-packed entry is warm: steady state transforms nothing.
+  const std::uint64_t repacked = transform_filter_tile_calls();
+  (void)conv.run(c.input, c.filter);
+  EXPECT_EQ(transform_filter_tile_calls(), repacked);
 }
 
 TEST(NdirectFilterCache, OffByDefaultAndNoopPrepare) {
