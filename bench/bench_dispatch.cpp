@@ -161,28 +161,23 @@ int main() {
   // ------------------------------------------------------------------
   // JSON record for the driver / tracking dashboards.
   // ------------------------------------------------------------------
-  if (std::FILE* f = std::fopen("BENCH_dispatch.json", "w")) {
-    std::fprintf(f,
-                 "{\n"
-                 "  \"pool_threads\": %zu,\n"
-                 "  \"round_trip_spin_us\": {\"p50\": %.3f, \"p95\": %.3f},\n"
-                 "  \"round_trip_park_us\": {\"p50\": %.3f, \"p95\": %.3f},\n"
-                 "  \"layer\": \"%s\",\n"
-                 "  \"conv_seed_us\": {\"p50\": %.3f, \"p95\": %.3f},\n"
-                 "  \"conv_opt_us\": {\"p50\": %.3f, \"p95\": %.3f},\n"
-                 "  \"fixed_overhead_removed_us\": %.3f,\n"
-                 "  \"p50_ratio\": %.3f,\n"
-                 "  \"steady_state_transforms\": %llu,\n"
-                 "  \"steady_state_arena_growths\": %llu\n"
-                 "}\n",
-                 pool_threads, rt_spin.p50, rt_spin.p95, rt_park.p50,
-                 rt_park.p95, layer.to_string().c_str(), lat_seed.p50,
-                 lat_seed.p95, lat_opt.p50, lat_opt.p95,
-                 overhead_removed_us, overhead_ratio,
-                 static_cast<unsigned long long>(transforms),
-                 static_cast<unsigned long long>(grows));
-    std::fclose(f);
-    std::printf("\nwrote BENCH_dispatch.json\n");
-  }
+  auto pcts = [](const Percentiles& p) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "{\"p50\": %.3f, \"p95\": %.3f}",
+                  p.p50, p.p95);
+    return std::string(buf);
+  };
+  JsonReport report("dispatch");
+  report.add("pool_threads", static_cast<std::uint64_t>(pool_threads));
+  report.add_raw("round_trip_spin_us", pcts(rt_spin));
+  report.add_raw("round_trip_park_us", pcts(rt_park));
+  report.add("layer", layer.to_string());
+  report.add_raw("conv_seed_us", pcts(lat_seed));
+  report.add_raw("conv_opt_us", pcts(lat_opt));
+  report.add("fixed_overhead_removed_us", overhead_removed_us);
+  report.add("p50_ratio", overhead_ratio);
+  report.add("steady_state_transforms", transforms);
+  report.add("steady_state_arena_growths", grows);
+  report.write();
   return 0;
 }

@@ -156,4 +156,44 @@ double geomean(const std::vector<double>& values) {
   return std::exp(log_sum / static_cast<double>(values.size()));
 }
 
+void JsonReport::add(const std::string& key, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4f", v);
+  fields_.emplace_back(key, buf);
+}
+
+void JsonReport::add(const std::string& key, std::uint64_t v) {
+  fields_.emplace_back(key, std::to_string(v));
+}
+
+void JsonReport::add(const std::string& key, const std::string& v) {
+  std::string quoted = "\"";
+  for (char c : v) {
+    if (c == '"' || c == '\\') quoted += '\\';
+    quoted += c;
+  }
+  quoted += '"';
+  fields_.emplace_back(key, quoted);
+}
+
+void JsonReport::add_raw(const std::string& key, const std::string& json) {
+  fields_.emplace_back(key, json);
+}
+
+bool JsonReport::write() const {
+  const std::string path = "BENCH_" + name_ + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\n");
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    std::fprintf(f, "  \"%s\": %s%s\n", fields_[i].first.c_str(),
+                 fields_[i].second.c_str(),
+                 i + 1 < fields_.size() ? "," : "");
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+  return true;
+}
+
 }  // namespace ndirect::bench

@@ -12,8 +12,10 @@
 // on-the-fly filter transform, im2col+GEMM includes the im2col stage.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "platform/perf_model.h"
@@ -58,5 +60,27 @@ std::string fmt(double v, int decimals = 1);
 
 /// Geometric mean of positive values.
 double geomean(const std::vector<double>& values);
+
+/// Machine-readable result sink shared by the benches: collect keyed
+/// values in insertion order, then write() emits BENCH_<name>.json in
+/// the working directory so drivers and dashboards can diff runs
+/// without scraping the human tables.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+  void add(const std::string& key, double v);
+  void add(const std::string& key, std::uint64_t v);
+  void add(const std::string& key, const std::string& v);  ///< quoted
+  /// Pre-formatted JSON value (nested object / array), inserted verbatim.
+  void add_raw(const std::string& key, const std::string& json);
+
+  /// Write BENCH_<name>.json; prints the path on success.
+  bool write() const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
 
 }  // namespace ndirect::bench

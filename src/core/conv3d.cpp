@@ -1,5 +1,6 @@
 #include "core/conv3d.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
@@ -7,18 +8,24 @@ namespace ndirect {
 namespace {
 
 // Gather the depth-d slice of [N,C,D,H,W] into a contiguous NCHW tensor.
+// The (n, c) copies are independent; dynamic claiming lets the copy
+// bandwidth scale with whatever cores are free between conv calls.
 void gather_input_slice(const Tensor& input, const Conv3dParams& p, int d,
-                        Tensor& slice) {
+                        Tensor& slice, ThreadPool& tp) {
   const std::int64_t hw = std::int64_t{p.H} * p.W;
-  for (int n = 0; n < p.N; ++n) {
-    for (int c = 0; c < p.C; ++c) {
-      const float* src =
-          input.data() +
-          (((std::int64_t{n} * p.C + c) * p.D + d) * hw);
-      float* dst = slice.data() + (std::int64_t{n} * p.C + c) * hw;
-      std::memcpy(dst, src, sizeof(float) * static_cast<std::size_t>(hw));
-    }
-  }
+  const std::size_t work = static_cast<std::size_t>(p.N) * p.C;
+  tp.parallel_for_dynamic(
+      work, std::max<std::size_t>(1, work / (4 * tp.size())),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t nc = begin; nc < end; ++nc) {
+          const float* src =
+              input.data() +
+              ((static_cast<std::int64_t>(nc) * p.D + d) * hw);
+          float* dst = slice.data() + static_cast<std::int64_t>(nc) * hw;
+          std::memcpy(dst, src,
+                      sizeof(float) * static_cast<std::size_t>(hw));
+        }
+      });
 }
 
 // Gather the kernel-depth-t slice of [K,C,T,R,S] into KCRS.
@@ -60,24 +67,31 @@ Tensor conv3d_ndirect(const Tensor& input, const Tensor& filter,
   Tensor flt_slice = make_filter_kcrs(p.K, p.C, p.R, p.S);
   const std::int64_t out_plane = std::int64_t{P} * Q;
 
+  ThreadPool& tp = pool != nullptr ? *pool : ThreadPool::global();
   for (int t = 0; t < p.T; ++t) {
     gather_filter_slice(filter, p, t, flt_slice);
     for (int od = 0; od < Dout; ++od) {
       const int d = od * p.str + t - p.pad_d;
       if (d < 0 || d >= p.D) continue;  // depth padding contributes zero
-      gather_input_slice(input, p, d, in_slice);
+      gather_input_slice(input, p, d, in_slice, tp);
       const Tensor partial = conv2d.run(in_slice, flt_slice);
-      // Accumulate the 2D result into the od output plane.
-      for (int n = 0; n < p.N; ++n) {
-        for (int k = 0; k < p.K; ++k) {
-          const float* src =
-              partial.data() + (std::int64_t{n} * p.K + k) * out_plane;
-          float* dst = out.data() +
-                       (((std::int64_t{n} * p.K + k) * Dout) + od) *
-                           out_plane;
-          for (std::int64_t i = 0; i < out_plane; ++i) dst[i] += src[i];
-        }
-      }
+      // Accumulate the 2D result into the od output plane. Each (n, k)
+      // pair owns a disjoint output plane, so the claims are race-free.
+      const std::size_t planes = static_cast<std::size_t>(p.N) * p.K;
+      tp.parallel_for_dynamic(
+          planes, std::max<std::size_t>(1, planes / (4 * tp.size())),
+          [&](std::size_t begin, std::size_t end) {
+            for (std::size_t nk = begin; nk < end; ++nk) {
+              const float* src =
+                  partial.data() +
+                  static_cast<std::int64_t>(nk) * out_plane;
+              float* dst =
+                  out.data() +
+                  (static_cast<std::int64_t>(nk) * Dout + od) * out_plane;
+              for (std::int64_t i = 0; i < out_plane; ++i)
+                dst[i] += src[i];
+            }
+          });
     }
   }
   return out;

@@ -93,10 +93,15 @@ Tensor depthwise_conv_nchw(const Tensor& input, const Tensor& filter,
 
   // Channels are independent: parallelize (n, c) with no reduction
   // hazards (the depthwise analogue of never splitting C in Section 6
-  // does not arise — C is not a reduction dimension here).
+  // does not arise — C is not a reduction dimension here). Dynamic
+  // claiming because channel cost is uniform but core availability is
+  // not; the grain keeps ~8 claims per worker so stealing can rebalance
+  // without per-channel claim traffic.
   const std::int64_t work = std::int64_t{p.N} * p.C;
-  tp.parallel_for(
-      static_cast<std::size_t>(work),
+  const std::size_t grain = std::max<std::size_t>(
+      1, static_cast<std::size_t>(work) / (8 * tp.size()));
+  tp.parallel_for_dynamic(
+      static_cast<std::size_t>(work), grain,
       [&](std::size_t begin, std::size_t end) {
         for (std::size_t item = begin; item < end; ++item) {
           const std::int64_t c = static_cast<std::int64_t>(item) % p.C;

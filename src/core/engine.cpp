@@ -157,10 +157,16 @@ NdirectConv::NdirectConv(const ConvParams& params,
       options.pool != nullptr ? *options.pool : ThreadPool::global();
   const int threads =
       options.threads > 0 ? options.threads : static_cast<int>(pool.size());
+  // Under the stealing schedule the solver may pick a partial grid
+  // (ptn * ptk < threads) when its FAI wins; the leftover threads join
+  // the run as pure stealers instead of idling.
+  const bool stealing = options.schedule == SchedulePolicy::kStealing;
   plan_.mapping =
       options.force_mapping.ptn > 0 && options.force_mapping.ptk > 0
           ? options.force_mapping
-          : solve_thread_mapping(exec_, plan_.alpha, threads);
+          : solve_thread_mapping(exec_, plan_.alpha, threads, stealing);
+  plan_.stealers =
+      stealing ? std::max(0, threads - plan_.mapping.total()) : 0;
   // Stride compaction: a 1x1 stride-s kernel only ever taps every s-th
   // input column, so the packing kernel gathers just those and the
   // micro-kernel runs its dense stride-1 form (packw = Vw).
@@ -182,8 +188,35 @@ void run_nest(const ConvParams& p, const NdirectPlan& plan,
   const int tc = plan.tiling.tc, th = plan.tiling.th;
   const std::int64_t k_blocks_total = (p.K + vk - 1) / vk;
   const std::int64_t tk_blocks = std::max(1, plan.tiling.tk / vk);
-  const std::int64_t total_rows = std::int64_t{p.N} * P;
   const std::int64_t f_c_stride = std::int64_t{p.R} * p.S * vk;
+
+  // Macro-tile grid for the scheduler: a chunk of up to Th output rows
+  // (never crossing an image boundary; sched_row_chunk overrides for
+  // ablation) x a chunk of up to Tk worth of K blocks. The Th x Tk tile
+  // is the loop nest's natural reuse unit — one transformed filter
+  // tile, one packed-window row set — so a stolen tile forfeits no
+  // intra-tile locality, and the whole C reduction stays inside it, so
+  // the claim order cannot change results. When the cache tiles cover
+  // the whole problem (small layers: Th >= P, Tk >= K) the chunks are
+  // refined below the cache tile so the grid still covers PTn x PTk
+  // workers — the granularity the static Eq. 5/6 slicing always had.
+  const std::int64_t total_rows = std::int64_t{p.N} * P;
+  std::int64_t th_rows =
+      opts.sched_row_chunk > 0 ? opts.sched_row_chunk : th;
+  if (opts.sched_row_chunk == 0) {
+    th_rows = std::min(th_rows, std::max<std::int64_t>(
+                                    1, total_rows / plan.mapping.ptn));
+  }
+  const std::int64_t chunks_per_image =
+      (std::int64_t{P} + th_rows - 1) / th_rows;
+  const std::int64_t row_chunks = std::int64_t{p.N} * chunks_per_image;
+  const std::int64_t tk_chunk = std::min(
+      tk_blocks,
+      std::max<std::int64_t>(1, k_blocks_total / plan.mapping.ptk));
+  const std::int64_t k_chunks =
+      (k_blocks_total + tk_chunk - 1) / tk_chunk;
+  const bool stealing = opts.schedule == SchedulePolicy::kStealing;
+  const int num_workers = plan.mapping.total() + plan.stealers;
 
   // Stride compaction (see the planner): with S == 1 the packed buffer
   // is gathered at column step `str`, and the kernels index it densely.
@@ -204,14 +237,16 @@ void run_nest(const ConvParams& p, const NdirectPlan& plan,
   ThreadPool& pool =
       opts.pool != nullptr ? *opts.pool : ThreadPool::global();
   // Phase breakdown only makes sense with one worker.
-  PhaseTimer* pt =
-      plan.mapping.total() == 1 ? opts.phase_timer : nullptr;
+  PhaseTimer* pt = num_workers == 1 ? opts.phase_timer : nullptr;
+
+  // Every worker starts on exactly the tiles its Eq. 5/6 slice covers
+  // (the paper's mapping, rounded to tile granularity); workers beyond
+  // the grid (plan.stealers) seed empty and only steal.
+  TileScheduler sched(static_cast<int>(row_chunks),
+                      static_cast<int>(k_chunks), plan.mapping.ptn,
+                      plan.mapping.ptk, num_workers, stealing);
 
   auto worker = [&](std::size_t tid) {
-    const ThreadSlice slice = thread_slice(
-        plan.mapping, static_cast<int>(tid), total_rows, k_blocks_total);
-    if (slice.rows.empty() || slice.k_blocks.empty()) return;
-
     // +4 floats of slack: the unrolled kernel reads the final row in
     // whole vectors (the extra lanes are loaded but never consumed).
     const std::size_t pack_floats =
@@ -220,7 +255,10 @@ void run_nest(const ConvParams& p, const NdirectPlan& plan,
         aot_packed == nullptr
             ? static_cast<std::size_t>(tk_blocks) * vk * tc * p.R * p.S
             : 0;
-    // Working buffers: from this OS thread's persistent arena (steady
+    // Working buffers, acquired before claiming so every worker warms
+    // its arena on the first call even if stealing hands it a different
+    // tile set next run (steady-state growth stays zero and
+    // deterministic): from this OS thread's persistent arena (steady
     // state: no heap allocation), or call-local heap buffers when the
     // arena is disabled (seed behaviour, kept for overhead A/B benches).
     AlignedBuffer<float> local_pack, local_ftile;
@@ -240,15 +278,19 @@ void run_nest(const ConvParams& p, const NdirectPlan& plan,
       }
     }
 
-    std::int64_t row = static_cast<std::int64_t>(slice.rows.begin);
-    const std::int64_t rows_end =
-        static_cast<std::int64_t>(slice.rows.end);
-    while (row < rows_end) {
-      const std::int64_t n = row / P;
-      const int oh_begin = static_cast<int>(row % P);
-      const std::int64_t image_rows_end =
-          std::min<std::int64_t>(rows_end, (n + 1) * P);
-      const int oh_end = static_cast<int>(image_rows_end - n * P);
+    int rchunk, kchunk;
+    while (sched.claim(static_cast<int>(tid), &rchunk, &kchunk)) {
+      const std::int64_t n = rchunk / chunks_per_image;
+      const int oh_begin =
+          static_cast<int>((rchunk % chunks_per_image) * th_rows);
+      const int oh_end =
+          static_cast<int>(std::min<std::int64_t>(oh_begin + th_rows, P));
+      // The tile's K extent is one Tk chunk — what loop L4 stepped over
+      // per slice in the static nest.
+      const std::int64_t kb0 =
+          static_cast<std::int64_t>(kchunk) * tk_chunk;
+      const std::int64_t kbn =
+          std::min<std::int64_t>(tk_chunk, k_blocks_total - kb0);
 
       const float* image = input + n * ls.in_image;
       float* out_image = output + n * ls.out_image;
@@ -261,12 +303,7 @@ void run_nest(const ConvParams& p, const NdirectPlan& plan,
           // The epilogue fires with the final C tile's stores, when the
           // output element receives its last contribution.
           const bool last_c = ct + tcn >= p.C;
-          for (std::int64_t kb0 = slice.k_blocks.begin;
-               kb0 < static_cast<std::int64_t>(slice.k_blocks.end);
-               kb0 += tk_blocks) {                           // loop L4
-            const std::int64_t kbn = std::min<std::int64_t>(
-                tk_blocks,
-                static_cast<std::int64_t>(slice.k_blocks.end) - kb0);
+          {
             const float* ftile_base;
             std::int64_t f_kb_stride;
             if (aot_packed != nullptr) {
@@ -429,11 +466,11 @@ void run_nest(const ConvParams& p, const NdirectPlan& plan,
           }
         }
       }
-      row = image_rows_end;
     }
   };
 
-  pool.run(static_cast<std::size_t>(plan.mapping.total()), worker);
+  pool.run(static_cast<std::size_t>(num_workers), worker);
+  if (opts.sched_stats != nullptr) *opts.sched_stats = sched.stats();
 }
 
 }  // namespace

@@ -32,22 +32,47 @@ Tensor grouped_conv_nchw(const Tensor& input, const Tensor& filter,
   pg.N = 1;
   pg.C = cg;
   pg.K = kg;
-  const NdirectConv conv(pg, options);
 
   const std::int64_t in_group = std::int64_t{cg} * p.H * p.W;
   const std::int64_t out_group = std::int64_t{kg} * P * Q;
   const std::int64_t flt_group =
       std::int64_t{kg} * cg * p.R * p.S;
 
-  for (int n = 0; n < p.N; ++n) {
-    const float* image =
-        input.data() + std::int64_t{n} * p.C * p.H * p.W;
-    float* out_image = out.data() + std::int64_t{n} * p.K * P * Q;
-    for (int g = 0; g < groups; ++g) {
-      conv.run_into(image + g * in_group,
-                    filter.data() + g * flt_group,
-                    out_image + g * out_group);
-    }
+  ThreadPool& tp =
+      options.pool != nullptr ? *options.pool : ThreadPool::global();
+  const int threads = options.threads > 0 ? options.threads
+                                          : static_cast<int>(tp.size());
+  const std::size_t jobs = static_cast<std::size_t>(p.N) * groups;
+
+  auto run_job = [&](const NdirectConv& conv, std::size_t job) {
+    const std::int64_t n = static_cast<std::int64_t>(job) / groups;
+    const std::int64_t g = static_cast<std::int64_t>(job) % groups;
+    conv.run_into(input.data() + n * p.C * p.H * p.W + g * in_group,
+                  filter.data() + g * flt_group,
+                  out.data() + std::int64_t{n} * p.K * P * Q +
+                      g * out_group);
+  };
+
+  if (threads > 1 && jobs >= static_cast<std::size_t>(threads)) {
+    // Enough (image, group) pairs to occupy every core: claim whole
+    // pairs dynamically and run each group's convolution single-thread
+    // (run_nest with one worker executes inline on the claiming worker,
+    // so nesting is deadlock-free). Each pair writes a disjoint output
+    // block.
+    NdirectOptions inner = options;
+    inner.pool = nullptr;
+    inner.threads = 1;
+    inner.force_mapping = {1, 1};
+    const NdirectConv conv(pg, inner);
+    tp.parallel_for_dynamic(
+        jobs, 1, [&](std::size_t begin, std::size_t end) {
+          for (std::size_t job = begin; job < end; ++job)
+            run_job(conv, job);
+        });
+  } else {
+    // Few groups: let each group's convolution use the whole grid.
+    const NdirectConv conv(pg, options);
+    for (std::size_t job = 0; job < jobs; ++job) run_job(conv, job);
   }
   return out;
 }

@@ -24,6 +24,7 @@
 #include "runtime/cpu_info.h"
 #include "runtime/thread_pool.h"
 #include "runtime/timer.h"
+#include "runtime/work_queue.h"
 #include "tensor/conv_params.h"
 #include "tensor/tensor.h"
 
@@ -35,8 +36,27 @@ struct NdirectPlan {
   RegisterBlock rb{};       ///< Eq. 3/4 register block (Vw, Vk)
   TilingPlan tiling{};      ///< Eq. 1/2 cache tiles (Tc, Tk, Th)
   ThreadMapping mapping{};  ///< Eq. 5/6 thread grid (PTn, PTk)
+  int stealers = 0;         ///< workers beyond the grid, seeded with no
+                            ///< tiles (non-divisor thread counts under
+                            ///< the stealing schedule); 0 when static
   int packw = 0;            ///< pack-buffer row length (Vw-1)*str + S
   double alpha = 2.0;       ///< streaming/non-streaming coefficient
+};
+
+/// How the PTn x PTk grid's tiles are handed to workers.
+enum class SchedulePolicy {
+  /// The paper's Eq. 5/6 mapping: every worker drains exactly its seed
+  /// slice. Deterministic assignment, but ragged layers and noisy cores
+  /// pin wall time to the slowest thread.
+  kStatic,
+  /// Same seed assignment at macro-tile granularity (a Th-row chunk x
+  /// one Tk k-block — the unit that reuses one transformed filter tile
+  /// and one packed input window), but exhausted workers steal
+  /// unfinished tiles: nearest neighbour in the grid first (same-PTn
+  /// victims share the thief's input rows), then globally. Identical
+  /// numerical output — tiles own disjoint output blocks and the whole
+  /// C reduction stays inside a tile.
+  kStealing,
 };
 
 struct NdirectOptions {
@@ -87,6 +107,23 @@ struct NdirectOptions {
   /// model search-based code generation (a compiler-emitted loop nest
   /// rather than the hand-unrolled lane-FMA kernel).
   bool generic_kernel_only = false;
+
+  /// Tile scheduling policy (see SchedulePolicy). Stealing by default;
+  /// kStatic reproduces the seed's static slicing for A/B benches and
+  /// bitwise comparison (outputs are identical either way).
+  SchedulePolicy schedule = SchedulePolicy::kStealing;
+
+  /// Override the macro-tile row chunk (output rows per tile) for
+  /// scheduler ablation. 0 = the plan's Th (one L2 row tile per claim).
+  /// Smaller chunks balance better but steal more often.
+  int sched_row_chunk = 0;
+
+  /// When non-null, filled after each run with that run's scheduler
+  /// observability: tile count, steals (0 under kStatic), and the
+  /// max/min tiles any worker executed (imbalance). Not thread-safe
+  /// across concurrent runs of the same engine — point each run's
+  /// options at its own stats or leave null.
+  SchedulerStats* sched_stats = nullptr;
 
   /// Thread count for the PTn x PTk grid; 0 = the pool's size.
   int threads = 0;

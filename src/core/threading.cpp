@@ -19,23 +19,37 @@ double thread_fai(const ConvParams& p, double alpha, int ptn) {
 }
 
 ThreadMapping solve_thread_mapping(const ConvParams& p, double alpha,
-                                   int threads) {
+                                   int threads, bool allow_partial) {
   ThreadMapping best{1, threads > 0 ? threads : 1};
   if (threads <= 1) return {1, 1};
 
   double best_fai = -1.0;
   for (int ptn = 1; ptn <= threads; ++ptn) {
-    if (threads % ptn != 0) continue;
+    const bool exact = threads % ptn == 0;
+    if (!exact && !allow_partial) continue;
     // A PTn larger than the row space or a PTk larger than K would
     // leave whole thread groups idle.
     if (std::int64_t{ptn} > std::int64_t{p.N} * p.P()) continue;
-    const int ptk = threads / ptn;
-    if (ptk > p.K) continue;
+    int ptk = threads / ptn;
+    if (ptk > p.K) {
+      // Exact grids cannot shrink PTk without stranding threads; partial
+      // grids clamp to K and let the scheduler's stealers soak up the
+      // remainder.
+      if (!allow_partial) continue;
+      ptk = p.K;
+      if (ptk < 1) continue;
+    }
     const double fai = thread_fai(p, alpha, ptn);
     // The paper takes the up-bound of PTn* when FAIs tie (the packing
-    // kernel makes extra PTn cheap), so ties prefer the larger PTn.
+    // kernel makes extra PTn cheap), so ties prefer the larger PTn;
+    // among FAI-tied grids a fuller one (more seeded threads) wins so
+    // divisor thread counts keep the paper's exact mapping.
+    const int total = ptn * ptk;
+    const int best_total = best_fai < 0 ? 0 : best.total();
     if (fai > best_fai + 1e-12 ||
-        (fai > best_fai - 1e-12 && ptn > best.ptn)) {
+        (fai > best_fai - 1e-12 &&
+         (total > best_total ||
+          (total == best_total && ptn > best.ptn)))) {
       best = {ptn, ptk};
       best_fai = fai;
     }

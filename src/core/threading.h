@@ -36,9 +36,18 @@ double ptn_continuous(const ConvParams& p, double alpha);
 /// Per-thread FAI of Eq. 5 for a candidate PTn.
 double thread_fai(const ConvParams& p, double alpha, int ptn);
 
-/// Best divisor split of `threads` for this convolution.
+/// Best split of `threads` for this convolution.
+///
+/// With `allow_partial` false (the default, and the paper's rule) only
+/// exact divisor grids ptn * ptk == threads are evaluated. Prime and
+/// awkward thread counts then force degenerate 1xT / Tx1 grids; with
+/// `allow_partial` true the solver also evaluates grids with
+/// ptn * ptk < threads (ptk clamped to K) and picks them when their
+/// Eq. 5 FAI strictly wins — the work-stealing scheduler hands the
+/// remainder threads to the grid as pure stealers, so no thread idles.
+/// Ties prefer exact grids, then larger PTn (the paper's up-bound rule).
 ThreadMapping solve_thread_mapping(const ConvParams& p, double alpha,
-                                   int threads);
+                                   int threads, bool allow_partial = false);
 
 /// Work slice of one thread in the PTn x PTk grid: a contiguous range of
 /// (n*P + output_row) indices and a contiguous range of K blocks.

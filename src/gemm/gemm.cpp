@@ -14,14 +14,17 @@ int round_up(int v, int m) { return (v + m - 1) / m * m; }
 
 // Macro-kernel: multiply a packed mc x kc panel of A by a packed
 // kc x nc panel of B into the C block at (c, ldc). Parallel over the
-// MR row strips of the block.
+// MR row strips of the block, claimed dynamically: edge strips and the
+// ragged last block make strip cost uneven, and a finished worker
+// steals the remainder instead of idling at the barrier. The grain of
+// one strip is fine — a strip is kc * nc worth of FMAs.
 void macro_kernel(int mc, int nc, int kc, const float* packed_a,
                   const float* packed_b, float* c, std::int64_t ldc,
                   bool accumulate, ThreadPool& pool) {
   const int m_strips = (mc + kGemmMR - 1) / kGemmMR;
   const int n_strips = (nc + kGemmNR - 1) / kGemmNR;
-  pool.parallel_for(
-      static_cast<std::size_t>(m_strips),
+  pool.parallel_for_dynamic(
+      static_cast<std::size_t>(m_strips), 1,
       [&](std::size_t strip_begin, std::size_t strip_end) {
         for (std::size_t si = strip_begin; si < strip_end; ++si) {
           const int i0 = static_cast<int>(si) * kGemmMR;

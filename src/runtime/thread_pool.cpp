@@ -4,6 +4,7 @@
 
 #include "runtime/env.h"
 #include "runtime/partition.h"
+#include "runtime/work_queue.h"
 
 namespace ndirect {
 namespace {
@@ -186,6 +187,29 @@ void ThreadPool::parallel_for(
   run(nthreads, [&](std::size_t tid) {
     const Range r = partition_range(count, nthreads, tid);
     if (!r.empty()) fn(r.begin, r.end);
+  });
+}
+
+void ThreadPool::parallel_for_dynamic(
+    std::size_t count, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (count == 0) return;
+  if (grain == 0) grain = 1;
+  const std::size_t chunks = (count + grain - 1) / grain;
+  const std::size_t nthreads = std::min(chunks, size());
+  if (nthreads <= 1) {
+    fn(0, count);
+    return;
+  }
+  TileScheduler sched(static_cast<int>(chunks), 1,
+                      static_cast<int>(nthreads), 1,
+                      static_cast<int>(nthreads), /*stealing=*/true);
+  run(nthreads, [&](std::size_t tid) {
+    int chunk, col;
+    while (sched.claim(static_cast<int>(tid), &chunk, &col)) {
+      const std::size_t begin = static_cast<std::size_t>(chunk) * grain;
+      fn(begin, std::min(count, begin + grain));
+    }
   });
 }
 

@@ -61,6 +61,17 @@ class ThreadPool {
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t, std::size_t)>& fn);
 
+  /// Work-stealing parallel loop over [0, count): the range is cut into
+  /// chunks of `grain` items, seeded contiguously across the pool's
+  /// threads (same initial assignment as parallel_for), and exhausted
+  /// threads steal remaining chunks from the back of other threads'
+  /// ranges. fn(begin, end) per claimed chunk, so skewed per-item cost
+  /// and noisy cores no longer pin the loop to the slowest thread.
+  /// Chunk claim order is nondeterministic; fn must tolerate any order.
+  void parallel_for_dynamic(
+      std::size_t count, std::size_t grain,
+      const std::function<void(std::size_t, std::size_t)>& fn);
+
   /// Process-wide pool sized from NDIRECT_THREADS or hardware concurrency.
   static ThreadPool& global();
 

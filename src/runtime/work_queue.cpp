@@ -1,0 +1,140 @@
+#include "runtime/work_queue.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "runtime/partition.h"
+
+namespace ndirect {
+namespace {
+
+std::atomic<std::uint64_t> g_steal_events{0};
+
+}  // namespace
+
+std::uint64_t scheduler_steal_events() {
+  return g_steal_events.load(std::memory_order_relaxed);
+}
+
+TileScheduler::TileScheduler(int rows, int cols, int row_parts,
+                             int col_parts, int workers, bool stealing)
+    : rows_(rows),
+      cols_(cols),
+      row_parts_(row_parts < 1 ? 1 : row_parts),
+      col_parts_(col_parts < 1 ? 1 : col_parts),
+      stealing_(stealing),
+      queues_(static_cast<std::size_t>(
+          std::max(workers, row_parts_ * col_parts_))) {
+  // Seed worker (tn, tk) with the block Eq. 5/6 would assign: row
+  // chunks split over row_parts in n-major order, k chunks over
+  // col_parts. Extra workers (index >= grid size) own empty blocks.
+  for (int w = 0; w < static_cast<int>(queues_.size()); ++w) {
+    WorkerQueue& q = queues_[static_cast<std::size_t>(w)];
+    if (w < row_parts_ * col_parts_) {
+      const int tn = w / col_parts_;
+      const int tk = w % col_parts_;
+      const Range rr = partition_range(static_cast<std::size_t>(rows_),
+                                       static_cast<std::size_t>(row_parts_),
+                                       static_cast<std::size_t>(tn));
+      const Range cr = partition_range(static_cast<std::size_t>(cols_),
+                                       static_cast<std::size_t>(col_parts_),
+                                       static_cast<std::size_t>(tk));
+      q.row0 = static_cast<std::uint32_t>(rr.begin);
+      q.row1 = static_cast<std::uint32_t>(rr.end);
+      q.col0 = static_cast<std::uint32_t>(cr.begin);
+      q.col1 = static_cast<std::uint32_t>(cr.end);
+    }
+    const std::uint32_t count = (q.row1 - q.row0) * (q.col1 - q.col0);
+    q.deque.reset(0, count);
+  }
+}
+
+void TileScheduler::map_local(const WorkerQueue& q, std::uint32_t local,
+                              int* row, int* col) const {
+  // Row-major over the seed block, k chunks innermost: the owner's
+  // front-to-back traversal visits all k chunks of one row chunk before
+  // moving on, matching the static nest's L2 -> L4 order.
+  const std::uint32_t width = q.col1 - q.col0;
+  *row = static_cast<int>(q.row0 + local / width);
+  *col = static_cast<int>(q.col0 + local % width);
+}
+
+bool TileScheduler::steal_from(int thief, int victim, int* row, int* col) {
+  WorkerQueue& v = queues_[static_cast<std::size_t>(victim)];
+  std::uint32_t local;
+  if (!v.deque.pop_back(&local)) return false;
+  map_local(v, local, row, col);
+  WorkerQueue& t = queues_[static_cast<std::size_t>(thief)];
+  t.executed.fetch_add(1, std::memory_order_relaxed);
+  t.stolen.fetch_add(1, std::memory_order_relaxed);
+  g_steal_events.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool TileScheduler::claim(int worker, int* row, int* col) {
+  WorkerQueue& own = queues_[static_cast<std::size_t>(worker)];
+  std::uint32_t local;
+  if (own.deque.pop_front(&local)) {
+    map_local(own, local, row, col);
+    own.executed.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  if (!stealing_) return false;
+
+  // Virtual grid position for victim ordering; pure stealers borrow the
+  // position of the seeded worker they alias round-robin, so a stealer
+  // fleet spreads across the grid instead of mobbing worker 0.
+  const int grid = row_parts_ * col_parts_;
+  const int pos = worker < grid ? worker : worker % grid;
+  const int tn = pos / col_parts_;
+  const int tk = pos % col_parts_;
+
+  // A pure stealer's nearest victim is the seeded worker whose grid
+  // position it aliases (distance 0, unreachable by the d >= 1 scans).
+  if (worker >= grid && steal_from(worker, pos, row, col)) return true;
+
+  // Pass 1 — same PTn row, nearest k group first. These victims cover
+  // the same output rows as the thief, so a stolen tile re-reads input
+  // rows the thief has already packed and only pays for new filter
+  // tiles (the smaller tensor).
+  for (int d = 1; d < col_parts_; ++d) {
+    for (const int vtk : {tk - d, tk + d}) {
+      if (vtk < 0 || vtk >= col_parts_ || vtk == tk) continue;
+      if (steal_from(worker, tn * col_parts_ + vtk, row, col)) return true;
+    }
+  }
+
+  // Pass 2 — everything else by Manhattan distance in the worker grid.
+  // Re-probing pass-1 victims is harmless (their deques report empty in
+  // one load). The scan is O(grid * distance), trivial next to a tile.
+  const int maxd = row_parts_ + col_parts_;
+  for (int d = 1; d <= maxd; ++d) {
+    for (int v = 0; v < grid; ++v) {
+      if (v == worker) continue;  // own deque already drained
+      const int vtn = v / col_parts_, vtk = v % col_parts_;
+      const int dist = std::abs(vtn - tn) + std::abs(vtk - tk);
+      if (dist != d) continue;
+      if (steal_from(worker, v, row, col)) return true;
+    }
+  }
+  // Every deque observed empty. Work only ever leaves deques, so no
+  // unclaimed tile remains.
+  return false;
+}
+
+SchedulerStats TileScheduler::stats() const {
+  SchedulerStats s;
+  s.tiles = tiles();
+  s.workers = workers();
+  s.min_worker_tiles = ~0ull;
+  for (const WorkerQueue& q : queues_) {
+    const std::uint64_t e = q.executed.load(std::memory_order_relaxed);
+    s.steals += q.stolen.load(std::memory_order_relaxed);
+    s.max_worker_tiles = std::max(s.max_worker_tiles, e);
+    s.min_worker_tiles = std::min(s.min_worker_tiles, e);
+  }
+  if (queues_.empty()) s.min_worker_tiles = 0;
+  return s;
+}
+
+}  // namespace ndirect

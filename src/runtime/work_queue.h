@@ -1,0 +1,161 @@
+// Locality-aware work-stealing scheduler over a 2D tile grid.
+//
+// The paper's Eq. 5/6 thread mapping hands every thread one static
+// contiguous slice of the (row, k-block) iteration space, which pins
+// wall time to the slowest thread whenever the slices are ragged (K or
+// N*P not a multiple of the grid), the thread count has no good divisor
+// split (7, 11 -> degenerate 1xT grids), or the cores are unequal
+// (big.LITTLE, co-tenants). The scheduler here keeps the paper's
+// mapping as the *seed* assignment — worker (tn, tk) starts on exactly
+// the tiles Eq. 5/6 would have given it, preserving the cache-affinity
+// argument — and lets exhausted workers steal, nearest neighbour in the
+// PTn x PTk grid first (same-tn victims share the thief's input rows),
+// then globally.
+//
+// Tiles are macro-tiles: correctness never depends on who executes a
+// tile, because tiles partition disjoint output (row-chunk, k-chunk)
+// blocks and the whole C reduction stays inside a tile. Stealing
+// therefore cannot change results, only the execution schedule.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "runtime/aligned_buffer.h"
+
+namespace ndirect {
+
+/// Lock-free claimable range [begin, end) packed into one 64-bit atomic.
+/// Owners pop from the front (preserving the seeded traversal order),
+/// thieves pop from the back (taking the work the owner would reach
+/// last, which is the coldest for the owner and no colder for the
+/// thief). Both ends move through the same CAS word, so a front pop and
+/// a back pop can never hand out the same index; indices are monotone
+/// within a generation, so there is no ABA.
+class RangeDeque {
+ public:
+  void reset(std::uint32_t begin, std::uint32_t end) {
+    span_.store(pack(begin, end), std::memory_order_release);
+  }
+
+  /// Claim the lowest remaining index (owner side).
+  bool pop_front(std::uint32_t* idx) {
+    std::uint64_t s = span_.load(std::memory_order_acquire);
+    while (true) {
+      const std::uint32_t b = lo(s), e = hi(s);
+      if (b >= e) return false;
+      if (span_.compare_exchange_weak(s, pack(b + 1, e),
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+        *idx = b;
+        return true;
+      }
+    }
+  }
+
+  /// Claim the highest remaining index (thief side).
+  bool pop_back(std::uint32_t* idx) {
+    std::uint64_t s = span_.load(std::memory_order_acquire);
+    while (true) {
+      const std::uint32_t b = lo(s), e = hi(s);
+      if (b >= e) return false;
+      if (span_.compare_exchange_weak(s, pack(b, e - 1),
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+        *idx = e - 1;
+        return true;
+      }
+    }
+  }
+
+  std::uint32_t remaining() const {
+    const std::uint64_t s = span_.load(std::memory_order_acquire);
+    return hi(s) > lo(s) ? hi(s) - lo(s) : 0;
+  }
+
+ private:
+  static std::uint64_t pack(std::uint32_t b, std::uint32_t e) {
+    return static_cast<std::uint64_t>(e) << 32 | b;
+  }
+  static std::uint32_t lo(std::uint64_t s) {
+    return static_cast<std::uint32_t>(s);
+  }
+  static std::uint32_t hi(std::uint64_t s) {
+    return static_cast<std::uint32_t>(s >> 32);
+  }
+
+  std::atomic<std::uint64_t> span_{0};
+};
+
+/// Aggregate observability of one scheduled run.
+struct SchedulerStats {
+  std::uint64_t tiles = 0;   ///< tiles in the grid
+  std::uint64_t steals = 0;  ///< tiles executed outside their seed worker
+  std::uint64_t max_worker_tiles = 0;  ///< most tiles any worker executed
+  std::uint64_t min_worker_tiles = 0;  ///< fewest (imbalance = max - min)
+  int workers = 0;
+};
+
+/// Scheduler for a rows x cols tile grid seeded over a
+/// row_parts x col_parts worker grid (the Eq. 5/6 mapping at tile
+/// granularity). `workers` may exceed row_parts * col_parts; the extra
+/// workers own no tiles and act as pure stealers (how non-divisor
+/// thread counts use their remainder threads). With `stealing` false it
+/// degenerates to the paper's static mapping: each worker drains its
+/// seed block and stops.
+class TileScheduler {
+ public:
+  TileScheduler(int rows, int cols, int row_parts, int col_parts,
+                int workers, bool stealing);
+
+  /// Claim the next tile for `worker`: own seed block front-to-back
+  /// first, then (if stealing) victims nearest in the worker grid.
+  /// Returns false when no unclaimed tile remains anywhere this worker
+  /// may take from.
+  bool claim(int worker, int* row, int* col);
+
+  int workers() const { return static_cast<int>(queues_.size()); }
+  std::uint64_t tiles() const {
+    return static_cast<std::uint64_t>(rows_) * cols_;
+  }
+
+  /// Tiles executed / stolen by one worker so far (test hooks).
+  std::uint64_t worker_executed(int worker) const {
+    return queues_[static_cast<std::size_t>(worker)].executed.load(
+        std::memory_order_relaxed);
+  }
+  std::uint64_t worker_stolen(int worker) const {
+    return queues_[static_cast<std::size_t>(worker)].stolen.load(
+        std::memory_order_relaxed);
+  }
+
+  /// Aggregate after a run (not linearizable mid-run).
+  SchedulerStats stats() const;
+
+ private:
+  /// One worker's seed block and claim state, on its own cache line so
+  /// the owner's CAS traffic does not bounce neighbouring queues.
+  struct alignas(kCacheLineBytes) WorkerQueue {
+    RangeDeque deque;  ///< local indices into the seed block
+    std::uint32_t row0 = 0, row1 = 0, col0 = 0, col1 = 0;
+    std::atomic<std::uint64_t> executed{0};
+    std::atomic<std::uint64_t> stolen{0};
+  };
+
+  void map_local(const WorkerQueue& q, std::uint32_t local, int* row,
+                 int* col) const;
+  bool steal_from(int thief, int victim, int* row, int* col);
+
+  int rows_, cols_;
+  int row_parts_, col_parts_;
+  bool stealing_;
+  std::vector<WorkerQueue> queues_;
+};
+
+/// Process-wide count of successful steals across all schedulers
+/// (monotone, like scratch_grow_events); a window with no increase
+/// proves a static-schedule run never stole.
+std::uint64_t scheduler_steal_events();
+
+}  // namespace ndirect
