@@ -166,7 +166,9 @@ NdirectConv::NdirectConv(const ConvParams& params,
           ? options.force_mapping
           : solve_thread_mapping(exec_, plan_.alpha, threads, stealing);
   plan_.stealers =
-      stealing ? std::max(0, threads - plan_.mapping.total()) : 0;
+      stealing ? std::max(0, threads - plan_.mapping.total()) +
+                     std::max(0, options.extra_stealers)
+               : 0;
   // Stride compaction: a 1x1 stride-s kernel only ever taps every s-th
   // input column, so the packing kernel gathers just those and the
   // micro-kernel runs its dense stride-1 form (packw = Vw).
@@ -264,11 +266,18 @@ void run_nest(const ConvParams& p, const NdirectPlan& plan,
     AlignedBuffer<float> local_pack, local_ftile;
     float* pack;
     float* ftile = nullptr;
+    // The arena namespace is this task's nesting level: if this OS
+    // thread is already inside another convolution (a task that itself
+    // dispatched on the pool, which the re-entrant run() allows), the
+    // outer invocation's buffers live in a lower namespace and cannot
+    // be clobbered here.
+    const ScratchDepth depth;
     if (opts.persistent_scratch) {
       ScratchArena& arena = this_thread_scratch();
-      pack = arena.floats(ScratchSlot::kPack, pack_floats);
+      pack = arena.floats(depth.level(), ScratchSlot::kPack, pack_floats);
       if (ftile_floats > 0)
-        ftile = arena.floats(ScratchSlot::kFilterTile, ftile_floats);
+        ftile = arena.floats(depth.level(), ScratchSlot::kFilterTile,
+                             ftile_floats);
     } else {
       local_pack.reset(pack_floats);
       pack = local_pack.data();

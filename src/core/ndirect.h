@@ -128,6 +128,18 @@ struct NdirectOptions {
   /// Thread count for the PTn x PTk grid; 0 = the pool's size.
   int threads = 0;
 
+  /// Extra pure-stealer workers dispatched beyond the seeded grid (and
+  /// beyond the non-divisor leftover the solver already adds). The graph
+  /// executor uses this to seed a conv with a sub-rectangle of the pool
+  /// (`threads` = its share of the workers) while still exposing one
+  /// task per remaining pool thread: a core that finishes — or never
+  /// had — work in a sibling branch claims one of these tasks and
+  /// drains this conv's unfinished tiles through the stealing scheduler.
+  /// Stealers never change results (tiles own disjoint output blocks);
+  /// ignored under SchedulePolicy::kStatic. Only meaningful when
+  /// stealing is on.
+  int extra_stealers = 0;
+
   ThreadPool* pool = nullptr;          ///< nullptr = global pool
   const CacheInfo* cache = nullptr;    ///< nullptr = probed host cache
   double alpha = 0;                    ///< 0 = measured host alpha

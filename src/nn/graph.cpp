@@ -1,6 +1,12 @@
 #include "nn/graph.h"
 
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
+
+#include "core/threading.h"
 
 namespace ndirect {
 
@@ -27,9 +33,87 @@ NodeId Graph::add(std::unique_ptr<Op> op, std::vector<NodeId> inputs) {
   return node_count() - 1;
 }
 
-Tensor Graph::run(const Tensor& input) const {
+std::vector<std::vector<NodeId>> Graph::levels() const {
+  std::vector<int> level(nodes_.size(), 0);
+  int deepest = 0;
+  // Nodes are stored in topological order, so one forward sweep fixes
+  // every level.
+  for (std::size_t i = 1; i < nodes_.size(); ++i) {
+    int l = 0;
+    for (NodeId in : nodes_[i].inputs) {
+      l = std::max(l, level[static_cast<std::size_t>(in)] + 1);
+    }
+    level[i] = l;
+    deepest = std::max(deepest, l);
+  }
+  std::vector<std::vector<NodeId>> out(
+      static_cast<std::size_t>(deepest) + 1);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    out[static_cast<std::size_t>(level[i])].push_back(
+        static_cast<NodeId>(i));
+  }
+  return out;
+}
+
+int Graph::max_width() const {
+  int width = 1;
+  for (const auto& level : levels()) {
+    width = std::max(width, static_cast<int>(level.size()));
+  }
+  return width;
+}
+
+void Graph::set_conv_pool(ThreadPool* pool) {
+  conv_pool_ = pool;
+  for (ConvOp* c : conv_ops()) c->set_pool(pool);
+}
+
+void Graph::plan_concurrency(int workers) {
+  if (workers <= 0) {
+    ThreadPool& pool =
+        conv_pool_ != nullptr ? *conv_pool_ : ThreadPool::global();
+    workers = static_cast<int>(pool.size());
+  }
+  for (const auto& level : levels()) {
+    std::vector<ConvOp*> convs;
+    for (NodeId id : level) {
+      auto* c = dynamic_cast<ConvOp*>(
+          nodes_[static_cast<std::size_t>(id)].op.get());
+      if (c != nullptr && c->backend() == ConvBackend::Ndirect) {
+        convs.push_back(c);
+      }
+    }
+    if (convs.size() < 2) {
+      // Nothing to share the machine with: whole pool, no extras.
+      for (ConvOp* c : convs) c->set_worker_budget(0, 0);
+      continue;
+    }
+    std::vector<double> flops;
+    flops.reserve(convs.size());
+    for (const ConvOp* c : convs) {
+      flops.push_back(static_cast<double>(c->params().flops()));
+    }
+    const std::vector<int> budget = partition_workers(workers, flops);
+    for (std::size_t i = 0; i < convs.size(); ++i) {
+      // Seed a sub-rectangle sized to this conv's share; the rest of
+      // the pool shows up as pure stealer tasks, so cores the sibling
+      // branch leaves idle drain this conv's tiles.
+      convs[i]->set_worker_budget(budget[i],
+                                  std::max(0, workers - budget[i]));
+    }
+  }
+}
+
+Tensor Graph::run_sequential(const Tensor& input,
+                             const GraphRunOptions& opts) const {
   std::vector<Tensor> values(nodes_.size());
   values[0] = input.clone();
+  if (opts.stats != nullptr) {
+    *opts.stats = {};
+    opts.stats->runners = 1;
+    opts.stats->max_inflight = 1;
+    opts.stats->completion_order.reserve(nodes_.size() - 1);
+  }
   for (std::size_t i = 1; i < nodes_.size(); ++i) {
     const Node& node = nodes_[i];
     std::vector<const Tensor*> args;
@@ -37,26 +121,143 @@ Tensor Graph::run(const Tensor& input) const {
     for (NodeId id : node.inputs) {
       args.push_back(&values[static_cast<std::size_t>(id)]);
     }
-    values[i] = node.op->forward(args);
+    if (opts.timer != nullptr) {
+      WallTimer t;
+      values[i] = node.op->forward(args);
+      opts.timer->add(node.op->name(), t.seconds());
+    } else {
+      values[i] = node.op->forward(args);
+    }
+    if (opts.stats != nullptr) {
+      opts.stats->completion_order.push_back(static_cast<NodeId>(i));
+    }
   }
   return std::move(values.back());
 }
 
-Tensor Graph::run_profiled(const Tensor& input, PhaseTimer& timer) const {
-  std::vector<Tensor> values(nodes_.size());
+Tensor Graph::run_concurrent(const Tensor& input,
+                             const GraphRunOptions& opts,
+                             int runners) const {
+  const std::size_t n = nodes_.size();
+  // Slots are preallocated and never move; a slot is written exactly
+  // once, by the runner that executes its node, strictly before the
+  // completion is published under the mutex — so consumers (which only
+  // read inputs already in completion_order) race with nothing.
+  std::vector<Tensor> values(n);
   values[0] = input.clone();
-  for (std::size_t i = 1; i < nodes_.size(); ++i) {
-    const Node& node = nodes_[i];
-    std::vector<const Tensor*> args;
-    args.reserve(node.inputs.size());
-    for (NodeId id : node.inputs) {
-      args.push_back(&values[static_cast<std::size_t>(id)]);
+
+  std::vector<int> indeg(n, 0);
+  std::vector<std::vector<NodeId>> consumers(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    indeg[i] = static_cast<int>(nodes_[i].inputs.size());
+    for (NodeId in : nodes_[i].inputs) {
+      consumers[static_cast<std::size_t>(in)].push_back(
+          static_cast<NodeId>(i));
     }
-    WallTimer t;
-    values[i] = node.op->forward(args);
-    timer.add(node.op->name(), t.seconds());
+  }
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<NodeId> ready;
+  int remaining = static_cast<int>(n) - 1;
+  int inflight = 0;
+  int max_inflight = 0;
+  std::vector<NodeId> completion_order;
+  completion_order.reserve(n - 1);
+  std::exception_ptr error;
+
+  // "Complete" the input node: its consumers with no other pending
+  // inputs become the initial ready set.
+  for (NodeId c : consumers[0]) {
+    if (--indeg[static_cast<std::size_t>(c)] == 0) ready.push_back(c);
+  }
+
+  auto runner = [&] {
+    std::unique_lock<std::mutex> lock(mutex);
+    while (true) {
+      cv.wait(lock, [&] {
+        return error != nullptr || remaining == 0 || !ready.empty();
+      });
+      if (error != nullptr || remaining == 0) return;
+      const NodeId id = ready.back();
+      ready.pop_back();
+      ++inflight;
+      max_inflight = std::max(max_inflight, inflight);
+      lock.unlock();
+
+      const Node& node = nodes_[static_cast<std::size_t>(id)];
+      std::vector<const Tensor*> args;
+      args.reserve(node.inputs.size());
+      for (NodeId in : node.inputs) {
+        args.push_back(&values[static_cast<std::size_t>(in)]);
+      }
+      Tensor out;
+      try {
+        if (opts.timer != nullptr) {
+          WallTimer t;
+          out = node.op->forward(args);
+          opts.timer->add(node.op->name(), t.seconds());
+        } else {
+          out = node.op->forward(args);
+        }
+      } catch (...) {
+        lock.lock();
+        if (error == nullptr) error = std::current_exception();
+        --inflight;
+        cv.notify_all();
+        return;
+      }
+      values[static_cast<std::size_t>(id)] = std::move(out);
+
+      lock.lock();
+      --inflight;
+      --remaining;
+      completion_order.push_back(id);
+      for (NodeId c : consumers[static_cast<std::size_t>(id)]) {
+        if (--indeg[static_cast<std::size_t>(c)] == 0) {
+          ready.push_back(c);
+        }
+      }
+      // Waking everyone is deliberate: several nodes may have become
+      // ready, and the final completion must release all runners.
+      cv.notify_all();
+    }
+  };
+
+  // Dedicated (cheap, short-lived) runner crew rather than pool tasks:
+  // node bodies dispatch onto the ThreadPool themselves, and consuming
+  // pool workers for graph bookkeeping would starve the conv gangs the
+  // runners are trying to keep busy. The caller is runner #0.
+  std::vector<std::thread> crew;
+  crew.reserve(static_cast<std::size_t>(runners) - 1);
+  for (int i = 1; i < runners; ++i) crew.emplace_back(runner);
+  runner();
+  for (auto& t : crew) t.join();
+
+  if (error != nullptr) std::rethrow_exception(error);
+  if (opts.stats != nullptr) {
+    *opts.stats = {};
+    opts.stats->runners = runners;
+    opts.stats->max_inflight = max_inflight;
+    opts.stats->completion_order = std::move(completion_order);
   }
   return std::move(values.back());
+}
+
+Tensor Graph::run(const Tensor& input, const GraphRunOptions& opts) const {
+  const int width = max_width();
+  int runners = opts.runners > 0 ? opts.runners : std::min(width, 8);
+  if (!opts.concurrent || width <= 1 || runners <= 1 ||
+      nodes_.size() <= 2) {
+    return run_sequential(input, opts);
+  }
+  return run_concurrent(input, opts, runners);
+}
+
+Tensor Graph::run_profiled(const Tensor& input, PhaseTimer& timer) const {
+  GraphRunOptions opts;
+  opts.timer = &timer;
+  return run(input, opts);
 }
 
 const TensorShape& Graph::output_shape() const {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <random>
 #include <stdexcept>
@@ -80,6 +81,19 @@ void ConvOp::set_filter_cache(bool enabled) {
   engine_.reset();  // the cache flag is baked into the engine's options
 }
 
+void ConvOp::set_pool(ThreadPool* pool) {
+  if (pool_ == pool) return;
+  pool_ = pool;
+  engine_.reset();  // the pool pointer is baked into the engine's options
+}
+
+void ConvOp::set_worker_budget(int budget, int extra_stealers) {
+  if (worker_budget_ == budget && extra_stealers_ == extra_stealers) return;
+  worker_budget_ = budget;
+  extra_stealers_ = extra_stealers;
+  engine_.reset();  // the grid is re-planned from the new budget
+}
+
 TensorShape ConvOp::infer(const std::vector<TensorShape>& in) const {
   expect_arity("conv", in.size(), 1);
   const TensorShape& s = in[0];
@@ -102,6 +116,9 @@ Tensor ConvOp::forward(const std::vector<const Tensor*>& in) const {
         // nothing and never re-run the filter transform.
         NdirectOptions nopts;
         nopts.cache_packed_filter = filter_cache_;
+        nopts.pool = pool_;
+        nopts.threads = worker_budget_;
+        nopts.extra_stealers = extra_stealers_;
         engine_ = std::make_unique<NdirectConv>(params_, nopts);
       }
       if (filter_dirty_) {
@@ -321,6 +338,43 @@ Tensor GlobalAvgPoolOp::forward(
 // ---------------------------------------------------------------------------
 // Residual add / FC / softmax
 // ---------------------------------------------------------------------------
+
+TensorShape ConcatOp::infer(const std::vector<TensorShape>& in) const {
+  if (in.empty()) throw std::invalid_argument("concat: needs inputs");
+  TensorShape out = in[0];
+  for (std::size_t i = 1; i < in.size(); ++i) {
+    const TensorShape& s = in[i];
+    if (s.N != out.N || s.H != out.H || s.W != out.W) {
+      throw std::invalid_argument("concat: N/H/W mismatch " +
+                                  out.to_string() + " vs " +
+                                  s.to_string());
+    }
+    out.C += s.C;
+  }
+  return out;
+}
+
+Tensor ConcatOp::forward(const std::vector<const Tensor*>& in) const {
+  std::vector<TensorShape> shapes;
+  shapes.reserve(in.size());
+  for (const Tensor* t : in) shapes.push_back(shape_of(*t));
+  const TensorShape os = infer(shapes);
+  Tensor out({os.N, os.C, os.H, os.W}, Layout::NCHW);
+  const std::int64_t hw = std::int64_t{os.H} * os.W;
+  int c_off = 0;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const int ci = shapes[i].C;
+    for (int n = 0; n < os.N; ++n) {
+      const float* src = in[i]->data() + std::int64_t{n} * ci * hw;
+      float* dst =
+          out.data() + (std::int64_t{n} * os.C + c_off) * hw;
+      std::memcpy(dst, src,
+                  static_cast<std::size_t>(ci) * hw * sizeof(float));
+    }
+    c_off += ci;
+  }
+  return out;
+}
 
 TensorShape AddOp::infer(const std::vector<TensorShape>& in) const {
   expect_arity("add", in.size(), 2);

@@ -76,6 +76,23 @@ class ConvOp final : public Op {
   void set_filter_cache(bool enabled);
   bool filter_cache() const { return filter_cache_; }
 
+  /// Dispatch the Ndirect backend on `pool` instead of the global pool.
+  /// The graph executor points every conv of a graph at one shared pool
+  /// so concurrent branches cooperate on the same workers instead of
+  /// oversubscribing the machine. nullptr restores the global pool.
+  void set_pool(ThreadPool* pool);
+
+  /// Seed the Ndirect engine's PTn x PTk grid with `budget` threads
+  /// (0 = the whole pool) and expose `extra_stealers` additional
+  /// pure-stealer tasks (see NdirectOptions::extra_stealers). The graph
+  /// executor splits the pool across the convs of a level with
+  /// partition_workers and covers the remainder with stealers, so a
+  /// branch that finishes early drains its sibling's tiles. Neither
+  /// value affects results (bitwise-identical output for any split).
+  void set_worker_budget(int budget, int extra_stealers = 0);
+  int worker_budget() const { return worker_budget_; }
+  int extra_stealers() const { return extra_stealers_; }
+
   /// Mutable access marks the filter dirty; the next forward()
   /// invalidates the engine's packed-filter cache — the graph passes
   /// (e.g. fold_batchnorm) scale weights in place. Deferring to
@@ -101,6 +118,9 @@ class ConvOp final : public Op {
   bool has_schedule_ = false;
   bool fused_relu_ = false;
   bool filter_cache_ = true;
+  ThreadPool* pool_ = nullptr;  ///< nullptr = global pool
+  int worker_budget_ = 0;       ///< 0 = whole pool
+  int extra_stealers_ = 0;
   /// Set by the mutable filter() accessor, consumed by forward().
   mutable bool filter_dirty_ = false;
   // Planned engine for the Ndirect backend (lazy, shape is fixed).
@@ -170,6 +190,15 @@ class MaxPoolOp final : public Op {
 class GlobalAvgPoolOp final : public Op {
  public:
   const char* name() const override { return "gavgpool"; }
+  TensorShape infer(const std::vector<TensorShape>& in) const override;
+  Tensor forward(const std::vector<const Tensor*>& in) const override;
+};
+
+/// Channel-axis concatenation of one or more same-N/H/W activations
+/// (Inception-style branch merge; the DAG fuzzer's n-ary join).
+class ConcatOp final : public Op {
+ public:
+  const char* name() const override { return "concat"; }
   TensorShape infer(const std::vector<TensorShape>& in) const override;
   Tensor forward(const std::vector<const Tensor*>& in) const override;
 };

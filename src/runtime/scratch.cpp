@@ -7,26 +7,41 @@ namespace {
 
 std::atomic<std::uint64_t> g_grow_events{0};
 
+// Nesting depth of engine invocations live on this thread; see
+// ScratchDepth. Thread-local, so no synchronization is needed.
+thread_local int t_scratch_depth = 0;
+
 }  // namespace
 
-float* ScratchArena::floats(ScratchSlot slot, std::size_t count) {
-  AlignedBuffer<float>& buf = slots_[static_cast<int>(slot)];
-  if (count > buf.size()) {
-    buf.reset(count);
+float* ScratchArena::floats(int ns, ScratchSlot slot, std::size_t count) {
+  AlignedBuffer<float>* buf;
+  if (ns <= 0) {
+    buf = &slots_[static_cast<int>(slot)];
+  } else {
+    const std::size_t index =
+        static_cast<std::size_t>(ns - 1) * kScratchSlotCount +
+        static_cast<std::size_t>(slot);
+    if (index >= extra_.size()) extra_.resize(index + 1);
+    buf = &extra_[index];
+  }
+  if (count > buf->size()) {
+    buf->reset(count);
     ++grows_;
     g_grow_events.fetch_add(1, std::memory_order_relaxed);
   }
-  return buf.data();
+  return buf->data();
 }
 
 std::size_t ScratchArena::capacity_bytes() const {
   std::size_t total = 0;
   for (const auto& buf : slots_) total += buf.size() * sizeof(float);
+  for (const auto& buf : extra_) total += buf.size() * sizeof(float);
   return total;
 }
 
 void ScratchArena::release() {
   for (auto& buf : slots_) buf.reset(0);
+  extra_.clear();
 }
 
 ScratchArena& this_thread_scratch() {
@@ -37,5 +52,9 @@ ScratchArena& this_thread_scratch() {
 std::uint64_t scratch_grow_events() {
   return g_grow_events.load(std::memory_order_relaxed);
 }
+
+ScratchDepth::ScratchDepth() : level_(t_scratch_depth++) {}
+
+ScratchDepth::~ScratchDepth() { --t_scratch_depth; }
 
 }  // namespace ndirect

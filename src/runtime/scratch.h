@@ -16,10 +16,20 @@
 // a buffer. Oversubscribed task ids reuse their OS thread's arena
 // sequentially, which is safe because a task's scratch use ends before
 // the next task starts on that thread.
+//
+// Namespaces: a single OS thread can nonetheless be inside TWO
+// convolutions at once — the re-entrant pool lets a worker that finished
+// its slice of conv A claim a task of conv B while A's buffers are still
+// live further up its own call stack (nested dispatch has the same
+// shape). Each nesting level therefore addresses a disjoint namespace of
+// slots: `floats(ns, slot, n)` with ns = the thread's current
+// ScratchDepth level. Level 0 is the fixed hot-path storage; deeper
+// levels grow lazily and are only touched by re-entrant execution.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "runtime/aligned_buffer.h"
 
@@ -45,7 +55,15 @@ class ScratchArena {
   /// the slot's high-water mark; otherwise returns the existing storage
   /// untouched. The underlying allocation carries a cache line of tail
   /// slack, so kernels may read (not write) a few lanes past the end.
-  float* floats(ScratchSlot slot, std::size_t count);
+  float* floats(ScratchSlot slot, std::size_t count) {
+    return floats(0, slot, count);
+  }
+
+  /// Same, within namespace `ns` (>= 0). Distinct namespaces never alias,
+  /// so a task executing inside another task (re-entrant pool dispatch)
+  /// addresses its own buffers by passing its nesting depth. Namespace 0
+  /// is the pre-sized hot path; higher namespaces allocate on first use.
+  float* floats(int ns, ScratchSlot slot, std::size_t count);
 
   /// Number of times any slot of this arena (re)allocated. Constant
   /// across calls once the arena is warm — tests assert on this.
@@ -59,13 +77,36 @@ class ScratchArena {
   void release();
 
  private:
-  AlignedBuffer<float> slots_[kScratchSlotCount];
+  AlignedBuffer<float> slots_[kScratchSlotCount];  ///< namespace 0
+  /// Namespaces >= 1, laid out (ns-1)-major: entry
+  /// (ns-1)*kScratchSlotCount + slot. Grown only by the owning thread.
+  std::vector<AlignedBuffer<float>> extra_;
   std::uint64_t grows_ = 0;
 };
 
 /// The calling OS thread's persistent arena (thread-local singleton;
 /// created on first use, freed at thread exit).
 ScratchArena& this_thread_scratch();
+
+/// RAII marker of one engine invocation on this thread. Construction
+/// claims the thread's current nesting level (0 for the outermost
+/// engine, 1 for an engine entered while level 0 is still live, ...);
+/// destruction releases it. The claimed `level()` is the arena namespace
+/// the invocation must pass to ScratchArena::floats, which is what keeps
+/// a worker's re-entrant task from clobbering the pack buffer of the
+/// convolution further down its own call stack.
+class ScratchDepth {
+ public:
+  ScratchDepth();
+  ~ScratchDepth();
+  ScratchDepth(const ScratchDepth&) = delete;
+  ScratchDepth& operator=(const ScratchDepth&) = delete;
+
+  int level() const { return level_; }
+
+ private:
+  int level_;
+};
 
 /// Process-wide count of arena growth events across all threads.
 /// Monotonic; a window with no growth proves the hot path ran

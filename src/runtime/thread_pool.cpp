@@ -38,12 +38,19 @@ long resolve_spin_iters(long spin_iters) {
   return v < 0 ? ThreadPool::kDefaultSpinIters : v;
 }
 
+inline std::uint64_t pack_word(std::uint64_t epoch, std::uint32_t cursor) {
+  return epoch << 16 | cursor;
+}
+inline std::uint64_t epoch_of(std::uint64_t word) { return word >> 16; }
+inline std::uint32_t cursor_of(std::uint64_t word) {
+  return static_cast<std::uint32_t>(word & 0xFFFF);
+}
+
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads, long spin_iters)
     : spin_iters_(resolve_spin_iters(spin_iters)) {
   if (num_threads == 0) num_threads = 1;
-  slots_ = std::vector<WorkerSlot>(num_threads);  // slot 0 unused (caller)
   workers_.reserve(num_threads - 1);
   for (std::size_t i = 1; i < num_threads; ++i) {
     workers_.emplace_back([this, i] { worker_loop(i); });
@@ -61,16 +68,90 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::execute_slice(std::size_t worker_index) {
-  // Worker `worker_index` runs tasks worker_index, worker_index + P, ...
-  // This round-robin rule is what lets run() oversubscribe: asking for
-  // 4x more tasks than threads stacks 4 tasks per OS thread.
-  for (std::size_t tid = worker_index; tid < num_tasks_; tid += size()) {
-    (*task_)(tid);
+// Slot lifecycle. A slot's `word` carries (epoch, cursor); the epoch is
+// bumped on ARM (even -> odd, cursor kClosedCursor: claimed but not yet
+// claimable), again implicitly by OPEN only rewriting the cursor
+// (epoch stays odd, cursor 0), and on RETIRE (odd -> even). A claim is a
+// CAS on the whole word, so it can only succeed against the exact job
+// instance whose cursor the claimer observed — a task index can never
+// leak into a later job that reused the slot. The slot is retired only
+// after `pending` reaches zero, and pending counts every claimed task,
+// so the fields (`fn`, `num_tasks`) stay valid for the full lifetime of
+// every claim.
+ThreadPool::JobSlot* ThreadPool::acquire_slot() {
+  for (auto& job : jobs_) {
+    std::uint64_t w = job.word.load(std::memory_order_relaxed);
+    if ((epoch_of(w) & 1) != 0) continue;  // active
+    if (job.word.compare_exchange_strong(
+            w, pack_word(epoch_of(w) + 1, kClosedCursor),
+            std::memory_order_acq_rel, std::memory_order_relaxed)) {
+      return &job;
+    }
+  }
+  return nullptr;  // pathological fan-out; caller executes inline
+}
+
+bool ThreadPool::claim_and_run(JobSlot& job, std::uint64_t epoch) {
+  std::uint64_t w = job.word.load(std::memory_order_acquire);
+  while (true) {
+    const std::uint64_t e = epoch_of(w);
+    const std::uint32_t cursor = cursor_of(w);
+    if ((e & 1) == 0 || cursor == kClosedCursor) return false;
+    if (epoch != 0 && e != epoch) return false;
+    // num_tasks is read outside the claim CAS, so a concurrently
+    // re-armed slot could briefly show the next job's count; the CAS
+    // below then fails on the epoch and the loop re-reads. A false
+    // "exhausted" here is benign: the submitter's own claim loop (which
+    // pins the epoch) guarantees every task is eventually claimed.
+    if (cursor >= job.num_tasks) return false;
+    if (job.word.compare_exchange_weak(w, pack_word(e, cursor + 1),
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+      // The successful CAS observed epoch `e` still open, and our
+      // pending contribution now pins the slot, so fn/num_tasks are the
+      // ones published before this epoch's open store.
+      (*job.fn)(cursor);
+      finish_task(job);
+      return true;
+    }
   }
 }
 
-void ThreadPool::worker_loop(std::size_t worker_index) {
+void ThreadPool::finish_task(JobSlot& job) {
+  // seq_cst Dekker-pairs with a parking submitter: it stores its waiter
+  // count, then re-reads pending under the mutex; we decrement pending,
+  // then read the waiter count. One side always observes the other, so
+  // a parked submitter either sees zero here or gets the notify below.
+  if (job.pending.fetch_sub(1, std::memory_order_seq_cst) == 1) {
+    if (num_waiting_callers_.load(std::memory_order_seq_cst) > 0) {
+      std::lock_guard<std::mutex> lock(done_mutex_);
+      cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::wait_job(JobSlot& job) {
+  long spins = 0;
+  while (job.pending.load(std::memory_order_acquire) != 0) {
+    if (spins < spin_iters_) {
+      spin_backoff(spins++);
+      continue;
+    }
+    num_waiting_callers_.fetch_add(1, std::memory_order_seq_cst);
+    {
+      std::unique_lock<std::mutex> lock(done_mutex_);
+      // Completions of OTHER jobs also notify; the predicate re-checks
+      // and sleeps again. Seq_cst load: the decisive read of the Dekker
+      // pairing with finish_task.
+      cv_done_.wait(lock, [&] {
+        return job.pending.load(std::memory_order_seq_cst) == 0;
+      });
+    }
+    num_waiting_callers_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t /*worker_index*/) {
   std::uint64_t seen = 0;
   while (true) {
     // Wait for a new generation: spin for the budget, then park.
@@ -101,19 +182,15 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
     if (stop_.load(std::memory_order_acquire)) return;
     seen = gen;
 
-    execute_slice(worker_index);
-    // Publish arrival through this worker's own slot. The slot is the
-    // ONLY completion signal: a shared countdown would race across
-    // generations (run() returns once every slot shows `gen`, so a
-    // straggler's decrement could land after the next run() re-armed
-    // the counter and corrupt it). seq_cst Dekker-pairs with the
-    // submitter, which stores caller_waiting_ and then re-reads the
-    // slot: one side always observes the other, so a parked submitter
-    // is either never parked on this slot or gets the notify below.
-    slots_[worker_index].done_gen.store(seen, std::memory_order_seq_cst);
-    if (caller_waiting_.load(std::memory_order_seq_cst)) {
-      std::lock_guard<std::mutex> lock(done_mutex_);
-      cv_done_.notify_one();
+    // Drain every open job. Any job armed after the last fruitless scan
+    // bumped the generation after its open store, so the outer loop's
+    // next generation read re-enters this drain — no lost work.
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (auto& job : jobs_) {
+        while (claim_and_run(job, 0)) progress = true;
+      }
     }
   }
 }
@@ -121,17 +198,30 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
 void ThreadPool::run(std::size_t num_tasks,
                      const std::function<void(std::size_t)>& fn) {
   if (num_tasks == 0) return;
-  if (num_tasks == 1 || workers_.empty()) {
+  if (num_tasks == 1 || workers_.empty() || num_tasks > kMaxTasksPerJob) {
+    // No workers to share with (or a task count beyond the cursor
+    // width, which no real dispatch reaches): execute inline. This is
+    // also what makes single-threaded nested dispatch (e.g. a grouped
+    // convolution's inner conv) safe to issue from inside a task.
     for (std::size_t tid = 0; tid < num_tasks; ++tid) fn(tid);
     return;
   }
-  // One dispatch at a time: a second caller would otherwise overwrite
-  // task_/num_tasks_ while workers still read them.
-  std::lock_guard<std::mutex> submit_lock(submit_mutex_);
-  num_tasks_ = num_tasks;
-  task_ = &fn;
-  const std::uint64_t gen =
-      generation_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  JobSlot* job = acquire_slot();
+  if (job == nullptr) {
+    for (std::size_t tid = 0; tid < num_tasks; ++tid) fn(tid);
+    return;
+  }
+  // Publish the job body, then open the cursor: workers acquire-load the
+  // word, so an observed open cursor implies visible fn/num_tasks.
+  const std::uint64_t epoch =
+      epoch_of(job->word.load(std::memory_order_relaxed));
+  job->num_tasks = static_cast<std::uint32_t>(num_tasks);
+  job->fn = &fn;
+  job->pending.store(static_cast<std::uint32_t>(num_tasks),
+                     std::memory_order_relaxed);
+  job->word.store(pack_word(epoch, 0), std::memory_order_release);
+
+  generation_.fetch_add(1, std::memory_order_seq_cst);
   if (num_parked_.load(std::memory_order_seq_cst) > 0) {
     // Workers increment num_parked_ under wake_mutex_, so acquiring it
     // here serializes against any worker between its predicate check and
@@ -140,43 +230,19 @@ void ThreadPool::run(std::size_t num_tasks,
     cv_start_.notify_all();
   }
 
-  execute_slice(0);  // caller acts as worker 0
-
-  // Wait for all workers to arrive. Completion is tracked only through
-  // the per-worker arrival slots (each written by its owner, monotone
-  // in the generation): unlike a shared countdown, a slot cannot be
-  // corrupted by a straggler from the previous generation publishing
-  // after this run() re-armed dispatch state.
-  long spins = 0;
-  std::size_t next_unarrived = 1;
-  while (next_unarrived < size()) {
-    if (slots_[next_unarrived].done_gen.load(std::memory_order_acquire) >=
-        gen) {
-      ++next_unarrived;
-      continue;
-    }
-    if (spins < spin_iters_) {
-      spin_backoff(spins++);
-    } else {
-      // Park until the slot we are blocked on arrives. Every arriving
-      // worker that sees caller_waiting_ notifies under done_mutex_;
-      // the predicate's seq_cst load pairs with the worker's seq_cst
-      // slot store (Dekker), so the arrival is either visible here or
-      // its worker saw caller_waiting_ and will take the mutex and
-      // notify — no lost wakeup. Wakes for other slots re-check and
-      // sleep again; the loop then parks on the next unarrived slot.
-      caller_waiting_.store(true, std::memory_order_seq_cst);
-      {
-        std::unique_lock<std::mutex> lock(done_mutex_);
-        cv_done_.wait(lock, [&] {
-          return slots_[next_unarrived].done_gen.load(
-                     std::memory_order_seq_cst) >= gen;
-        });
-      }
-      caller_waiting_.store(false, std::memory_order_relaxed);
-    }
+  // Participate: claim this job's tasks like a worker would. The epoch
+  // pin is what guarantees liveness — even if every worker is busy with
+  // other jobs, the submitter alone claims and runs every task.
+  while (claim_and_run(*job, epoch)) {
   }
-  task_ = nullptr;
+  // Tasks claimed by workers may still be executing; completion is the
+  // per-job countdown, which cannot be corrupted by stragglers of other
+  // jobs (each job has its own counter and the slot is not reused until
+  // this wait returns).
+  wait_job(*job);
+
+  job->fn = nullptr;
+  job->word.store(pack_word(epoch + 1, 0), std::memory_order_release);
 }
 
 void ThreadPool::parallel_for(

@@ -4,6 +4,7 @@
 
 #include <chrono>
 #include <map>
+#include <mutex>
 #include <string>
 
 namespace ndirect {
@@ -29,6 +30,12 @@ class WallTimer {
 
 /// Accumulates named phase durations (e.g. "im2col", "packing",
 /// "micro-kernel") across repeated runs; used for the Fig. 1a breakdown.
+///
+/// Thread-safe: add() and the readers take an internal mutex, so one
+/// timer can be shared by concurrently running ops (the graph executor's
+/// run_profiled does exactly that). The exception is phases(), which
+/// returns a reference into the map — call it only while no writer is
+/// active (i.e. after the run being profiled has completed).
 class PhaseTimer {
  public:
   /// RAII scope: adds the scope's duration to the named phase on exit.
@@ -49,6 +56,7 @@ class PhaseTimer {
   Scope scope(std::string name) { return Scope(*this, std::move(name)); }
 
   void add(const std::string& name, double seconds) {
+    std::lock_guard<std::mutex> lock(mutex_);
     phases_[name] += seconds;
     ++counts_[name];
   }
@@ -58,35 +66,50 @@ class PhaseTimer {
   /// packed-filter cache must drive the "transform" count to zero on
   /// steady-state inference calls.
   long count(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mutex_);
     auto it = counts_.find(name);
     return it == counts_.end() ? 0 : it->second;
   }
 
   double total() const {
-    double t = 0;
-    for (const auto& [_, s] : phases_) t += s;
-    return t;
+    std::lock_guard<std::mutex> lock(mutex_);
+    return total_locked();
   }
 
   double seconds(const std::string& name) const {
-    auto it = phases_.find(name);
-    return it == phases_.end() ? 0.0 : it->second;
+    std::lock_guard<std::mutex> lock(mutex_);
+    return seconds_locked(name);
   }
 
   /// Phase share in [0,1] of the total accumulated time (0 if empty).
   double fraction(const std::string& name) const {
-    const double t = total();
-    return t > 0 ? seconds(name) / t : 0.0;
+    std::lock_guard<std::mutex> lock(mutex_);
+    const double t = total_locked();
+    return t > 0 ? seconds_locked(name) / t : 0.0;
   }
 
+  /// Unsynchronized view; only valid while no add() can be running.
   const std::map<std::string, double>& phases() const { return phases_; }
 
   void clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
     phases_.clear();
     counts_.clear();
   }
 
  private:
+  double total_locked() const {
+    double t = 0;
+    for (const auto& [_, s] : phases_) t += s;
+    return t;
+  }
+
+  double seconds_locked(const std::string& name) const {
+    auto it = phases_.find(name);
+    return it == phases_.end() ? 0.0 : it->second;
+  }
+
+  mutable std::mutex mutex_;
   std::map<std::string, double> phases_;
   std::map<std::string, long> counts_;
 };

@@ -1,0 +1,124 @@
+// Randomized branchy graph topologies for the DAG fuzzer and the
+// graph-executor concurrency tests.
+//
+// Every generated graph is a DAG over conv/relu/maxpool/add/concat ops
+// with random split points (any existing node can sprout a new branch)
+// and random merges (add of two same-shaped nodes, channel concat of
+// same-N/H/W nodes). All leaves are folded into the output through
+// gavgpool -> concat -> relu, so every branch affects the result and a
+// scheduling bug anywhere in the DAG shows up in the final tensor.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "nn/graph.h"
+
+namespace ndirect {
+namespace testgen {
+
+inline std::unique_ptr<ConvOp> make_conv(const TensorShape& s, int k,
+                                         int r, int str,
+                                         std::uint64_t seed) {
+  ConvParams p{.N = s.N, .C = s.C, .H = s.H, .W = s.W, .K = k,
+               .R = r, .S = r, .str = str, .pad = r / 2};
+  return std::make_unique<ConvOp>(p, ConvBackend::Ndirect, seed,
+                                  /*bias=*/(seed & 1) != 0);
+}
+
+/// Random branchy DAG seeded from `seed`. Shapes stay small enough for
+/// >= 100 fuzz iterations in CI; topology width is unbounded by design
+/// (that is what the concurrent executor must survive).
+inline std::unique_ptr<Graph> build_random_dag(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  auto pick = [&](int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(rng);
+  };
+
+  const int N = pick(1, 2);
+  const int C = pick(2, 6);
+  const int H = pick(6, 14);
+  const int W = pick(6, 14);
+  auto g = std::make_unique<Graph>(N, C, H, W);
+
+  std::vector<NodeId> grown = {0};  // candidates for new consumers
+  const int ops = pick(5, 12);
+  for (int i = 0; i < ops; ++i) {
+    const NodeId src = grown[static_cast<std::size_t>(
+        pick(0, static_cast<int>(grown.size()) - 1))];
+    const TensorShape s = g->shape_of(src);
+    NodeId added = -1;
+    switch (pick(0, 5)) {
+      case 0:
+      case 1: {  // conv (weighted: the op under test)
+        const int r = pick(0, 2) == 0 ? 1 : 3;
+        if (s.H < r || s.W < r) break;
+        const int str = s.H >= 6 && s.W >= 6 && pick(0, 3) == 0 ? 2 : 1;
+        added = g->add(make_conv(s, pick(3, 12), r, str, seed + i), {src});
+        break;
+      }
+      case 2:
+        added = g->add(std::make_unique<ReluOp>(), {src});
+        break;
+      case 3: {  // maxpool 2x2/2
+        if (s.H < 2 || s.W < 2) break;
+        added = g->add(std::make_unique<MaxPoolOp>(2, 2, 0), {src});
+        break;
+      }
+      case 4: {  // residual add: needs a second node of identical shape
+        for (NodeId other : grown) {
+          if (other != src && g->shape_of(other) == s) {
+            added = g->add(std::make_unique<AddOp>(), {src, other});
+            break;
+          }
+        }
+        break;
+      }
+      case 5: {  // channel concat of same-N/H/W nodes
+        std::vector<NodeId> peers;
+        for (NodeId other : grown) {
+          const TensorShape& o = g->shape_of(other);
+          if (other != src && o.N == s.N && o.H == s.H && o.W == s.W) {
+            peers.push_back(other);
+          }
+        }
+        if (!peers.empty()) {
+          added = g->add(std::make_unique<ConcatOp>(),
+                         {src, peers[static_cast<std::size_t>(pick(
+                                   0, static_cast<int>(peers.size()) - 1))]});
+        }
+        break;
+      }
+    }
+    if (added >= 0) grown.push_back(added);
+  }
+
+  // Fold every leaf into the output so no branch is dead code. Snapshot
+  // the node count first: the folding adds nodes, which must be neither
+  // scanned as leaves nor indexed into `consumed`.
+  const NodeId grown_count = g->node_count();
+  std::vector<bool> consumed(static_cast<std::size_t>(grown_count),
+                             false);
+  for (NodeId id = 1; id < grown_count; ++id) {
+    for (NodeId in : g->inputs_of(id)) {
+      consumed[static_cast<std::size_t>(in)] = true;
+    }
+  }
+  std::vector<NodeId> pooled;
+  for (NodeId id = 0; id < grown_count; ++id) {
+    if (!consumed[static_cast<std::size_t>(id)]) {
+      pooled.push_back(
+          g->add(std::make_unique<GlobalAvgPoolOp>(), {id}));
+    }
+  }
+  NodeId tail = pooled.size() == 1
+                    ? pooled[0]
+                    : g->add(std::make_unique<ConcatOp>(), pooled);
+  g->add(std::make_unique<ReluOp>(), {tail});
+  return g;
+}
+
+}  // namespace testgen
+}  // namespace ndirect

@@ -428,14 +428,20 @@ TEST(NdirectArena, SteadyStateRunsDoNotGrowScratch) {
   opts.threads = 3;
   opts.cache_packed_filter = true;
   const NdirectConv conv(p, opts);
-  (void)conv.run(c.input, c.filter);  // warm-up grows the arenas
   const std::uint64_t grows = scratch_grow_events();
+  (void)conv.run(c.input, c.filter);  // warm-up grows the arenas
   const std::uint64_t transforms = transform_filter_tile_calls();
   for (int i = 0; i < 10; ++i) {
     const Tensor out = conv.run(c.input, c.filter);
     ASSERT_TRUE(allclose(out, c.reference));
   }
-  EXPECT_EQ(scratch_grow_events(), grows)
+  // Claim-based dispatch makes the set of threads serving a given run
+  // schedule-dependent, so a worker that sat out the warm-up run may
+  // still grow its arena on a later run. The steady-state invariant is
+  // that growth is bounded by participants -- each thread grows its
+  // pack and filter-tile slots at most once, ever -- never by run
+  // count (a regrow bug adds ~2 events per run, ~20 over this loop).
+  EXPECT_LE(scratch_grow_events() - grows, 2 * (pool.size() + 1))
       << "steady-state calls must reuse the per-thread arenas";
   EXPECT_EQ(transform_filter_tile_calls(), transforms);
 }

@@ -149,7 +149,8 @@ TEST(ThreadPool, ZeroTasksIsNoOp) {
 
 TEST(ThreadPool, ConcurrentCallersSerializeSafely) {
   // Several caller threads share one pool; every task of every call
-  // must run exactly once (run() dispatches serialize internally).
+  // must run exactly once. Jobs occupy independent slots and execute
+  // concurrently; each caller must see exactly its own job complete.
   ThreadPool pool(3);
   constexpr int kCallers = 4, kTasksPerCall = 25, kCallsPerCaller = 20;
   std::atomic<int> total{0};
@@ -220,8 +221,8 @@ TEST(ThreadPool, ZeroSpinPoolParksImmediately) {
 
 TEST(ThreadPool, ConcurrentCallersWithTinyTasks) {
   // Multiple caller threads hammering one pool with sub-microsecond
-  // tasks: dispatches must serialize, tasks must never be lost or run
-  // twice. (The TSan tier exercises the atomic handshake here.)
+  // tasks: slot arm/retire churns fast, and tasks must never be lost
+  // or run twice. (The TSan tier exercises the atomic handshake here.)
   ThreadPool pool(2);
   constexpr int kCallers = 4, kCallsPerCaller = 300;
   std::atomic<long> total{0};
@@ -256,17 +257,73 @@ TEST(ThreadPool, OversubscribedConcurrentCallers) {
   EXPECT_EQ(total.load(), long{kCallers} * kTasks * kCalls);
 }
 
-TEST(ThreadPool, TaskIndexToThreadMappingStable) {
-  // Task tid runs on OS thread (tid % size()); with 2 threads and 8
-  // tasks, tasks {0,2,4,6} share one thread and {1,3,5,7} the other.
+TEST(ThreadPool, EveryTaskIndexDeliveredExactlyOnce) {
+  // The dispatch contract: fn(tid) for every tid in [0, n) exactly
+  // once, with tid -> OS-thread placement unspecified (tasks are
+  // claimed dynamically so concurrent jobs can share the workers).
   ThreadPool pool(2);
-  std::array<std::atomic<std::thread::id>, 8> ran_on{};
-  pool.run(8, [&](std::size_t tid) {
-    ran_on[tid].store(std::this_thread::get_id());
-  });
-  for (std::size_t tid = 2; tid < 8; ++tid) {
-    EXPECT_EQ(ran_on[tid].load(), ran_on[tid % 2].load()) << "tid " << tid;
+  std::array<std::atomic<int>, 8> hits{};
+  pool.run(8, [&](std::size_t tid) { hits[tid]++; });
+  for (std::size_t tid = 0; tid < 8; ++tid) {
+    EXPECT_EQ(hits[tid].load(), 1) << "tid " << tid;
   }
+}
+
+TEST(ThreadPool, ConcurrentJobsOverlapInTime) {
+  // The re-entrant dispatch must let two callers' jobs execute
+  // CONCURRENTLY: job A's tasks block until job B has started running,
+  // which can only finish if B's tasks run while A still occupies its
+  // slot. (With serializing dispatch this deadlocks; the short poll
+  // bounds the failure to a test timeout, not a hang.)
+  ThreadPool pool(2);
+  std::atomic<bool> b_started{false};
+  std::thread caller_a([&] {
+    pool.run(2, [&](std::size_t) {
+      for (int i = 0; i < 200000 && !b_started.load(); ++i) {
+        std::this_thread::yield();
+      }
+    });
+  });
+  std::thread caller_b([&] {
+    pool.run(2, [&](std::size_t) { b_started.store(true); });
+  });
+  caller_a.join();
+  caller_b.join();
+  EXPECT_TRUE(b_started.load());
+}
+
+TEST(ThreadPool, NestedRunFromInsideTask) {
+  // A task that itself dispatches on the same pool (a grouped conv's
+  // inner conv, a graph op calling parallel_for): the nested run()
+  // grabs its own job slot and the submitter self-drains, so this can
+  // never deadlock and every nested task runs exactly once.
+  ThreadPool pool(3);
+  std::atomic<int> outer{0}, inner{0};
+  pool.run(3, [&](std::size_t) {
+    outer++;
+    pool.run(4, [&](std::size_t) { inner++; });
+  });
+  EXPECT_EQ(outer.load(), 3);
+  EXPECT_EQ(inner.load(), 3 * 4);
+}
+
+TEST(ThreadPool, SlotExhaustionFallsBackInline) {
+  // More concurrent callers than job slots: the surplus callers must
+  // execute inline (correct, just unshared) instead of failing.
+  ThreadPool pool(2);
+  constexpr int kCallers = ThreadPool::kMaxConcurrentJobs + 4;
+  std::atomic<int> total{0};
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        pool.run(5, [&](std::size_t) { total++; });
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(total.load(), kCallers * 50 * 5);
 }
 
 // ----------------------------------------------------------------------
@@ -300,6 +357,36 @@ TEST(ScratchArena, SlotsAreIndependent) {
   EXPECT_EQ(arena.floats(ScratchSlot::kPack, 32), a);
   EXPECT_EQ(a[0], 1.0f);
   EXPECT_EQ(b[0], 2.0f);
+}
+
+TEST(ScratchArena, NamespacesNeverAlias) {
+  // Namespace ns isolates a nested engine invocation's buffers from the
+  // outer one's on the same thread (re-entrant pool dispatch).
+  ScratchArena arena;
+  float* outer = arena.floats(0, ScratchSlot::kPack, 64);
+  float* inner = arena.floats(1, ScratchSlot::kPack, 64);
+  ASSERT_NE(outer, inner);
+  outer[0] = 1.0f;
+  inner[0] = 2.0f;
+  EXPECT_EQ(arena.floats(0, ScratchSlot::kPack, 64), outer);
+  EXPECT_EQ(arena.floats(1, ScratchSlot::kPack, 64), inner);
+  EXPECT_EQ(outer[0], 1.0f);
+  EXPECT_EQ(inner[0], 2.0f);
+  // The 2-arg overload is namespace 0.
+  EXPECT_EQ(arena.floats(ScratchSlot::kPack, 32), outer);
+}
+
+TEST(ScratchArena, DepthGuardTracksNesting) {
+  const ScratchDepth d0;
+  EXPECT_EQ(d0.level(), 0);
+  {
+    const ScratchDepth d1;
+    EXPECT_EQ(d1.level(), 1);
+    const ScratchDepth d2;
+    EXPECT_EQ(d2.level(), 2);
+  }
+  const ScratchDepth d1_again;
+  EXPECT_EQ(d1_again.level(), 1);
 }
 
 TEST(ScratchArena, ReleaseFreesAndReallocates) {
