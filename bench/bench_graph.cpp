@@ -63,6 +63,7 @@ struct Result {
   std::uint64_t steals = 0;  ///< steal events during the concurrent runs
   int max_inflight = 0;
   bool identical = false;
+  TelemetrySnapshot telemetry;  ///< all convs, one extra untimed run
 };
 
 Result run_case(int batch, ThreadPool& pool, const BenchConfig& cfg) {
@@ -95,6 +96,21 @@ Result run_case(int batch, ThreadPool& pool, const BenchConfig& cfg) {
                               cfg.min_seconds);
   r.steals = scheduler_steal_events() - steals0;
   r.max_inflight = stats.max_inflight;
+
+  // Telemetry comes from one extra concurrent run after the timed
+  // loops: each conv writes its own sink (concurrent branches must not
+  // share one), then the per-conv snapshots fold into a single
+  // worker-indexed row for the JSON report.
+  if (telemetry_enabled()) {
+    std::vector<ConvOp*> convs = g->conv_ops();
+    std::vector<TelemetrySnapshot> sinks(convs.size());
+    for (std::size_t i = 0; i < convs.size(); ++i) {
+      convs[i]->set_telemetry(&sinks[i]);
+    }
+    (void)g->run(input, {});
+    for (const TelemetrySnapshot& s : sinks) r.telemetry.merge(s);
+    for (ConvOp* c : convs) c->set_telemetry(nullptr);
+  }
   return r;
 }
 
@@ -140,11 +156,14 @@ int main() {
                   "%s{\"batch\": %d, \"seq_gflops\": %.3f, "
                   "\"conc_gflops\": %.3f, \"speedup\": %.4f, "
                   "\"steals\": %llu, \"max_inflight\": %d, "
-                  "\"identical\": %s}",
+                  "\"identical\": %s",
                   i == 0 ? "" : ", ", n, r.seq_gflops, r.conc_gflops,
                   speedup, static_cast<unsigned long long>(r.steals),
                   r.max_inflight, r.identical ? "true" : "false");
     rows_json += buf;
+    if (!r.telemetry.empty())
+      rows_json += ", \"telemetry\": " + r.telemetry.to_json();
+    rows_json += "}";
   }
   rows_json += "]";
 

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/ndirect.h"
+#include "core/report.h"
 #include "platform/workloads.h"
 #include "runtime/thread_pool.h"
 #include "tensor/rng.h"
@@ -44,7 +45,9 @@ struct Case {
 struct Result {
   double static_gflops = 0;
   double steal_gflops = 0;
-  SchedulerStats stats{};  ///< from the stealing run
+  SchedulerStats stats{};        ///< from the stealing run
+  TelemetrySnapshot telemetry;   ///< from one extra untimed stealing run
+  std::string report_text;       ///< ConvReport for that run
 };
 
 Result run_case(const Case& c, ThreadPool& pool, const BenchConfig& cfg) {
@@ -71,6 +74,18 @@ Result run_case(const Case& c, ThreadPool& pool, const BenchConfig& cfg) {
   const NdirectConv wconv(c.params, steal);
   r.steal_gflops = time_gflops([&] { (void)wconv.run(input, filter); },
                                flops, cfg.min_seconds);
+
+  // Telemetry is collected in one extra run OUTSIDE the timed loops so
+  // the GFLOPS columns measure the same code the ≤1%-overhead claim is
+  // made about.
+  if (telemetry_enabled()) {
+    NdirectOptions tele = steal;
+    tele.sched_stats = nullptr;
+    tele.telemetry = &r.telemetry;
+    const NdirectConv tconv(c.params, tele);
+    (void)tconv.run(input, filter);
+    r.report_text = build_conv_report(tconv, r.telemetry).to_text();
+  }
   return r;
 }
 
@@ -113,6 +128,7 @@ int main() {
   print_row({"case", "static", "steal", "ratio", "steals", "imbalance"},
             w);
   std::string rows_json = "[";
+  std::string skew_report;
   for (std::size_t i = 0; i < cases.size(); ++i) {
     const Case& c = cases[i];
     const Result r = run_case(c, pool, cfg);
@@ -130,15 +146,23 @@ int main() {
         "%s{\"case\": \"%s\", \"threads\": %d, "
         "\"static_gflops\": %.3f, \"stealing_gflops\": %.3f, "
         "\"ratio\": %.4f, \"tiles\": %llu, \"steals\": %llu, "
-        "\"imbalance\": %llu}",
+        "\"imbalance\": %llu",
         i == 0 ? "" : ", ", c.name.c_str(), c.threads, r.static_gflops,
         r.steal_gflops, ratio,
         static_cast<unsigned long long>(r.stats.tiles),
         static_cast<unsigned long long>(r.stats.steals),
         static_cast<unsigned long long>(imbalance));
     rows_json += buf;
+    if (!r.telemetry.empty())
+      rows_json += ", \"telemetry\": " + r.telemetry.to_json();
+    rows_json += "}";
+    // Full predicted-vs-measured report for the case the scheduler
+    // exists for: the skewed layer where the static split idles.
+    if (c.name.rfind("skewed", 0) == 0 && !r.report_text.empty())
+      skew_report = r.report_text;
   }
   rows_json += "]";
+  if (!skew_report.empty()) std::printf("\n%s", skew_report.c_str());
 
   std::printf(
       "\nratio > 1 means stealing wins; expected ~1.0 on the balanced\n"

@@ -180,6 +180,12 @@ void JsonReport::add_raw(const std::string& key, const std::string& json) {
   fields_.emplace_back(key, json);
 }
 
+void JsonReport::add_telemetry(const std::string& key,
+                               const TelemetrySnapshot& t) {
+  if (t.empty()) return;
+  add_raw(key, t.to_json());
+}
+
 bool JsonReport::write() const {
   const std::string path = "BENCH_" + name_ + ".json";
   std::FILE* f = std::fopen(path.c_str(), "w");

@@ -21,6 +21,7 @@
 #include "platform/perf_model.h"
 #include "platform/workloads.h"
 #include "runtime/env.h"
+#include "runtime/telemetry.h"
 #include "tensor/tensor.h"
 
 namespace ndirect::bench {
@@ -74,6 +75,11 @@ class JsonReport {
   void add(const std::string& key, const std::string& v);  ///< quoted
   /// Pre-formatted JSON value (nested object / array), inserted verbatim.
   void add_raw(const std::string& key, const std::string& json);
+  /// Telemetry snapshot as a nested object (counters, phase fractions,
+  /// busy stats). Skipped when the snapshot is empty — telemetry is
+  /// optional in the bench schema, and a disabled build contributes no
+  /// row rather than a row of zeros.
+  void add_telemetry(const std::string& key, const TelemetrySnapshot& t);
 
   /// Write BENCH_<name>.json; prints the path on success.
   bool write() const;

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Validate a Chrome-tracing JSON file produced by NDIRECT_TRACE.
+
+Checks what ui.perfetto.dev silently tolerates but a correct exporter
+must guarantee:
+  * top-level object with a "traceEvents" list,
+  * every event carries name/ph/pid/tid (+ ts for non-metadata phases),
+  * per tid, 'B'/'E' spans nest LIFO and end balanced,
+  * per tid, timestamps are monotonically non-decreasing,
+  * 'X' events have a non-negative dur.
+
+Usage: check_trace.py <trace.json>
+Exit status 0 on a valid trace, 1 with a diagnostic otherwise.
+"""
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: check_trace.py <trace.json>")
+    with open(sys.argv[1]) as f:
+        doc = json.load(f)
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("top level must be an object with a traceEvents list")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail("traceEvents is not a list")
+
+    open_spans = {}  # tid -> stack of open 'B' names
+    last_ts = {}  # tid -> last timestamp seen
+    counted = 0
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in ev:
+                fail(f"event {i} missing {key!r}: {ev}")
+        if ph == "M":  # metadata (thread_name): no timestamp required
+            continue
+        if "ts" not in ev:
+            fail(f"event {i} ({ev['name']!r}) missing ts")
+        tid, ts = ev["tid"], float(ev["ts"])
+        counted += 1
+        if ts < last_ts.get(tid, 0.0):
+            fail(
+                f"event {i} ({ev['name']!r}) goes back in time on tid "
+                f"{tid}: {ts} < {last_ts[tid]}"
+            )
+        last_ts[tid] = ts
+        if ph == "B":
+            open_spans.setdefault(tid, []).append(ev["name"])
+        elif ph == "E":
+            stack = open_spans.get(tid, [])
+            if not stack:
+                fail(f"event {i}: 'E' {ev['name']!r} with no open span "
+                     f"on tid {tid}")
+            if stack[-1] != ev["name"]:
+                fail(
+                    f"event {i}: 'E' {ev['name']!r} closes {stack[-1]!r} "
+                    f"on tid {tid} (spans must nest LIFO)"
+                )
+            stack.pop()
+        elif ph == "X":
+            if float(ev.get("dur", 0)) < 0:
+                fail(f"event {i} ({ev['name']!r}) has negative dur")
+        elif ph not in ("i", "I"):
+            fail(f"event {i} has unknown phase {ph!r}")
+
+    for tid, stack in open_spans.items():
+        if stack:
+            fail(f"tid {tid} ends with unclosed spans: {stack}")
+
+    dropped = doc.get("otherData", {}).get("dropped", 0)
+    print(
+        f"check_trace: OK: {counted} events on {len(last_ts)} lanes, "
+        f"{dropped} dropped"
+    )
+
+
+if __name__ == "__main__":
+    main()

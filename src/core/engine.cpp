@@ -14,6 +14,7 @@
 #include "core/ndirect.h"
 #include "runtime/aligned_buffer.h"
 #include "runtime/scratch.h"
+#include "runtime/trace.h"
 #include "tensor/transforms.h"
 
 namespace ndirect {
@@ -238,8 +239,19 @@ void run_nest(const ConvParams& p, const NdirectPlan& plan,
 
   ThreadPool& pool =
       opts.pool != nullptr ? *opts.pool : ThreadPool::global();
-  // Phase breakdown only makes sense with one worker.
-  PhaseTimer* pt = num_workers == 1 ? opts.phase_timer : nullptr;
+  // Per-worker phase attribution: each worker accumulates its phase
+  // nanoseconds in locals and flushes them into its own telemetry slot
+  // when it runs out of tiles, so the transform/pack/micro-kernel
+  // breakdown is valid at any worker count (the previous PhaseTimer
+  // path recorded nothing beyond one worker). Collection stays off
+  // unless someone will consume it; the worker is templated on the
+  // collect flag so the disabled instantiation carries no timer reads
+  // or branches in the tile loop at all.
+  const bool tracing = trace_on();
+  const bool collect =
+      telemetry_enabled() && (opts.telemetry != nullptr ||
+                              opts.phase_timer != nullptr || tracing);
+  WorkerTelemetry tel(collect ? num_workers : 0);
 
   // Every worker starts on exactly the tiles its Eq. 5/6 slice covers
   // (the paper's mapping, rounded to tile granularity); workers beyond
@@ -248,7 +260,10 @@ void run_nest(const ConvParams& p, const NdirectPlan& plan,
                       static_cast<int>(k_chunks), plan.mapping.ptn,
                       plan.mapping.ptk, num_workers, stealing);
 
-  auto worker = [&](std::size_t tid) {
+  auto worker = [&]<bool kCollect>(std::size_t tid) {
+    // Phase-time accumulators, flushed to this worker's telemetry slot
+    // once at task end (no shared writes inside the tile loop).
+    std::uint64_t pack_ns = 0, transform_ns = 0, micro_ns = 0;
     // +4 floats of slack: the unrolled kernel reads the final row in
     // whole vectors (the extra lanes are loaded but never consumed).
     const std::size_t pack_floats =
@@ -289,6 +304,12 @@ void run_nest(const ConvParams& p, const NdirectPlan& plan,
 
     int rchunk, kchunk;
     while (sched.claim(static_cast<int>(tid), &rchunk, &kchunk)) {
+      // Tile spans ride the collect instantiation: tracing implies
+      // collect whenever the runtime master switch is on, so the
+      // disabled worker stays free of TraceSession code entirely.
+      std::uint64_t tile_t0 = 0;
+      if constexpr (kCollect)
+        tile_t0 = tracing ? TraceSession::global().now_ns() : 0;
       const std::int64_t n = rchunk / chunks_per_image;
       const int oh_begin =
           static_cast<int>((rchunk % chunks_per_image) * th_rows);
@@ -319,12 +340,13 @@ void run_nest(const ConvParams& p, const NdirectPlan& plan,
               ftile_base = aot_packed + (kb0 * p.C + ct) * f_c_stride;
               f_kb_stride = std::int64_t{p.C} * f_c_stride;
             } else {
-              WallTimer t;
+              std::uint64_t t0 = 0;
+              if constexpr (kCollect) t0 = monotonic_ns();
               transform_filter_tile(filter, p.K, p.C, p.R, p.S,
                                     static_cast<int>(kb0) * vk,
                                     static_cast<int>(kbn) * vk, ct, tcn, vk,
                                     ftile);
-              if (pt != nullptr) pt->add("transform", t.seconds());
+              if constexpr (kCollect) transform_ns += monotonic_ns() - t0;
               ftile_base = ftile;
               f_kb_stride = std::int64_t{tcn} * f_c_stride;
             }
@@ -433,39 +455,41 @@ void run_nest(const ConvParams& p, const NdirectPlan& plan,
                           wv * ls.out_w;
                   if (b == 0 && direct_row) {
                     // Nothing to pack: compute straight from the input.
-                    if (pt != nullptr) {
-                      WallTimer t;
+                    if constexpr (kCollect) {
+                      const std::uint64_t t0 = monotonic_ns();
                       call_compute(a);
-                      pt->add("micro-kernel", t.seconds());
+                      micro_ns += monotonic_ns() - t0;
                     } else {
                       call_compute(a);
                     }
                   } else if (b == 0) {
                     // First kv block: pack the input window. Fused mode
-                    // hides the packing behind this block's FMAs.
+                    // hides the packing behind this block's FMAs (its
+                    // cost lands in micro-kernel time, the attribution
+                    // the Fig. 5 ablation measures).
                     if (opts.fuse_packing) {
-                      if (pt != nullptr) {
-                        WallTimer t;
+                      if constexpr (kCollect) {
+                        const std::uint64_t t0 = monotonic_ns();
                         call_fused(a);
-                        pt->add("micro-kernel", t.seconds());
+                        micro_ns += monotonic_ns() - t0;
                       } else {
                         call_fused(a);
                       }
-                    } else if (pt != nullptr) {
-                      WallTimer t0;
+                    } else if constexpr (kCollect) {
+                      const std::uint64_t t0 = monotonic_ns();
                       pack_window(pack, g, tcn, p.R, plan.packw);
-                      pt->add("packing", t0.seconds());
-                      WallTimer t1;
+                      const std::uint64_t t1 = monotonic_ns();
                       call_compute(a);
-                      pt->add("micro-kernel", t1.seconds());
+                      pack_ns += t1 - t0;
+                      micro_ns += monotonic_ns() - t1;
                     } else {
                       pack_window(pack, g, tcn, p.R, plan.packw);
                       call_compute(a);
                     }
-                  } else if (pt != nullptr) {
-                    WallTimer t;
+                  } else if constexpr (kCollect) {
+                    const std::uint64_t t0 = monotonic_ns();
                     call_compute(a);
-                    pt->add("micro-kernel", t.seconds());
+                    micro_ns += monotonic_ns() - t0;
                   } else {
                     call_compute(a);
                   }
@@ -475,11 +499,69 @@ void run_nest(const ConvParams& p, const NdirectPlan& plan,
           }
         }
       }
+      if constexpr (kCollect) {
+        if (tracing) {
+          TraceSession& tr = TraceSession::global();
+          tr.complete("tile", tile_t0, tr.now_ns() - tile_t0, "row",
+                      rchunk, "k", kchunk);
+        }
+      }
+    }
+    if constexpr (kCollect) {
+      const int w = static_cast<int>(tid);
+      tel.add(w, Counter::kPackNs, pack_ns);
+      tel.add(w, Counter::kTransformNs, transform_ns);
+      tel.add(w, Counter::kMicrokernelNs, micro_ns);
     }
   };
 
-  pool.run(static_cast<std::size_t>(num_workers), worker);
+  WallTimer run_timer;
+  if (tracing)
+    TraceSession::global().begin("ndirect.run", "workers", num_workers);
+  if (collect) {
+    pool.run(static_cast<std::size_t>(num_workers), [&](std::size_t t) {
+      worker.template operator()<true>(t);
+    });
+  } else {
+    pool.run(static_cast<std::size_t>(num_workers), [&](std::size_t t) {
+      worker.template operator()<false>(t);
+    });
+  }
+  if (tracing) TraceSession::global().end("ndirect.run");
   if (opts.sched_stats != nullptr) *opts.sched_stats = sched.stats();
+  if (collect) {
+    TelemetrySnapshot snap = tel.snapshot(run_timer.seconds());
+    // Claim/steal attribution comes straight from the scheduler's
+    // per-worker counters (written by each worker's own claims, read
+    // after the dispatch join).
+    for (int w = 0; w < num_workers; ++w) {
+      TelemetrySnapshot::Worker& row =
+          snap.workers[static_cast<std::size_t>(w)];
+      row.v[static_cast<int>(Counter::kTilesClaimed)] =
+          sched.worker_executed(w);
+      row.v[static_cast<int>(Counter::kLocalSteals)] =
+          sched.worker_steals(w, StealClass::kLocal);
+      row.v[static_cast<int>(Counter::kNeighbourSteals)] =
+          sched.worker_steals(w, StealClass::kNeighbour);
+      row.v[static_cast<int>(Counter::kGlobalSteals)] =
+          sched.worker_steals(w, StealClass::kGlobal);
+    }
+    if (opts.phase_timer != nullptr) {
+      // Compatibility aggregation view: the historical phase names,
+      // one add() per phase per run, and only for phases that actually
+      // ran — fused mode still reports seconds("packing") == 0.
+      const double transform = snap.phase_seconds(Counter::kTransformNs);
+      const double packing = snap.phase_seconds(Counter::kPackNs);
+      const double micro = snap.phase_seconds(Counter::kMicrokernelNs);
+      if (transform > 0) opts.phase_timer->add("transform", transform);
+      if (packing > 0) opts.phase_timer->add("packing", packing);
+      if (micro > 0) opts.phase_timer->add("micro-kernel", micro);
+    }
+    if (opts.telemetry != nullptr) *opts.telemetry = std::move(snap);
+  } else if (opts.telemetry != nullptr) {
+    // Disabled collection must not leave a stale previous snapshot.
+    *opts.telemetry = TelemetrySnapshot{};
+  }
 }
 
 }  // namespace
@@ -511,7 +593,13 @@ void NdirectConv::run_into(const float* input, const float* filter,
                            float* output, const Epilogue& epilogue) const {
   const float* aot_data = nullptr;
   Tensor aot;
+  bool cache_hit = false;
   if (options_.cache_packed_filter) {
+    // A warm entry means this run is served from the packed-filter
+    // cache (no transform at all); only probed when a telemetry sink
+    // will record it, so the plain path pays nothing.
+    if (options_.telemetry != nullptr && telemetry_enabled())
+      cache_hit = filter_cache_warm(filter);
     aot_data = prepare_filter(filter);
   } else if (options_.aot_filter) {
     WallTimer t;
@@ -530,6 +618,11 @@ void NdirectConv::run_into(const float* input, const float* filter,
   }
   run_nest(exec_, plan_, options_, nchw_strides(exec_), input, filter,
            aot_data, output, epilogue);
+  if (cache_hit && options_.telemetry != nullptr &&
+      !options_.telemetry->workers.empty()) {
+    options_.telemetry->workers[0]
+        .v[static_cast<int>(Counter::kCacheHits)] += 1;
+  }
 }
 
 const float* NdirectConv::prepare_filter(const float* filter) const {
@@ -616,7 +709,10 @@ Tensor NdirectConv::run_nhwc(const Tensor& input, const Tensor& filter,
   Tensor out = make_output_nhwc(p.N, p.P(), p.Q(), p.K);
   const float* aot_data = nullptr;
   Tensor aot;
+  bool cache_hit = false;
   if (options_.cache_packed_filter) {
+    if (options_.telemetry != nullptr && telemetry_enabled())
+      cache_hit = filter_cache_warm(filter.data());
     aot_data = prepare_filter(filter.data());
   } else if (options_.aot_filter) {
     aot = pack_filter_kpacked(filter, plan_.rb.vk);
@@ -624,6 +720,11 @@ Tensor NdirectConv::run_nhwc(const Tensor& input, const Tensor& filter,
   }
   run_nest(exec_, plan_, options_, nhwc_strides(exec_), input.data(),
            filter.data(), aot_data, out.data(), epilogue);
+  if (cache_hit && options_.telemetry != nullptr &&
+      !options_.telemetry->workers.empty()) {
+    options_.telemetry->workers[0]
+        .v[static_cast<int>(Counter::kCacheHits)] += 1;
+  }
   return out;
 }
 

@@ -1,0 +1,209 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/threading.h"
+
+namespace ndirect {
+namespace {
+
+std::string fmt1(double v, const char* spec = "%.1f") {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), spec, v);
+  return buf;
+}
+
+std::string fmt_json(double v) { return fmt1(v, "%.9g"); }
+
+}  // namespace
+
+ConvReport build_conv_report(const NdirectConv& conv,
+                             const TelemetrySnapshot& telemetry,
+                             const PlatformSpec* spec) {
+  const PlatformSpec& plat = spec != nullptr ? *spec : host_platform();
+  const NdirectPlan& plan = conv.plan();
+  const ConvParams& p = conv.params();
+  const ConvParams& exec = conv.exec_params();
+  const int threads = plan.mapping.total() + plan.stealers;
+
+  ConvReport r;
+  r.platform = plat.name;
+  r.params = p;
+  r.mapping = plan.mapping;
+  r.stealers = plan.stealers;
+
+  const PerfEstimate est =
+      estimate_conv_perf(plat, p, ConvMethod::Ndirect, threads);
+  r.predicted_gflops = est.gflops;
+  r.peak_gflops = plat.peak_gflops;
+  r.roofline_compute = est.compute_bound;
+  r.roofline_memory = est.memory_bound;
+
+  r.wall_seconds = telemetry.wall_seconds;
+  if (r.wall_seconds > 0) {
+    r.measured_gflops =
+        static_cast<double>(p.flops()) / r.wall_seconds * 1e-9;
+    if (r.predicted_gflops > 0)
+      r.model_ratio = r.measured_gflops / r.predicted_gflops;
+  }
+
+  // Eq. 5/6 on the executed (row-flattened) problem — the shape the
+  // planner actually solved the grid for.
+  r.mapping_fai = thread_fai(exec, plan.alpha, plan.mapping.ptn);
+  r.ptn_star = ptn_continuous(exec, plan.alpha);
+  for (int ptn = 1; ptn <= std::max(1, threads); ++ptn)
+    r.best_fai = std::max(r.best_fai, thread_fai(exec, plan.alpha, ptn));
+
+  r.tiles = telemetry.total(Counter::kTilesClaimed);
+  r.local_steals = telemetry.total(Counter::kLocalSteals);
+  r.neighbour_steals = telemetry.total(Counter::kNeighbourSteals);
+  r.global_steals = telemetry.total(Counter::kGlobalSteals);
+  r.steals = r.local_steals + r.neighbour_steals + r.global_steals;
+
+  r.busy_min = telemetry.workers.empty() ? 0.0 : 1.0;
+  double busy_sum = 0;
+  for (std::size_t w = 0; w < telemetry.workers.size(); ++w) {
+    const TelemetrySnapshot::Worker& tw = telemetry.workers[w];
+    ConvReport::Worker row;
+    row.id = static_cast<int>(w);
+    row.tiles = tw.value(Counter::kTilesClaimed);
+    row.steals = tw.steals();
+    row.busy_seconds = tw.busy_seconds();
+    row.busy_fraction = telemetry.busy_fraction(static_cast<int>(w));
+    r.busy_min = std::min(r.busy_min, row.busy_fraction);
+    r.busy_max = std::max(r.busy_max, row.busy_fraction);
+    busy_sum += row.busy_fraction;
+    r.workers.push_back(row);
+  }
+  if (!r.workers.empty())
+    r.busy_mean = busy_sum / static_cast<double>(r.workers.size());
+
+  // Diagnoses: the mismatches a reader would otherwise dig out of the
+  // raw numbers.
+  for (const ConvReport::Worker& w : r.workers) {
+    if (r.busy_max > 0.2 && w.busy_fraction < 0.5 * r.busy_max) {
+      r.diagnoses.push_back(
+          "worker " + std::to_string(w.id) + " starves (busy " +
+          fmt1(100 * w.busy_fraction) + "% vs max " +
+          fmt1(100 * r.busy_max) +
+          "%): its grid lane ran out of tiles; finer sched_row_chunk "
+          "or a different PTn x PTk split would feed it");
+    }
+  }
+  if (r.tiles > 0 && r.steals * 4 > r.tiles) {
+    r.diagnoses.push_back(
+        "steal rate " + fmt1(100.0 * static_cast<double>(r.steals) /
+                             static_cast<double>(r.tiles)) +
+        "% of tiles: the seed slices are ragged for this shape; the "
+        "static Eq. 5/6 split would have idled here");
+  }
+  if (r.model_ratio > 0 && r.model_ratio < 0.5) {
+    r.diagnoses.push_back(
+        "measured is " + fmt1(r.model_ratio, "%.2f") +
+        "x the model prediction: the machine is not delivering the "
+        "spec'd roofline (co-tenants, thermal limits, or a stale "
+        "platform spec)");
+  }
+  if (r.mapping_fai > 0 && r.best_fai > r.mapping_fai * 1.25) {
+    r.diagnoses.push_back(
+        "planned PTn=" + std::to_string(r.mapping.ptn) + " has FAI " +
+        fmt1(r.mapping_fai) + " but PTn near " + fmt1(r.ptn_star) +
+        " would reach " + fmt1(r.best_fai) +
+        ": the divisor constraint cost this shape; the stealing "
+        "schedule's partial grids can close the gap");
+  }
+  return r;
+}
+
+std::string ConvReport::to_text() const {
+  std::string s;
+  s += "ConvReport " + params.to_string() + " on " + platform + "\n";
+  s += "  grid PTn x PTk = " + std::to_string(mapping.ptn) + " x " +
+       std::to_string(mapping.ptk) + " (+" + std::to_string(stealers) +
+       " stealers), " + std::to_string(workers.size()) + " workers\n";
+  s += "  model: FAI(PTn=" + std::to_string(mapping.ptn) + ") = " +
+       fmt1(mapping_fai) + ", best " + fmt1(best_fai) + " near PTn* = " +
+       fmt1(ptn_star, "%.2f") + "\n";
+  s += "  predicted " + fmt1(predicted_gflops) +
+       " GFLOPS (roofline: compute " + fmt1(roofline_compute) +
+       ", memory " + fmt1(roofline_memory) + "; peak " +
+       fmt1(peak_gflops) + ")\n";
+  s += "  measured  " + fmt1(measured_gflops) + " GFLOPS";
+  if (model_ratio > 0)
+    s += " (" + fmt1(model_ratio, "%.2f") + "x predicted";
+  if (peak_gflops > 0)
+    s += std::string(model_ratio > 0 ? ", " : " (") +
+         fmt1(100 * measured_gflops / peak_gflops) + "% of peak)";
+  else if (model_ratio > 0)
+    s += ")";
+  s += " over " + fmt1(wall_seconds * 1e3, "%.3f") + " ms\n";
+  s += "  tiles " + std::to_string(tiles) + ", steals " +
+       std::to_string(steals) + " (local " + std::to_string(local_steals) +
+       " / neighbour " + std::to_string(neighbour_steals) + " / global " +
+       std::to_string(global_steals) + ")\n";
+  s += "  busy fraction: min " + fmt1(busy_min, "%.2f") + "  mean " +
+       fmt1(busy_mean, "%.2f") + "  max " + fmt1(busy_max, "%.2f") + "\n";
+  for (const Worker& w : workers) {
+    s += "    worker " + std::to_string(w.id) + ": tiles " +
+         std::to_string(w.tiles) + "  steals " + std::to_string(w.steals) +
+         "  busy " + fmt1(100 * w.busy_fraction) + "%\n";
+  }
+  if (diagnoses.empty()) {
+    s += "  diagnosis: run matches the model\n";
+  } else {
+    for (const std::string& d : diagnoses) s += "  diagnosis: " + d + "\n";
+  }
+  return s;
+}
+
+std::string ConvReport::to_json() const {
+  std::string s = "{";
+  s += "\"platform\": \"" + platform + "\"";
+  s += ", \"conv\": \"" + params.to_string() + "\"";
+  s += ", \"ptn\": " + std::to_string(mapping.ptn);
+  s += ", \"ptk\": " + std::to_string(mapping.ptk);
+  s += ", \"stealers\": " + std::to_string(stealers);
+  s += ", \"wall_seconds\": " + fmt_json(wall_seconds);
+  s += ", \"measured_gflops\": " + fmt_json(measured_gflops);
+  s += ", \"predicted_gflops\": " + fmt_json(predicted_gflops);
+  s += ", \"peak_gflops\": " + fmt_json(peak_gflops);
+  s += ", \"roofline_compute\": " + fmt_json(roofline_compute);
+  s += ", \"roofline_memory\": " + fmt_json(roofline_memory);
+  s += ", \"model_ratio\": " + fmt_json(model_ratio);
+  s += ", \"mapping_fai\": " + fmt_json(mapping_fai);
+  s += ", \"best_fai\": " + fmt_json(best_fai);
+  s += ", \"ptn_star\": " + fmt_json(ptn_star);
+  s += ", \"tiles\": " + std::to_string(tiles);
+  s += ", \"steals\": " + std::to_string(steals);
+  s += ", \"local_steals\": " + std::to_string(local_steals);
+  s += ", \"neighbour_steals\": " + std::to_string(neighbour_steals);
+  s += ", \"global_steals\": " + std::to_string(global_steals);
+  s += ", \"busy_min\": " + fmt_json(busy_min);
+  s += ", \"busy_mean\": " + fmt_json(busy_mean);
+  s += ", \"busy_max\": " + fmt_json(busy_max);
+  s += ", \"per_worker\": [";
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    const Worker& w = workers[i];
+    if (i > 0) s += ", ";
+    s += "{\"id\": " + std::to_string(w.id) +
+         ", \"tiles\": " + std::to_string(w.tiles) +
+         ", \"steals\": " + std::to_string(w.steals) +
+         ", \"busy_seconds\": " + fmt_json(w.busy_seconds) +
+         ", \"busy_fraction\": " + fmt_json(w.busy_fraction) + "}";
+  }
+  s += "], \"diagnoses\": [";
+  for (std::size_t i = 0; i < diagnoses.size(); ++i) {
+    if (i > 0) s += ", ";
+    std::string esc;
+    for (char c : diagnoses[i]) {
+      if (c == '"' || c == '\\') esc += '\\';
+      esc += c;
+    }
+    s += "\"" + esc + "\"";
+  }
+  s += "]}";
+  return s;
+}
+
+}  // namespace ndirect

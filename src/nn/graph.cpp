@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "core/threading.h"
+#include "runtime/trace.h"
 
 namespace ndirect {
 
@@ -121,6 +122,9 @@ Tensor Graph::run_sequential(const Tensor& input,
     for (NodeId id : node.inputs) {
       args.push_back(&values[static_cast<std::size_t>(id)]);
     }
+    if (trace_on())
+      TraceSession::global().begin(node.op->name(), "node",
+                                   static_cast<std::int64_t>(i));
     if (opts.timer != nullptr) {
       WallTimer t;
       values[i] = node.op->forward(args);
@@ -128,6 +132,7 @@ Tensor Graph::run_sequential(const Tensor& input,
     } else {
       values[i] = node.op->forward(args);
     }
+    if (trace_on()) TraceSession::global().end(node.op->name());
     if (opts.stats != nullptr) {
       opts.stats->completion_order.push_back(static_cast<NodeId>(i));
     }
@@ -193,6 +198,9 @@ Tensor Graph::run_concurrent(const Tensor& input,
       }
       Tensor out;
       try {
+        if (trace_on())
+          TraceSession::global().begin(node.op->name(), "node",
+                                       static_cast<std::int64_t>(id));
         if (opts.timer != nullptr) {
           WallTimer t;
           out = node.op->forward(args);
@@ -200,7 +208,11 @@ Tensor Graph::run_concurrent(const Tensor& input,
         } else {
           out = node.op->forward(args);
         }
+        if (trace_on()) TraceSession::global().end(node.op->name());
       } catch (...) {
+        // Balance the span even on the error path so the exported
+        // trace keeps every lane's B/E stack well-formed.
+        if (trace_on()) TraceSession::global().end(node.op->name());
         lock.lock();
         if (error == nullptr) error = std::current_exception();
         --inflight;
@@ -230,7 +242,18 @@ Tensor Graph::run_concurrent(const Tensor& input,
   // runners are trying to keep busy. The caller is runner #0.
   std::vector<std::thread> crew;
   crew.reserve(static_cast<std::size_t>(runners) - 1);
-  for (int i = 1; i < runners; ++i) crew.emplace_back(runner);
+  for (int i = 1; i < runners; ++i) {
+    crew.emplace_back([&runner, i] {
+      // Lane registration only while a session is live: crew threads
+      // are short-lived, and an inactive trace should not grow the
+      // lane registry run after run.
+      if (trace_on())
+        set_trace_lane_name("graph-runner-" + std::to_string(i));
+      runner();
+    });
+  }
+  // The caller is runner #0 but keeps its own lane identity (renaming
+  // the main thread's lane would mislabel everything it records later).
   runner();
   for (auto& t : crew) t.join();
 

@@ -94,6 +94,12 @@ void ConvOp::set_worker_budget(int budget, int extra_stealers) {
   engine_.reset();  // the grid is re-planned from the new budget
 }
 
+void ConvOp::set_telemetry(TelemetrySnapshot* sink) {
+  if (telemetry_ == sink) return;
+  telemetry_ = sink;
+  engine_.reset();  // the sink pointer is baked into the engine's options
+}
+
 TensorShape ConvOp::infer(const std::vector<TensorShape>& in) const {
   expect_arity("conv", in.size(), 1);
   const TensorShape& s = in[0];
@@ -119,6 +125,7 @@ Tensor ConvOp::forward(const std::vector<const Tensor*>& in) const {
         nopts.pool = pool_;
         nopts.threads = worker_budget_;
         nopts.extra_stealers = extra_stealers_;
+        nopts.telemetry = telemetry_;
         engine_ = std::make_unique<NdirectConv>(params_, nopts);
       }
       if (filter_dirty_) {

@@ -93,6 +93,15 @@ class ConvOp final : public Op {
   int worker_budget() const { return worker_budget_; }
   int extra_stealers() const { return extra_stealers_; }
 
+  /// Collect per-run engine telemetry into `sink` (see
+  /// NdirectOptions::telemetry): every forward() on the Ndirect backend
+  /// overwrites it with that run's per-worker counters and wall time.
+  /// nullptr (the default) disables collection. Ops that may run
+  /// concurrently (graph branches) need distinct sinks; merge the
+  /// snapshots afterwards for a whole-graph view.
+  void set_telemetry(TelemetrySnapshot* sink);
+  TelemetrySnapshot* telemetry() const { return telemetry_; }
+
   /// Mutable access marks the filter dirty; the next forward()
   /// invalidates the engine's packed-filter cache — the graph passes
   /// (e.g. fold_batchnorm) scale weights in place. Deferring to
@@ -121,6 +130,7 @@ class ConvOp final : public Op {
   ThreadPool* pool_ = nullptr;  ///< nullptr = global pool
   int worker_budget_ = 0;       ///< 0 = whole pool
   int extra_stealers_ = 0;
+  TelemetrySnapshot* telemetry_ = nullptr;  ///< nullptr = no collection
   /// Set by the mutable filter() accessor, consumed by forward().
   mutable bool filter_dirty_ = false;
   // Planned engine for the Ndirect backend (lazy, shape is fixed).

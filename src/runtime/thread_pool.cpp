@@ -4,6 +4,7 @@
 
 #include "runtime/env.h"
 #include "runtime/partition.h"
+#include "runtime/trace.h"
 #include "runtime/work_queue.h"
 
 namespace ndirect {
@@ -110,7 +111,15 @@ bool ThreadPool::claim_and_run(JobSlot& job, std::uint64_t epoch) {
       // The successful CAS observed epoch `e` still open, and our
       // pending contribution now pins the slot, so fn/num_tasks are the
       // ones published before this epoch's open store.
-      (*job.fn)(cursor);
+      if (trace_on()) {
+        TraceSession& tr = TraceSession::global();
+        const std::uint64_t t0 = tr.now_ns();
+        (*job.fn)(cursor);
+        tr.complete("pool.task", t0, tr.now_ns() - t0, "tid",
+                    static_cast<std::int64_t>(cursor));
+      } else {
+        (*job.fn)(cursor);
+      }
       finish_task(job);
       return true;
     }
@@ -151,7 +160,11 @@ void ThreadPool::wait_job(JobSlot& job) {
   }
 }
 
-void ThreadPool::worker_loop(std::size_t /*worker_index*/) {
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  // Register this OS thread's trace lane up front (once per pool
+  // thread, mutex on the cold path only) so any session started later
+  // still labels pool lanes properly.
+  set_trace_lane_name("pool-worker-" + std::to_string(worker_index));
   std::uint64_t seen = 0;
   while (true) {
     // Wait for a new generation: spin for the budget, then park.

@@ -1,0 +1,127 @@
+// Thread-safe trace-event ring buffer with Chrome tracing / Perfetto
+// JSON export.
+//
+// Recording is a single relaxed fetch_add on a cursor plus a plain
+// store into a preallocated slot — no locks, no allocation, bounded
+// memory (events past the capacity are counted as dropped, never
+// block). Events carry steady-clock timestamps relative to the session
+// start and the recording OS thread's lane id; export_json() writes the
+// standard {"traceEvents":[...]} object that chrome://tracing and
+// https://ui.perfetto.dev open directly.
+//
+// Enablement: TraceSession::global().start() in-process, or set
+// NDIRECT_TRACE=<path> in the environment — the session then starts at
+// load time and exports to <path> at process exit (capacity via
+// NDIRECT_TRACE_EVENTS, default 64k events). trace_on() is the hot-path
+// guard: one relaxed atomic load, constant-false when the library is
+// configured with -DNDIRECT_TELEMETRY=OFF.
+//
+// Export assumes the traced work has completed (the dispatch joins of
+// pool/graph runs are the happens-before edges); events recorded while
+// an export is running may be missed or torn and are simply skipped.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ndirect {
+
+namespace trace_detail {
+extern std::atomic<bool> g_on;
+}  // namespace trace_detail
+
+/// Hot-path guard: is the global session recording?
+inline bool trace_on() {
+#if defined(NDIRECT_TELEMETRY_DISABLED)
+  return false;
+#else
+  return trace_detail::g_on.load(std::memory_order_relaxed);
+#endif
+}
+
+/// One recorded event. Names are not copied: pass string literals or
+/// other pointers that outlive the session (every in-tree call site
+/// uses literals or Op::name()).
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* arg1_name = nullptr;  ///< optional integer arg, e.g. "row"
+  const char* arg2_name = nullptr;
+  std::int64_t arg1 = 0;
+  std::int64_t arg2 = 0;
+  std::uint64_t ts_ns = 0;   ///< since session start
+  std::uint64_t dur_ns = 0;  ///< 'X' events only
+  std::uint32_t tid = 0;     ///< recording thread's lane id
+  char ph = 'X';             ///< 'X' complete, 'B' begin, 'E' end, 'i' instant
+};
+
+/// Small id for the calling OS thread, stable for the thread's
+/// lifetime, assigned on first use (0, 1, 2, ... in first-use order —
+/// the process main thread is normally lane 0). This is the `tid` field
+/// of every event the thread records.
+int trace_lane();
+
+/// Name the calling thread's lane ("pool-worker-3", "graph-runner-1");
+/// exported as Chrome thread_name metadata so the timeline shows real
+/// lane labels. Idempotent, cheap, callable whether or not a session is
+/// active.
+void set_trace_lane_name(const std::string& name);
+
+/// Snapshot of the lane-name registry, indexed by lane id (test hook).
+std::vector<std::string> trace_lane_names();
+
+class TraceSession {
+ public:
+  static TraceSession& global();
+
+  /// Begin recording into a fresh ring of `capacity` events (0 = the
+  /// NDIRECT_TRACE_EVENTS env var, default kDefaultCapacity). Restarts
+  /// reset the clock and drop previously recorded events. No-op when
+  /// the library is built with -DNDIRECT_TELEMETRY=OFF.
+  void start(std::size_t capacity = 0);
+  void stop();   ///< stop recording; events stay exportable
+  void clear();  ///< stop and discard events
+
+  bool enabled() const { return trace_on(); }
+
+  /// Nanoseconds since start() (0 when never started).
+  std::uint64_t now_ns() const;
+
+  /// Record a complete ('X') span that ran [ts_ns, ts_ns + dur_ns).
+  void complete(const char* name, std::uint64_t ts_ns, std::uint64_t dur_ns,
+                const char* arg1_name = nullptr, std::int64_t arg1 = 0,
+                const char* arg2_name = nullptr, std::int64_t arg2 = 0);
+  /// Duration ('B'/'E') pair; must be balanced on the same thread.
+  void begin(const char* name, const char* arg1_name = nullptr,
+             std::int64_t arg1 = 0);
+  void end(const char* name);
+  void instant(const char* name);
+
+  std::size_t size() const;     ///< events recorded (<= capacity)
+  std::size_t dropped() const;  ///< events lost to a full ring
+  std::size_t capacity() const;
+
+  /// Ordered copy of the recorded events (sorted by ts; test hook).
+  std::vector<TraceEvent> events() const;
+
+  /// The full Chrome-tracing JSON object as a string.
+  std::string json() const;
+
+  /// Write json() to `path`; returns false (and keeps the events) on
+  /// I/O failure.
+  bool export_json(const std::string& path) const;
+
+  static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 16;
+
+ private:
+  void record(const TraceEvent& ev);
+
+  std::vector<TraceEvent> ring_;
+  std::atomic<std::size_t> cursor_{0};
+  std::atomic<std::size_t> dropped_{0};
+  std::atomic<std::uint64_t> epoch_ns_{0};  ///< monotonic_ns() at start
+};
+
+}  // namespace ndirect

@@ -59,7 +59,8 @@ void TileScheduler::map_local(const WorkerQueue& q, std::uint32_t local,
   *col = static_cast<int>(q.col0 + local % width);
 }
 
-bool TileScheduler::steal_from(int thief, int victim, int* row, int* col) {
+bool TileScheduler::steal_from(int thief, int victim, StealClass cls,
+                               int* row, int* col) {
   WorkerQueue& v = queues_[static_cast<std::size_t>(victim)];
   std::uint32_t local;
   if (!v.deque.pop_back(&local)) return false;
@@ -67,6 +68,8 @@ bool TileScheduler::steal_from(int thief, int victim, int* row, int* col) {
   WorkerQueue& t = queues_[static_cast<std::size_t>(thief)];
   t.executed.fetch_add(1, std::memory_order_relaxed);
   t.stolen.fetch_add(1, std::memory_order_relaxed);
+  t.stolen_class[static_cast<int>(cls)].fetch_add(
+      1, std::memory_order_relaxed);
   g_steal_events.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
@@ -91,7 +94,9 @@ bool TileScheduler::claim(int worker, int* row, int* col) {
 
   // A pure stealer's nearest victim is the seeded worker whose grid
   // position it aliases (distance 0, unreachable by the d >= 1 scans).
-  if (worker >= grid && steal_from(worker, pos, row, col)) return true;
+  if (worker >= grid &&
+      steal_from(worker, pos, StealClass::kLocal, row, col))
+    return true;
 
   // Pass 1 — same PTn row, nearest k group first. These victims cover
   // the same output rows as the thief, so a stolen tile re-reads input
@@ -100,7 +105,9 @@ bool TileScheduler::claim(int worker, int* row, int* col) {
   for (int d = 1; d < col_parts_; ++d) {
     for (const int vtk : {tk - d, tk + d}) {
       if (vtk < 0 || vtk >= col_parts_ || vtk == tk) continue;
-      if (steal_from(worker, tn * col_parts_ + vtk, row, col)) return true;
+      if (steal_from(worker, tn * col_parts_ + vtk,
+                     StealClass::kNeighbour, row, col))
+        return true;
     }
   }
 
@@ -114,12 +121,20 @@ bool TileScheduler::claim(int worker, int* row, int* col) {
       const int vtn = v / col_parts_, vtk = v % col_parts_;
       const int dist = std::abs(vtn - tn) + std::abs(vtk - tk);
       if (dist != d) continue;
-      if (steal_from(worker, v, row, col)) return true;
+      if (steal_from(worker, v, StealClass::kGlobal, row, col))
+        return true;
     }
   }
   // Every deque observed empty. Work only ever leaves deques, so no
   // unclaimed tile remains.
   return false;
+}
+
+std::uint64_t TileScheduler::steal_events() const {
+  std::uint64_t total = 0;
+  for (const WorkerQueue& q : queues_)
+    total += q.stolen.load(std::memory_order_relaxed);
+  return total;
 }
 
 SchedulerStats TileScheduler::stats() const {
@@ -130,6 +145,15 @@ SchedulerStats TileScheduler::stats() const {
   for (const WorkerQueue& q : queues_) {
     const std::uint64_t e = q.executed.load(std::memory_order_relaxed);
     s.steals += q.stolen.load(std::memory_order_relaxed);
+    s.local_steals +=
+        q.stolen_class[static_cast<int>(StealClass::kLocal)].load(
+            std::memory_order_relaxed);
+    s.neighbour_steals +=
+        q.stolen_class[static_cast<int>(StealClass::kNeighbour)].load(
+            std::memory_order_relaxed);
+    s.global_steals +=
+        q.stolen_class[static_cast<int>(StealClass::kGlobal)].load(
+            std::memory_order_relaxed);
     s.max_worker_tiles = std::max(s.max_worker_tiles, e);
     s.min_worker_tiles = std::min(s.min_worker_tiles, e);
   }

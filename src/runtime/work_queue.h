@@ -88,10 +88,22 @@ class RangeDeque {
   std::atomic<std::uint64_t> span_{0};
 };
 
+/// Locality class of a successful steal, by how far the thief reached
+/// in the PTn x PTk worker grid.
+enum class StealClass : int {
+  kLocal = 0,   ///< distance 0: a pure stealer draining its alias seed
+  kNeighbour,   ///< pass 1: same PTn row (victim shares the input rows)
+  kGlobal,      ///< pass 2: anywhere, by Manhattan distance
+};
+inline constexpr int kStealClassCount = 3;
+
 /// Aggregate observability of one scheduled run.
 struct SchedulerStats {
   std::uint64_t tiles = 0;   ///< tiles in the grid
   std::uint64_t steals = 0;  ///< tiles executed outside their seed worker
+  std::uint64_t local_steals = 0;      ///< StealClass::kLocal share
+  std::uint64_t neighbour_steals = 0;  ///< StealClass::kNeighbour share
+  std::uint64_t global_steals = 0;     ///< StealClass::kGlobal share
   std::uint64_t max_worker_tiles = 0;  ///< most tiles any worker executed
   std::uint64_t min_worker_tiles = 0;  ///< fewest (imbalance = max - min)
   int workers = 0;
@@ -129,6 +141,17 @@ class TileScheduler {
     return queues_[static_cast<std::size_t>(worker)].stolen.load(
         std::memory_order_relaxed);
   }
+  std::uint64_t worker_steals(int worker, StealClass cls) const {
+    return queues_[static_cast<std::size_t>(worker)]
+        .stolen_class[static_cast<int>(cls)]
+        .load(std::memory_order_relaxed);
+  }
+
+  /// Successful steals by this scheduler instance alone. The process
+  /// global scheduler_steal_events() mixes every scheduler in flight
+  /// (concurrent graph branches each run their own); per-run attribution
+  /// reads this or SchedulerStats instead.
+  std::uint64_t steal_events() const;
 
   /// Aggregate after a run (not linearizable mid-run).
   SchedulerStats stats() const;
@@ -140,12 +163,14 @@ class TileScheduler {
     RangeDeque deque;  ///< local indices into the seed block
     std::uint32_t row0 = 0, row1 = 0, col0 = 0, col1 = 0;
     std::atomic<std::uint64_t> executed{0};
-    std::atomic<std::uint64_t> stolen{0};
+    std::atomic<std::uint64_t> stolen{0};  ///< sum of stolen_class[]
+    std::atomic<std::uint64_t> stolen_class[kStealClassCount] = {};
   };
 
   void map_local(const WorkerQueue& q, std::uint32_t local, int* row,
                  int* col) const;
-  bool steal_from(int thief, int victim, int* row, int* col);
+  bool steal_from(int thief, int victim, StealClass cls, int* row,
+                  int* col);
 
   int rows_, cols_;
   int row_parts_, col_parts_;

@@ -495,6 +495,8 @@ TEST(NdirectEngine, RepeatedRunsAreDeterministic) {
 }
 
 TEST(NdirectEngine, PhaseTimerRecordsTransformAndMicrokernel) {
+  if (!kTelemetryCompiled)
+    GTEST_SKIP() << "phase timing needs NDIRECT_TELEMETRY=ON";
   const ConvParams p{.N = 1, .C = 16, .H = 12, .W = 12, .K = 16,
                      .R = 3, .S = 3, .str = 1, .pad = 1};
   const CaseData c = make_case(p, 31);
@@ -510,6 +512,8 @@ TEST(NdirectEngine, PhaseTimerRecordsTransformAndMicrokernel) {
 }
 
 TEST(NdirectEngine, FusedModeFoldsPackingIntoMicrokernelPhase) {
+  if (!kTelemetryCompiled)
+    GTEST_SKIP() << "phase timing needs NDIRECT_TELEMETRY=ON";
   const ConvParams p{.N = 1, .C = 16, .H = 12, .W = 12, .K = 16,
                      .R = 3, .S = 3, .str = 1, .pad = 1};
   const CaseData c = make_case(p, 32);

@@ -1,0 +1,505 @@
+// Telemetry/trace layer: per-worker counter aggregation against the
+// scheduler oracle, Chrome-trace well-formedness, zero-overhead
+// gating, per-instance scheduler attribution, and the ConvReport
+// predicted-vs-measured join.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/ndirect.h"
+#include "core/report.h"
+#include "nn/graph.h"
+#include "platform/specs.h"
+#include "platform/workloads.h"
+#include "runtime/thread_pool.h"
+#include "runtime/trace.h"
+#include "runtime/work_queue.h"
+#include "tensor/rng.h"
+
+namespace ndirect {
+namespace {
+
+struct ConvData {
+  Tensor input;
+  Tensor filter;
+};
+
+ConvData make_data(const ConvParams& p, std::uint64_t seed) {
+  ConvData d{make_input_nchw(p.N, p.C, p.H, p.W),
+             make_filter_kcrs(p.K, p.C, p.R, p.S)};
+  fill_random(d.input, seed);
+  fill_random(d.filter, seed + 1);
+  return d;
+}
+
+/// A conv big enough to produce several macro-tiles on a 4-worker grid.
+ConvParams medium_conv() {
+  return {.N = 2, .C = 16, .H = 24, .W = 24, .K = 32, .R = 3, .S = 3,
+          .str = 1, .pad = 1};
+}
+
+/// Restores the runtime telemetry switch on scope exit, so a test that
+/// flips it cannot leak the disabled state into later tests.
+struct TelemetryGuard {
+  ~TelemetryGuard() { set_telemetry_enabled(kTelemetryCompiled); }
+};
+
+/// Stops and clears the global trace session on scope exit.
+struct TraceGuard {
+  ~TraceGuard() { TraceSession::global().clear(); }
+};
+
+// ----------------------------------------------------------------------
+// WorkerTelemetry / TelemetrySnapshot units
+// ----------------------------------------------------------------------
+
+TEST(WorkerTelemetry, SnapshotAggregatesSlots) {
+  if (!kTelemetryCompiled) GTEST_SKIP() << "telemetry compiled out";
+  WorkerTelemetry tel(3);
+  tel.add(0, Counter::kTilesClaimed, 4);
+  tel.add(1, Counter::kTilesClaimed, 2);
+  tel.add(2, Counter::kMicrokernelNs, 500'000'000);  // 0.5 s
+  tel.add(-1, Counter::kTilesClaimed, 99);  // out of range: dropped
+  tel.add(3, Counter::kTilesClaimed, 99);
+  EXPECT_EQ(tel.total(Counter::kTilesClaimed), 6u);
+
+  const TelemetrySnapshot snap = tel.snapshot(1.0);
+  ASSERT_EQ(snap.workers.size(), 3u);
+  EXPECT_EQ(snap.total(Counter::kTilesClaimed), 6u);
+  EXPECT_DOUBLE_EQ(snap.phase_seconds(Counter::kMicrokernelNs), 0.5);
+  EXPECT_DOUBLE_EQ(snap.busy_fraction(2), 0.5);
+  EXPECT_DOUBLE_EQ(snap.busy_fraction(0), 0.0);
+
+  tel.reset();
+  EXPECT_EQ(tel.total(Counter::kTilesClaimed), 0u);
+}
+
+TEST(WorkerTelemetry, MergeAddsPerWorkerRowsAndGrows) {
+  TelemetrySnapshot a, b;
+  a.workers.resize(1);
+  a.workers[0].v[0] = 3;
+  a.wall_seconds = 0.25;
+  b.workers.resize(2);
+  b.workers[0].v[0] = 1;
+  b.workers[1].v[0] = 7;
+  b.wall_seconds = 0.5;
+  a.merge(b);
+  ASSERT_EQ(a.workers.size(), 2u);
+  EXPECT_EQ(a.workers[0].v[0], 4u);
+  EXPECT_EQ(a.workers[1].v[0], 7u);
+  EXPECT_DOUBLE_EQ(a.wall_seconds, 0.75);
+}
+
+TEST(WorkerTelemetry, SnapshotJsonCarriesCountersAndFractions) {
+  TelemetrySnapshot snap;
+  snap.workers.resize(2);
+  snap.workers[0].v[static_cast<int>(Counter::kTilesClaimed)] = 5;
+  snap.wall_seconds = 0.1;
+  const std::string j = snap.to_json();
+  EXPECT_EQ(j.front(), '{');
+  EXPECT_EQ(j.back(), '}');
+  EXPECT_NE(j.find("\"tiles_claimed\": 5"), std::string::npos);
+  EXPECT_NE(j.find("\"phase_fractions\""), std::string::npos);
+  EXPECT_NE(j.find("\"busy_fraction\""), std::string::npos);
+  EXPECT_NE(j.find("\"per_worker\""), std::string::npos);
+}
+
+// ----------------------------------------------------------------------
+// Engine counters vs the scheduler oracle
+// ----------------------------------------------------------------------
+
+TEST(EngineTelemetry, TileClaimsSumToMacroTileCount) {
+  if (!kTelemetryCompiled) GTEST_SKIP() << "telemetry compiled out";
+  const ConvParams p = medium_conv();
+  const ConvData d = make_data(p, 7);
+  ThreadPool pool(4);
+
+  TelemetrySnapshot snap;
+  SchedulerStats stats;
+  NdirectOptions opts;
+  opts.pool = &pool;
+  opts.threads = 4;
+  opts.telemetry = &snap;
+  opts.sched_stats = &stats;
+  (void)ndirect_conv(d.input, d.filter, p, opts);
+
+  ASSERT_FALSE(snap.empty());
+  ASSERT_EQ(static_cast<int>(snap.workers.size()), stats.workers);
+  // The acceptance invariant: per-worker claims sum to exactly the
+  // macro-tile count the scheduler handed out.
+  EXPECT_EQ(snap.total(Counter::kTilesClaimed), stats.tiles);
+  EXPECT_GT(stats.tiles, 0u);
+  // Steal attribution agrees with the scheduler's own breakdown.
+  EXPECT_EQ(snap.total(Counter::kLocalSteals), stats.local_steals);
+  EXPECT_EQ(snap.total(Counter::kNeighbourSteals), stats.neighbour_steals);
+  EXPECT_EQ(snap.total(Counter::kGlobalSteals), stats.global_steals);
+  EXPECT_EQ(stats.local_steals + stats.neighbour_steals +
+                stats.global_steals,
+            stats.steals);
+  EXPECT_GT(snap.wall_seconds, 0.0);
+  for (int w = 0; w < stats.workers; ++w) {
+    EXPECT_GE(snap.busy_fraction(w), 0.0);
+    EXPECT_LE(snap.busy_fraction(w), 1.0);
+  }
+}
+
+TEST(EngineTelemetry, SerialRunMatchesSerialOracle) {
+  if (!kTelemetryCompiled) GTEST_SKIP() << "telemetry compiled out";
+  const ConvParams p = medium_conv();
+  const ConvData d = make_data(p, 8);
+
+  TelemetrySnapshot snap;
+  SchedulerStats stats;
+  NdirectOptions opts;
+  opts.threads = 1;
+  opts.telemetry = &snap;
+  opts.sched_stats = &stats;
+  (void)ndirect_conv(d.input, d.filter, p, opts);
+
+  ASSERT_EQ(snap.workers.size(), 1u);
+  EXPECT_EQ(snap.workers[0].value(Counter::kTilesClaimed), stats.tiles);
+  EXPECT_EQ(snap.workers[0].steals(), 0u);
+  EXPECT_GT(snap.phase_seconds(Counter::kMicrokernelNs), 0.0);
+}
+
+TEST(EngineTelemetry, PhaseTimerWorksAtAnyWorkerCount) {
+  if (!kTelemetryCompiled) GTEST_SKIP() << "telemetry compiled out";
+  const ConvParams p = medium_conv();
+  const ConvData d = make_data(p, 9);
+  ThreadPool pool(4);
+
+  PhaseTimer pt;
+  TelemetrySnapshot snap;
+  NdirectOptions opts;
+  opts.pool = &pool;
+  opts.threads = 4;  // the seed only supported phase timing at 1 thread
+  opts.fuse_packing = false;
+  opts.phase_timer = &pt;
+  opts.telemetry = &snap;
+  (void)ndirect_conv(d.input, d.filter, p, opts);
+
+  EXPECT_GT(pt.seconds("transform"), 0.0);
+  EXPECT_GT(pt.seconds("packing"), 0.0);
+  EXPECT_GT(pt.seconds("micro-kernel"), 0.0);
+  // The compatibility view is an aggregation of the per-worker phase
+  // counters, not an independent measurement.
+  EXPECT_DOUBLE_EQ(pt.seconds("micro-kernel"),
+                   snap.phase_seconds(Counter::kMicrokernelNs));
+  EXPECT_DOUBLE_EQ(pt.seconds("transform"),
+                   snap.phase_seconds(Counter::kTransformNs));
+}
+
+TEST(EngineTelemetry, RuntimeDisableClearsSinkAndRecordsNothing) {
+  TelemetryGuard guard;
+  const ConvParams p = medium_conv();
+  const ConvData d = make_data(p, 10);
+
+  set_telemetry_enabled(false);
+  TelemetrySnapshot snap;
+  snap.workers.resize(3);  // stale data from an imagined earlier run
+  snap.wall_seconds = 42;
+  NdirectOptions opts;
+  opts.threads = 2;
+  opts.telemetry = &snap;
+  (void)ndirect_conv(d.input, d.filter, p, opts);
+  // A disabled run must not leave stale telemetry behind.
+  EXPECT_TRUE(snap.empty());
+  EXPECT_EQ(snap.wall_seconds, 0.0);
+}
+
+TEST(EngineTelemetry, FilterCacheHitCounted) {
+  if (!kTelemetryCompiled) GTEST_SKIP() << "telemetry compiled out";
+  const ConvParams p = medium_conv();
+  const ConvData d = make_data(p, 11);
+
+  TelemetrySnapshot snap;
+  NdirectOptions opts;
+  opts.threads = 2;
+  opts.cache_packed_filter = true;
+  opts.telemetry = &snap;
+  const NdirectConv conv(p, opts);
+  (void)conv.run(d.input, d.filter);
+  EXPECT_EQ(snap.total(Counter::kCacheHits), 0u);  // cold pack
+  (void)conv.run(d.input, d.filter);
+  EXPECT_EQ(snap.total(Counter::kCacheHits), 1u);  // warm hit
+}
+
+// ----------------------------------------------------------------------
+// Per-instance scheduler attribution
+// ----------------------------------------------------------------------
+
+TEST(SchedulerTelemetry, PerInstanceStealEventsAndClasses) {
+  // Worker 1 owns no tiles on a 1x1 grid: every claim it makes is a
+  // distance-0 alias steal of worker 0's seed.
+  TileScheduler sched(8, 1, 1, 1, /*workers=*/2, /*stealing=*/true);
+  TileScheduler idle(8, 1, 1, 1, 2, true);
+  int row = 0, col = 0;
+  std::uint64_t claimed = 0;
+  while (sched.claim(1, &row, &col)) ++claimed;
+  EXPECT_EQ(claimed, 8u);
+  EXPECT_EQ(sched.worker_executed(1), 8u);
+  EXPECT_EQ(sched.worker_steals(1, StealClass::kLocal), 8u);
+  EXPECT_EQ(sched.worker_steals(1, StealClass::kNeighbour), 0u);
+  EXPECT_EQ(sched.worker_steals(1, StealClass::kGlobal), 0u);
+  EXPECT_EQ(sched.steal_events(), 8u);
+  // Attribution is per instance: the untouched scheduler saw nothing
+  // (the process-global scheduler_steal_events() would not tell these
+  // two apart).
+  EXPECT_EQ(idle.steal_events(), 0u);
+
+  const SchedulerStats stats = sched.stats();
+  EXPECT_EQ(stats.steals, 8u);
+  EXPECT_EQ(stats.local_steals, 8u);
+  EXPECT_EQ(stats.neighbour_steals + stats.global_steals, 0u);
+}
+
+TEST(SchedulerTelemetry, StealClassesPartitionTheStealCount) {
+  // One worker drains a 2x2-partitioned grid: its own seed first, then
+  // pass-1 (same row) and pass-2 (Manhattan) victims.
+  TileScheduler sched(6, 6, 2, 2, 4, true);
+  int row = 0, col = 0;
+  while (sched.claim(0, &row, &col)) {
+  }
+  const SchedulerStats stats = sched.stats();
+  EXPECT_EQ(stats.tiles, 36u);
+  EXPECT_GT(stats.steals, 0u);
+  EXPECT_EQ(stats.local_steals + stats.neighbour_steals +
+                stats.global_steals,
+            stats.steals);
+  std::uint64_t by_class = 0;
+  for (int c = 0; c < kStealClassCount; ++c) {
+    by_class += sched.worker_steals(0, static_cast<StealClass>(c));
+  }
+  EXPECT_EQ(by_class, stats.steals);
+}
+
+// ----------------------------------------------------------------------
+// Trace session
+// ----------------------------------------------------------------------
+
+/// Per-tid LIFO check over the session's (ts-sorted) events: every 'E'
+/// closes the innermost open 'B' of the same name on the same lane, and
+/// no lane ends with an open span.
+void expect_balanced(const std::vector<TraceEvent>& events) {
+  std::map<std::uint32_t, std::vector<std::string>> open;
+  std::uint64_t last_ts = 0;
+  for (const TraceEvent& e : events) {
+    ASSERT_NE(e.name, nullptr);
+    EXPECT_GE(e.ts_ns, last_ts) << "events not sorted by timestamp";
+    last_ts = e.ts_ns;
+    if (e.ph == 'B') {
+      open[e.tid].emplace_back(e.name);
+    } else if (e.ph == 'E') {
+      auto& stack = open[e.tid];
+      ASSERT_FALSE(stack.empty())
+          << "'E' " << e.name << " with no open span on tid " << e.tid;
+      EXPECT_EQ(stack.back(), e.name);
+      stack.pop_back();
+    }
+  }
+  for (const auto& [tid, stack] : open) {
+    EXPECT_TRUE(stack.empty()) << "unclosed span on tid " << tid;
+  }
+}
+
+TEST(Trace, ConvRunProducesBalancedSortedEvents) {
+  if (!kTelemetryCompiled) GTEST_SKIP() << "telemetry compiled out";
+  TraceGuard guard;
+  const ConvParams p = medium_conv();
+  const ConvData d = make_data(p, 12);
+  ThreadPool pool(4);
+
+  TraceSession& tr = TraceSession::global();
+  tr.start(std::size_t{1} << 14);
+  NdirectOptions opts;
+  opts.pool = &pool;
+  opts.threads = 4;
+  (void)ndirect_conv(d.input, d.filter, p, opts);
+  tr.stop();
+
+  EXPECT_EQ(tr.dropped(), 0u);
+  const std::vector<TraceEvent> events = tr.events();
+  ASSERT_FALSE(events.empty());
+  expect_balanced(events);
+
+  int runs = 0, tiles = 0;
+  for (const TraceEvent& e : events) {
+    if (std::string(e.name) == "ndirect.run" && e.ph == 'B') ++runs;
+    if (std::string(e.name) == "tile") {
+      ++tiles;
+      EXPECT_EQ(e.ph, 'X');
+    }
+  }
+  EXPECT_EQ(runs, 1);
+  EXPECT_GT(tiles, 0);
+}
+
+TEST(Trace, JsonIsChromeTraceShaped) {
+  if (!kTelemetryCompiled) GTEST_SKIP() << "telemetry compiled out";
+  TraceGuard guard;
+  const ConvParams p = medium_conv();
+  const ConvData d = make_data(p, 13);
+
+  TraceSession& tr = TraceSession::global();
+  tr.start(std::size_t{1} << 12);
+  NdirectOptions opts;
+  opts.threads = 2;
+  (void)ndirect_conv(d.input, d.filter, p, opts);
+  tr.stop();
+
+  const std::string j = tr.json();
+  EXPECT_EQ(j.front(), '{');
+  ASSERT_GE(j.size(), 3u);
+  EXPECT_EQ(j.substr(j.size() - 3), "]}\n");
+  EXPECT_NE(j.find("\"traceEvents\": ["), std::string::npos);
+  EXPECT_NE(j.find("\"ndirect.run\""), std::string::npos);
+  // Lane labels ride along as Chrome metadata events.
+  EXPECT_NE(j.find("thread_name"), std::string::npos);
+  EXPECT_NE(j.find("\"ph\": \"M\""), std::string::npos);
+}
+
+TEST(Trace, FullRingCountsDropsInsteadOfBlocking) {
+  if (!kTelemetryCompiled) GTEST_SKIP() << "telemetry compiled out";
+  TraceGuard guard;
+  TraceSession& tr = TraceSession::global();
+  tr.start(8);
+  EXPECT_EQ(tr.capacity(), 8u);
+  for (int i = 0; i < 20; ++i) tr.complete("ev", 0, 1);
+  tr.stop();
+  EXPECT_EQ(tr.size(), 8u);
+  EXPECT_EQ(tr.dropped(), 12u);
+  EXPECT_EQ(tr.events().size(), 8u);
+}
+
+TEST(Trace, OffSessionRecordsNothing) {
+  TraceGuard guard;
+  TraceSession& tr = TraceSession::global();
+  tr.clear();
+  EXPECT_FALSE(trace_on());
+  tr.complete("ignored", 0, 1);
+  tr.begin("ignored");
+  tr.end("ignored");
+  EXPECT_EQ(tr.size(), 0u);
+  EXPECT_EQ(tr.events().size(), 0u);
+}
+
+// ----------------------------------------------------------------------
+// Concurrent graph lanes
+// ----------------------------------------------------------------------
+
+std::unique_ptr<ConvOp> graph_conv(const TensorShape& s, int k,
+                                   std::uint64_t seed) {
+  ConvParams p{.N = s.N, .C = s.C, .H = s.H, .W = s.W, .K = k,
+               .R = 3, .S = 3, .str = 1, .pad = 1};
+  return std::make_unique<ConvOp>(p, ConvBackend::Ndirect, seed,
+                                  /*bias=*/false);
+}
+
+TEST(Trace, ConcurrentGraphProducesPerRunnerLanes) {
+  if (!kTelemetryCompiled) GTEST_SKIP() << "telemetry compiled out";
+  TraceGuard guard;
+  // Two independent conv branches merged by add: width 2, so the
+  // concurrent executor spawns a second runner thread. The convs are
+  // sized to take a few ms each, so runner 1 reliably claims the second
+  // branch while runner 0 is still inside the first (and the pool
+  // workers the convs dispatch onto contribute their own lanes too).
+  Graph g(1, 32, 32, 32);
+  const NodeId a = g.add(graph_conv(g.shape_of(0), 64, 1), {0});
+  const NodeId b = g.add(graph_conv(g.shape_of(0), 64, 2), {0});
+  g.add(std::make_unique<AddOp>(), {a, b});
+  g.plan_concurrency();
+  Tensor input = make_input_nchw(1, 32, 32, 32);
+  fill_random(input, 3);
+
+  TraceSession& tr = TraceSession::global();
+  tr.start(std::size_t{1} << 14);
+  GraphRunOptions conc;
+  conc.runners = 2;
+  // A single run can (rarely) finish both branches on one runner before
+  // the other thread wakes; a few runs in the same session make at
+  // least one multi-lane run a near-certainty without timing games.
+  for (int rep = 0; rep < 3; ++rep) (void)g.run(input, conc);
+  tr.stop();
+
+  const std::vector<TraceEvent> events = tr.events();
+  ASSERT_FALSE(events.empty());
+  expect_balanced(events);
+  std::set<std::uint32_t> tids;
+  for (const TraceEvent& e : events) tids.insert(e.tid);
+  EXPECT_GE(tids.size(), 2u) << "expected events from several lanes";
+
+  bool has_runner_lane = false;
+  for (const std::string& name : trace_lane_names()) {
+    if (name.rfind("graph-runner-", 0) == 0) has_runner_lane = true;
+  }
+  EXPECT_TRUE(has_runner_lane);
+}
+
+// ----------------------------------------------------------------------
+// ConvReport
+// ----------------------------------------------------------------------
+
+TEST(ConvReportTest, JoinsMeasuredAndPredicted) {
+  if (!kTelemetryCompiled) GTEST_SKIP() << "telemetry compiled out";
+  const ConvParams p = medium_conv();
+  const ConvData d = make_data(p, 14);
+  ThreadPool pool(4);
+
+  // Synthetic spec: keeps the test off the host-probing microbenchmarks
+  // and makes the prediction deterministic.
+  PlatformSpec spec;
+  spec.name = "synthetic";
+  spec.cores = 4;
+  spec.freq_ghz = 2.0;
+  spec.peak_gflops = 100.0;
+  spec.bandwidth_gibs = 10.0;
+  spec.cache.l1d = 32 << 10;
+  spec.cache.l2 = 1 << 20;
+  spec.cache.l3 = 0;
+
+  TelemetrySnapshot snap;
+  NdirectOptions opts;
+  opts.pool = &pool;
+  opts.threads = 4;
+  opts.telemetry = &snap;
+  const NdirectConv conv(p, opts);
+  (void)conv.run(d.input, d.filter);
+  ASSERT_FALSE(snap.empty());
+
+  const ConvReport report = build_conv_report(conv, snap, &spec);
+  EXPECT_EQ(report.platform, "synthetic");
+  EXPECT_GT(report.wall_seconds, 0.0);
+  EXPECT_GT(report.measured_gflops, 0.0);
+  EXPECT_GT(report.predicted_gflops, 0.0);
+  EXPECT_GT(report.model_ratio, 0.0);
+  EXPECT_DOUBLE_EQ(report.peak_gflops, 100.0);
+  EXPECT_GT(report.mapping_fai, 0.0);
+  EXPECT_GE(report.best_fai, report.mapping_fai);
+  EXPECT_EQ(report.tiles, snap.total(Counter::kTilesClaimed));
+  EXPECT_EQ(report.workers.size(), snap.workers.size());
+  for (const ConvReport::Worker& w : report.workers) {
+    EXPECT_GE(w.busy_fraction, 0.0);
+    EXPECT_LE(w.busy_fraction, 1.0);
+  }
+
+  const std::string text = report.to_text();
+  EXPECT_NE(text.find("ConvReport"), std::string::npos);
+  EXPECT_NE(text.find("predicted"), std::string::npos);
+  EXPECT_NE(text.find("measured"), std::string::npos);
+
+  const std::string j = report.to_json();
+  EXPECT_EQ(j.front(), '{');
+  EXPECT_EQ(j.back(), '}');
+  EXPECT_NE(j.find("\"measured_gflops\""), std::string::npos);
+  EXPECT_NE(j.find("\"predicted_gflops\""), std::string::npos);
+  EXPECT_NE(j.find("\"per_worker\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ndirect
