@@ -48,6 +48,8 @@ struct Result {
   SchedulerStats stats{};        ///< from the stealing run
   TelemetrySnapshot telemetry;   ///< from one extra untimed stealing run
   std::string report_text;       ///< ConvReport for that run
+  double alpha = 0;              ///< plan's pack/compute cost ratio
+  int ptn = 0, ptk = 0;          ///< the solved stealing-grid split
 };
 
 Result run_case(const Case& c, ThreadPool& pool, const BenchConfig& cfg) {
@@ -74,6 +76,9 @@ Result run_case(const Case& c, ThreadPool& pool, const BenchConfig& cfg) {
   const NdirectConv wconv(c.params, steal);
   r.steal_gflops = time_gflops([&] { (void)wconv.run(input, filter); },
                                flops, cfg.min_seconds);
+  r.alpha = wconv.plan().alpha;
+  r.ptn = wconv.plan().mapping.ptn;
+  r.ptk = wconv.plan().mapping.ptk;
 
   // Telemetry is collected in one extra run OUTSIDE the timed loops so
   // the GFLOPS columns measure the same code the ≤1%-overhead claim is
@@ -146,12 +151,14 @@ int main() {
         "%s{\"case\": \"%s\", \"threads\": %d, "
         "\"static_gflops\": %.3f, \"stealing_gflops\": %.3f, "
         "\"ratio\": %.4f, \"tiles\": %llu, \"steals\": %llu, "
-        "\"imbalance\": %llu",
+        "\"imbalance\": %llu, \"alpha\": %.3f, \"ptn\": %d, "
+        "\"ptk\": %d",
         i == 0 ? "" : ", ", c.name.c_str(), c.threads, r.static_gflops,
         r.steal_gflops, ratio,
         static_cast<unsigned long long>(r.stats.tiles),
         static_cast<unsigned long long>(r.stats.steals),
-        static_cast<unsigned long long>(imbalance));
+        static_cast<unsigned long long>(imbalance), r.alpha, r.ptn,
+        r.ptk);
     rows_json += buf;
     if (!r.telemetry.empty())
       rows_json += ", \"telemetry\": " + r.telemetry.to_json();

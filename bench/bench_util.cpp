@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 
 #include "autotune/tuner.h"
 #include "baselines/acl_direct.h"
@@ -10,10 +12,25 @@
 #include "baselines/im2col_conv.h"
 #include "baselines/indirect_conv.h"
 #include "baselines/nchwc_conv.h"
+#include "core/alpha.h"
 #include "core/ndirect.h"
+#include "runtime/cpu_info.h"
 #include "runtime/timer.h"
 #include "tensor/rng.h"
 #include "tensor/transforms.h"
+
+// Build-identity stamps, injected by bench/CMakeLists.txt so each
+// BENCH_*.json records what produced it; the fallbacks keep non-CMake
+// builds compiling.
+#ifndef NDIRECT_GIT_SHA
+#define NDIRECT_GIT_SHA "unknown"
+#endif
+#ifndef NDIRECT_COMPILER_ID
+#define NDIRECT_COMPILER_ID "unknown"
+#endif
+#ifndef NDIRECT_BUILD_FLAGS
+#define NDIRECT_BUILD_FLAGS ""
+#endif
 
 namespace ndirect::bench {
 
@@ -156,6 +173,58 @@ double geomean(const std::vector<double>& values) {
   return std::exp(log_sum / static_cast<double>(values.size()));
 }
 
+namespace {
+
+std::string json_quote(const std::string& v) {
+  std::string quoted = "\"";
+  for (char c : v) {
+    if (c == '"' || c == '\\') quoted += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) continue;
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace
+
+std::string host_key() {
+  const CpuInfo info = probe_host_cpu();
+  std::string key;
+  bool dash = true;  // suppress leading/duplicate dashes
+  for (char c : info.name) {
+    if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) {
+      key += c;
+      dash = false;
+    } else if (c >= 'A' && c <= 'Z') {
+      key += static_cast<char>(c - 'A' + 'a');
+      dash = false;
+    } else if (!dash) {
+      key += '-';
+      dash = true;
+    }
+  }
+  while (!key.empty() && key.back() == '-') key.pop_back();
+  if (key.empty()) key = "host";
+  return key + "-" + std::to_string(info.logical_cores) + "c";
+}
+
+std::string host_metadata_json() {
+  const CpuInfo info = probe_host_cpu();
+  char alpha_buf[32];
+  std::snprintf(alpha_buf, sizeof(alpha_buf), "%.3f", host_alpha());
+  std::string s = "{";
+  s += "\"key\": " + json_quote(host_key());
+  s += ", \"cpu\": " + json_quote(info.name);
+  s += ", \"cores\": " + std::to_string(info.logical_cores);
+  s += ", \"alpha\": " + std::string(alpha_buf);
+  s += ", \"git_sha\": " + json_quote(NDIRECT_GIT_SHA);
+  s += ", \"compiler\": " + json_quote(NDIRECT_COMPILER_ID);
+  s += ", \"flags\": " + json_quote(NDIRECT_BUILD_FLAGS);
+  s += "}";
+  return s;
+}
+
 void JsonReport::add(const std::string& key, double v) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.4f", v);
@@ -187,10 +256,18 @@ void JsonReport::add_telemetry(const std::string& key,
 }
 
 bool JsonReport::write() const {
-  const std::string path = "BENCH_" + name_ + ".json";
+  std::string path = "BENCH_" + name_ + ".json";
+  if (const char* dir = std::getenv("NDIRECT_BENCH_DIR");
+      dir != nullptr && *dir != '\0') {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);  // best-effort
+    path = (std::filesystem::path(dir) / path).string();
+  }
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
   std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"host\": %s%s\n", host_metadata_json().c_str(),
+               fields_.empty() ? "" : ",");
   for (std::size_t i = 0; i < fields_.size(); ++i) {
     std::fprintf(f, "  \"%s\": %s%s\n", fields_[i].first.c_str(),
                  fields_[i].second.c_str(),

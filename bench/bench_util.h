@@ -62,10 +62,24 @@ std::string fmt(double v, int decimals = 1);
 /// Geometric mean of positive values.
 double geomean(const std::vector<double>& values);
 
+/// Filesystem-safe identity of the measuring host — the sanitized CPU
+/// model plus the logical core count (e.g. "intel-xeon-8375c-4c").
+/// bench_compare.py keys its committed baselines by this string, so two
+/// different machines never gate against each other's numbers.
+std::string host_key();
+
+/// The "host" object stamped into every BENCH_*.json: cpu model, core
+/// count, the measured pack/compute alpha, and the git SHA + compiler +
+/// flags the binary was built from.
+std::string host_metadata_json();
+
 /// Machine-readable result sink shared by the benches: collect keyed
-/// values in insertion order, then write() emits BENCH_<name>.json in
-/// the working directory so drivers and dashboards can diff runs
-/// without scraping the human tables.
+/// values in insertion order, then write() emits BENCH_<name>.json —
+/// into $NDIRECT_BENCH_DIR when set (created if missing), else the
+/// working directory — so drivers and dashboards can diff runs without
+/// scraping the human tables. Every file leads with the host_metadata
+/// object, which is what lets bench_compare.py match baselines to the
+/// machine that produced them.
 class JsonReport {
  public:
   explicit JsonReport(std::string name) : name_(std::move(name)) {}

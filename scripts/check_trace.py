@@ -7,7 +7,9 @@ must guarantee:
   * every event carries name/ph/pid/tid (+ ts for non-metadata phases),
   * per tid, 'B'/'E' spans nest LIFO and end balanced,
   * per tid, timestamps are monotonically non-decreasing,
-  * 'X' events have a non-negative dur.
+  * 'X' events have a non-negative dur,
+  * 'C' counter samples carry an args object of non-negative numeric
+    series; "pmu" counters name their l1d_misses/llc_misses series.
 
 Usage: check_trace.py <trace.json>
 Exit status 0 on a valid trace, 1 with a diagnostic otherwise.
@@ -69,6 +71,33 @@ def main():
         elif ph == "X":
             if float(ev.get("dur", 0)) < 0:
                 fail(f"event {i} ({ev['name']!r}) has negative dur")
+        elif ph == "C":
+            args = ev.get("args")
+            if not isinstance(args, dict) or not args:
+                fail(
+                    f"event {i}: 'C' {ev['name']!r} needs a non-empty "
+                    f"args object of counter series"
+                )
+            for series, value in args.items():
+                if not isinstance(value, (int, float)) or isinstance(
+                    value, bool
+                ):
+                    fail(
+                        f"event {i}: counter {ev['name']!r} series "
+                        f"{series!r} is not numeric: {value!r}"
+                    )
+                if value < 0:
+                    fail(
+                        f"event {i}: counter {ev['name']!r} series "
+                        f"{series!r} is negative: {value}"
+                    )
+            if ev["name"] == "pmu":
+                missing = {"l1d_misses", "llc_misses"} - set(args)
+                if missing:
+                    fail(
+                        f"event {i}: pmu counter missing series "
+                        f"{sorted(missing)}"
+                    )
         elif ph not in ("i", "I"):
             fail(f"event {i} has unknown phase {ph!r}")
 

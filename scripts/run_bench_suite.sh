@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Run the bench smoke set and collect their BENCH_*.json outputs into
+# one directory (via NDIRECT_BENCH_DIR) for bench_compare.py.
+#
+# Usage: run_bench_suite.sh [--smoke] [--build <dir>] [--out <dir>]
+#   --smoke   short measurement windows (NDIRECT_BENCH_MS=50 unless the
+#             caller already set it) — CI noise-gate mode, not paper runs
+#   --build   cmake build directory holding bench/ (default: build)
+#   --out     where the JSON lands (default: bench-results)
+set -euo pipefail
+
+BUILD=build
+OUT=bench-results
+SMOKE=0
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --smoke) SMOKE=1; shift ;;
+    --build) BUILD="$2"; shift 2 ;;
+    --out) OUT="$2"; shift 2 ;;
+    *)
+      echo "usage: $0 [--smoke] [--build <dir>] [--out <dir>]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+# The smoke set: quick, deterministic-shape benches that exercise the
+# scheduler, the dispatch overhead path and the graph executor. The
+# figure benches (paper-scale sweeps) are intentionally not gated.
+BENCHES=(bench_scheduler bench_dispatch bench_graph)
+
+mkdir -p "$OUT"
+NDIRECT_BENCH_DIR="$(cd "$OUT" && pwd)"
+export NDIRECT_BENCH_DIR
+if [[ "$SMOKE" == 1 ]]; then
+  export NDIRECT_BENCH_MS="${NDIRECT_BENCH_MS:-50}"
+fi
+
+for b in "${BENCHES[@]}"; do
+  exe="$BUILD/bench/$b"
+  if [[ ! -x "$exe" ]]; then
+    echo "run_bench_suite: missing $exe (build the bench targets first)" >&2
+    exit 1
+  fi
+  echo "== $b =="
+  "$exe"
+done
+
+echo
+echo "run_bench_suite: results in $NDIRECT_BENCH_DIR:"
+ls -1 "$NDIRECT_BENCH_DIR"

@@ -13,6 +13,7 @@
 #include "core/microkernel.h"
 #include "core/ndirect.h"
 #include "runtime/aligned_buffer.h"
+#include "runtime/perf_counters.h"
 #include "runtime/scratch.h"
 #include "runtime/trace.h"
 #include "tensor/transforms.h"
@@ -252,6 +253,12 @@ void run_nest(const ConvParams& p, const NdirectPlan& plan,
       telemetry_enabled() && (opts.telemetry != nullptr ||
                               opts.phase_timer != nullptr || tracing);
   WorkerTelemetry tel(collect ? num_workers : 0);
+  // Hardware-counter mode for this run: 0 off, 1 per-task group deltas,
+  // 2 additionally attributes L1D misses to the pack phase. Rides the
+  // collect flag (PMU data is only gathered when a sink will see it)
+  // and degrades to 0 on hosts where perf_event_open is unavailable.
+  const int pmu =
+      collect && pmu_mode() > 0 && pmu_available() ? pmu_mode() : 0;
 
   // Every worker starts on exactly the tiles its Eq. 5/6 slice covers
   // (the paper's mapping, rounded to tile granularity); workers beyond
@@ -264,6 +271,22 @@ void run_nest(const ConvParams& p, const NdirectPlan& plan,
     // Phase-time accumulators, flushed to this worker's telemetry slot
     // once at task end (no shared writes inside the tile loop).
     std::uint64_t pack_ns = 0, transform_ns = 0, micro_ns = 0;
+    // PMU: one group read at task start/end gives this worker's
+    // hardware-counter deltas (the task runs on exactly one OS thread,
+    // whose thread-local group scopes the counts to it). pack_l1d is
+    // the phase-mode split accumulated from reads around pack_window.
+    std::uint64_t pack_l1d = 0;
+    PmuSample pmu_t0;
+    PmuThreadCounters* pc = nullptr;
+    if constexpr (kCollect) {
+      if (pmu > 0) {
+        PmuThreadCounters& counters = this_thread_pmu();
+        if (counters.open()) {
+          pc = &counters;
+          pmu_t0 = counters.read();
+        }
+      }
+    }
     // +4 floats of slack: the unrolled kernel reads the final row in
     // whole vectors (the extra lanes are loaded but never consumed).
     const std::size_t pack_floats =
@@ -476,12 +499,25 @@ void run_nest(const ConvParams& p, const NdirectPlan& plan,
                         call_fused(a);
                       }
                     } else if constexpr (kCollect) {
+                      // Phase mode samples L1D around the pack call;
+                      // the reads sit outside the timer windows so the
+                      // pack/micro nanosecond split stays clean.
+                      const bool sample = pmu == 2 && pc != nullptr;
+                      std::uint64_t l1d0 = 0;
+                      if (sample)
+                        l1d0 = pc->read().value(PmuEvent::kL1DMisses);
                       const std::uint64_t t0 = monotonic_ns();
                       pack_window(pack, g, tcn, p.R, plan.packw);
                       const std::uint64_t t1 = monotonic_ns();
+                      if (sample) {
+                        const std::uint64_t l1d1 =
+                            pc->read().value(PmuEvent::kL1DMisses);
+                        if (l1d1 > l1d0) pack_l1d += l1d1 - l1d0;
+                      }
+                      const std::uint64_t t2 = monotonic_ns();
                       call_compute(a);
                       pack_ns += t1 - t0;
-                      micro_ns += monotonic_ns() - t1;
+                      micro_ns += monotonic_ns() - t2;
                     } else {
                       pack_window(pack, g, tcn, p.R, plan.packw);
                       call_compute(a);
@@ -512,6 +548,41 @@ void run_nest(const ConvParams& p, const NdirectPlan& plan,
       tel.add(w, Counter::kPackNs, pack_ns);
       tel.add(w, Counter::kTransformNs, transform_ns);
       tel.add(w, Counter::kMicrokernelNs, micro_ns);
+      if (pc != nullptr) {
+        const PmuSample d = pmu_delta(pmu_t0, pc->read());
+        if (d.valid) {
+          tel.add(w, Counter::kPmuCycles, d.value(PmuEvent::kCycles));
+          tel.add(w, Counter::kPmuInstructions,
+                  d.value(PmuEvent::kInstructions));
+          tel.add(w, Counter::kPmuL1DMisses,
+                  d.value(PmuEvent::kL1DMisses));
+          tel.add(w, Counter::kPmuLLCMisses,
+                  d.value(PmuEvent::kLLCMisses));
+          tel.add(w, Counter::kPmuStalledCycles,
+                  d.value(PmuEvent::kStalledCycles));
+          if (pmu == 2) {
+            // The pack samples and the task delta come from the same
+            // group, so pack <= task holds up to multiplex rounding;
+            // clamp so micro = task - pack never underflows.
+            const std::uint64_t task_l1d =
+                d.value(PmuEvent::kL1DMisses);
+            const std::uint64_t pack_part =
+                pack_l1d < task_l1d ? pack_l1d : task_l1d;
+            tel.add(w, Counter::kPmuPackL1DMisses, pack_part);
+            tel.add(w, Counter::kPmuMicroL1DMisses,
+                    task_l1d - pack_part);
+          }
+          if (tracing) {
+            TraceSession::global().counter(
+                "pmu", "l1d_misses",
+                static_cast<std::int64_t>(
+                    d.value(PmuEvent::kL1DMisses)),
+                "llc_misses",
+                static_cast<std::int64_t>(
+                    d.value(PmuEvent::kLLCMisses)));
+          }
+        }
+      }
     }
   };
 

@@ -32,6 +32,7 @@ ConvReport build_conv_report(const NdirectConv& conv,
   r.params = p;
   r.mapping = plan.mapping;
   r.stealers = plan.stealers;
+  r.alpha = plan.alpha;
 
   const PerfEstimate est =
       estimate_conv_perf(plat, p, ConvMethod::Ndirect, threads);
@@ -39,6 +40,7 @@ ConvReport build_conv_report(const NdirectConv& conv,
   r.peak_gflops = plat.peak_gflops;
   r.roofline_compute = est.compute_bound;
   r.roofline_memory = est.memory_bound;
+  r.predicted_ai = est.ai;
 
   r.wall_seconds = telemetry.wall_seconds;
   if (r.wall_seconds > 0) {
@@ -61,6 +63,31 @@ ConvReport build_conv_report(const NdirectConv& conv,
   r.global_steals = telemetry.total(Counter::kGlobalSteals);
   r.steals = r.local_steals + r.neighbour_steals + r.global_steals;
 
+  r.has_pmu = telemetry.has_pmu();
+  if (r.has_pmu) {
+    r.pmu_cycles = telemetry.total(Counter::kPmuCycles);
+    r.pmu_instructions = telemetry.total(Counter::kPmuInstructions);
+    r.l1d_misses = telemetry.total(Counter::kPmuL1DMisses);
+    r.llc_misses = telemetry.total(Counter::kPmuLLCMisses);
+    r.stalled_cycles = telemetry.total(Counter::kPmuStalledCycles);
+    r.pack_l1d_misses = telemetry.total(Counter::kPmuPackL1DMisses);
+    r.micro_l1d_misses = telemetry.total(Counter::kPmuMicroL1DMisses);
+    if (r.pmu_cycles > 0) {
+      r.ipc = static_cast<double>(r.pmu_instructions) /
+              static_cast<double>(r.pmu_cycles);
+      r.stall_fraction = static_cast<double>(r.stalled_cycles) /
+                         static_cast<double>(r.pmu_cycles);
+    }
+    if (r.pmu_instructions > 0)
+      r.l1d_mpki = 1000.0 * static_cast<double>(r.l1d_misses) /
+                   static_cast<double>(r.pmu_instructions);
+    // Each LLC miss moves one cache line from DRAM; flops over that
+    // byte count is the run's measured arithmetic intensity.
+    if (r.llc_misses > 0)
+      r.measured_ai = static_cast<double>(p.flops()) /
+                      (static_cast<double>(r.llc_misses) * 64.0);
+  }
+
   r.busy_min = telemetry.workers.empty() ? 0.0 : 1.0;
   double busy_sum = 0;
   for (std::size_t w = 0; w < telemetry.workers.size(); ++w) {
@@ -71,6 +98,8 @@ ConvReport build_conv_report(const NdirectConv& conv,
     row.steals = tw.steals();
     row.busy_seconds = tw.busy_seconds();
     row.busy_fraction = telemetry.busy_fraction(static_cast<int>(w));
+    row.l1d_misses = tw.value(Counter::kPmuL1DMisses);
+    row.llc_misses = tw.value(Counter::kPmuLLCMisses);
     r.busy_min = std::min(r.busy_min, row.busy_fraction);
     r.busy_max = std::max(r.busy_max, row.busy_fraction);
     busy_sum += row.busy_fraction;
@@ -113,6 +142,52 @@ ConvReport build_conv_report(const NdirectConv& conv,
         ": the divisor constraint cost this shape; the stealing "
         "schedule's partial grids can close the gap");
   }
+
+  // Measured-vs-model diagnoses, only when hardware counters ran.
+  if (r.has_pmu) {
+    if (r.measured_ai > 0 && r.predicted_ai > 0 &&
+        r.measured_ai < 0.5 * r.predicted_ai) {
+      r.diagnoses.push_back(
+          "measured arithmetic intensity " + fmt1(r.measured_ai, "%.2f") +
+          " flops/B is under half the model's " +
+          fmt1(r.predicted_ai, "%.2f") + ": the run moved ~" +
+          fmt1(r.predicted_ai / r.measured_ai) +
+          "x the essential DRAM traffic — the Tc x Th working set "
+          "likely overflows this host's cache (re-solve the tiling "
+          "against a measured CacheInfo)");
+    }
+    if (r.stall_fraction > 0.4 && r.roofline_compute <= r.roofline_memory) {
+      r.diagnoses.push_back(
+          "backend stalled " + fmt1(100 * r.stall_fraction) +
+          "% of cycles though the model calls this layer compute-bound: "
+          "latency the roofline does not see (TLB walks, prefetch "
+          "misses, port pressure) is the real limiter");
+    }
+    const std::uint64_t phase_l1d = r.pack_l1d_misses + r.micro_l1d_misses;
+    if (phase_l1d > 0) {
+      const double miss_share =
+          static_cast<double>(r.pack_l1d_misses) /
+          static_cast<double>(phase_l1d);
+      const double time_share =
+          telemetry.phase_fraction(Counter::kPackNs);
+      if (conv.options().fuse_packing && r.l1d_mpki > 20.0) {
+        r.diagnoses.push_back(
+            "packing not hidden: the fused phase misses L1D at " +
+            fmt1(r.l1d_mpki) +
+            " MPKI — the pack stream is evicting the register tile's "
+            "operands instead of riding behind the FMAs (Tc too large "
+            "for L1, or the window gather defeats the prefetcher)");
+      } else if (!conv.options().fuse_packing && miss_share > 0.2 &&
+                 miss_share > 2.0 * time_share) {
+        r.diagnoses.push_back(
+            "pack phase takes " + fmt1(100 * time_share) +
+            "% of phase time but " + fmt1(100 * miss_share) +
+            "% of L1D misses: the Tc x packw pack buffer overflows L1 "
+            "on this host — a smaller Tc (or fused packing) would keep "
+            "the window resident");
+      }
+    }
+  }
   return r;
 }
 
@@ -124,7 +199,7 @@ std::string ConvReport::to_text() const {
        " stealers), " + std::to_string(workers.size()) + " workers\n";
   s += "  model: FAI(PTn=" + std::to_string(mapping.ptn) + ") = " +
        fmt1(mapping_fai) + ", best " + fmt1(best_fai) + " near PTn* = " +
-       fmt1(ptn_star, "%.2f") + "\n";
+       fmt1(ptn_star, "%.2f") + ", alpha = " + fmt1(alpha, "%.3f") + "\n";
   s += "  predicted " + fmt1(predicted_gflops) +
        " GFLOPS (roofline: compute " + fmt1(roofline_compute) +
        ", memory " + fmt1(roofline_memory) + "; peak " +
@@ -144,10 +219,27 @@ std::string ConvReport::to_text() const {
        std::to_string(global_steals) + ")\n";
   s += "  busy fraction: min " + fmt1(busy_min, "%.2f") + "  mean " +
        fmt1(busy_mean, "%.2f") + "  max " + fmt1(busy_max, "%.2f") + "\n";
+  if (has_pmu) {
+    s += "  pmu: IPC " + fmt1(ipc, "%.2f") + ", backend stalls " +
+         fmt1(100 * stall_fraction) + "% of cycles\n";
+    s += "  pmu: AI measured " + fmt1(measured_ai, "%.2f") +
+         " flops/B vs model " + fmt1(predicted_ai, "%.2f") + " (L1D " +
+         std::to_string(l1d_misses) + " misses, " +
+         fmt1(l1d_mpki, "%.2f") + " MPKI; LLC " +
+         std::to_string(llc_misses) + ")\n";
+    if (pack_l1d_misses + micro_l1d_misses > 0) {
+      s += "  pmu: L1D split — pack " + std::to_string(pack_l1d_misses) +
+           " / compute " + std::to_string(micro_l1d_misses) + "\n";
+    }
+  }
   for (const Worker& w : workers) {
     s += "    worker " + std::to_string(w.id) + ": tiles " +
          std::to_string(w.tiles) + "  steals " + std::to_string(w.steals) +
-         "  busy " + fmt1(100 * w.busy_fraction) + "%\n";
+         "  busy " + fmt1(100 * w.busy_fraction) + "%";
+    if (has_pmu)
+      s += "  l1d " + std::to_string(w.l1d_misses) + "  llc " +
+           std::to_string(w.llc_misses);
+    s += "\n";
   }
   if (diagnoses.empty()) {
     s += "  diagnosis: run matches the model\n";
@@ -164,6 +256,7 @@ std::string ConvReport::to_json() const {
   s += ", \"ptn\": " + std::to_string(mapping.ptn);
   s += ", \"ptk\": " + std::to_string(mapping.ptk);
   s += ", \"stealers\": " + std::to_string(stealers);
+  s += ", \"alpha\": " + fmt_json(alpha);
   s += ", \"wall_seconds\": " + fmt_json(wall_seconds);
   s += ", \"measured_gflops\": " + fmt_json(measured_gflops);
   s += ", \"predicted_gflops\": " + fmt_json(predicted_gflops);
@@ -182,6 +275,19 @@ std::string ConvReport::to_json() const {
   s += ", \"busy_min\": " + fmt_json(busy_min);
   s += ", \"busy_mean\": " + fmt_json(busy_mean);
   s += ", \"busy_max\": " + fmt_json(busy_max);
+  s += std::string(", \"has_pmu\": ") + (has_pmu ? "true" : "false");
+  s += ", \"pmu\": {\"cycles\": " + std::to_string(pmu_cycles);
+  s += ", \"instructions\": " + std::to_string(pmu_instructions);
+  s += ", \"l1d_misses\": " + std::to_string(l1d_misses);
+  s += ", \"llc_misses\": " + std::to_string(llc_misses);
+  s += ", \"stalled_cycles\": " + std::to_string(stalled_cycles);
+  s += ", \"ipc\": " + fmt_json(ipc);
+  s += ", \"stall_fraction\": " + fmt_json(stall_fraction);
+  s += ", \"l1d_mpki\": " + fmt_json(l1d_mpki);
+  s += ", \"measured_ai\": " + fmt_json(measured_ai);
+  s += ", \"predicted_ai\": " + fmt_json(predicted_ai);
+  s += ", \"pack_l1d_misses\": " + std::to_string(pack_l1d_misses);
+  s += ", \"micro_l1d_misses\": " + std::to_string(micro_l1d_misses) + "}";
   s += ", \"per_worker\": [";
   for (std::size_t i = 0; i < workers.size(); ++i) {
     const Worker& w = workers[i];
@@ -190,7 +296,9 @@ std::string ConvReport::to_json() const {
          ", \"tiles\": " + std::to_string(w.tiles) +
          ", \"steals\": " + std::to_string(w.steals) +
          ", \"busy_seconds\": " + fmt_json(w.busy_seconds) +
-         ", \"busy_fraction\": " + fmt_json(w.busy_fraction) + "}";
+         ", \"busy_fraction\": " + fmt_json(w.busy_fraction) +
+         ", \"l1d_misses\": " + std::to_string(w.l1d_misses) +
+         ", \"llc_misses\": " + std::to_string(w.llc_misses) + "}";
   }
   s += "], \"diagnoses\": [";
   for (std::size_t i = 0; i < diagnoses.size(); ++i) {

@@ -31,6 +31,7 @@ struct ConvReport {
   ConvParams params{};
   ThreadMapping mapping{};  ///< the planned PTn x PTk grid
   int stealers = 0;         ///< pure stealers beyond the grid
+  double alpha = 0;         ///< pack/compute cost ratio the plan used
 
   // Throughput: measured from telemetry wall time, predicted from the
   // roofline model on the platform spec.
@@ -54,12 +55,36 @@ struct ConvReport {
   std::uint64_t neighbour_steals = 0;
   std::uint64_t global_steals = 0;
 
+  // Hardware-counter (PMU) section, aggregated from the Counter::kPmu*
+  // telemetry rows. has_pmu is false — and every field below zero —
+  // when NDIRECT_PMU=0 or perf_event_open is unavailable on the host,
+  // so reports stay identical modulo zeros either way.
+  bool has_pmu = false;
+  std::uint64_t pmu_cycles = 0;
+  std::uint64_t pmu_instructions = 0;
+  std::uint64_t l1d_misses = 0;
+  std::uint64_t llc_misses = 0;
+  std::uint64_t stalled_cycles = 0;
+  double ipc = 0;             ///< instructions per cycle
+  double stall_fraction = 0;  ///< backend-stall cycles / cycles
+  double l1d_mpki = 0;        ///< L1D misses per kilo-instruction
+  /// Measured arithmetic intensity: flops / (LLC misses x 64B line) —
+  /// directly comparable to predicted_ai (the model's flops over
+  /// essential DRAM traffic). 0 when LLC misses were not counted.
+  double measured_ai = 0;
+  double predicted_ai = 0;
+  // NDIRECT_PMU=2 only: the pack-vs-compute L1D split.
+  std::uint64_t pack_l1d_misses = 0;
+  std::uint64_t micro_l1d_misses = 0;
+
   struct Worker {
     int id = 0;
     std::uint64_t tiles = 0;
     std::uint64_t steals = 0;
     double busy_seconds = 0;
     double busy_fraction = 0;  ///< busy / wall, in [0,1]
+    std::uint64_t l1d_misses = 0;  ///< PMU, 0 when has_pmu is false
+    std::uint64_t llc_misses = 0;
   };
   std::vector<Worker> workers;
   double busy_min = 0, busy_max = 0, busy_mean = 0;

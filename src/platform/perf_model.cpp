@@ -197,6 +197,11 @@ PerfEstimate estimate_conv_perf(const PlatformSpec& spec,
   // (flops/byte) * (GB/s) = GFLOP/s.
   const double flops = static_cast<double>(p.flops());
   est.memory_bound = flops / bytes * bw_gbps;
+  // The model's arithmetic intensity: what a PMU-measured
+  // flops/(LLC misses * line) should approach when the cache tiling
+  // keeps traffic at the essential minimum (ConvReport compares them).
+  est.traffic_bytes = bytes;
+  est.ai = bytes > 0 ? flops / bytes : 0.0;
 
   const double overlapped = std::min(est.compute_bound, est.memory_bound);
   const double t_kernel = flops / (overlapped * 1e9);

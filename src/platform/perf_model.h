@@ -57,6 +57,8 @@ struct PerfEstimate {
   double memory_bound = 0;  ///< the bandwidth-side roofline term
   double e_kernel = 0;      ///< modelled single-core kernel efficiency
   double u_parallel = 0;    ///< modelled thread-utilization factor
+  double ai = 0;            ///< flops per essential-DRAM-traffic byte
+  double traffic_bytes = 0; ///< the essential traffic behind `ai`
 };
 
 /// Predict the throughput of `method` on `spec` for layer `p` using

@@ -35,12 +35,34 @@ std::string read_sysfs_string(const std::string& path) {
   return text;
 }
 
+// The human CPU model string: "model name" on x86, "Hardware" on many
+// ARM kernels (which list per-core implementer/part codes instead).
+// Empty when /proc/cpuinfo has neither.
+std::string probe_cpu_model() {
+  std::ifstream in("/proc/cpuinfo");
+  std::string line, hardware;
+  while (in && std::getline(in, line)) {
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    std::string key = line.substr(0, colon);
+    while (!key.empty() && (key.back() == ' ' || key.back() == '\t'))
+      key.pop_back();
+    std::size_t v = colon + 1;
+    while (v < line.size() && (line[v] == ' ' || line[v] == '\t')) ++v;
+    if (key == "model name") return line.substr(v);
+    if (key == "Hardware") hardware = line.substr(v);
+  }
+  return hardware;
+}
+
 }  // namespace
 
 CpuInfo probe_host_cpu() {
   CpuInfo info;
   const unsigned hc = std::thread::hardware_concurrency();
   info.logical_cores = hc == 0 ? 1 : static_cast<int>(hc);
+  const std::string model = probe_cpu_model();
+  if (!model.empty()) info.name = model;
 
 #ifdef _SC_LEVEL1_DCACHE_SIZE
   if (long s = sysconf(_SC_LEVEL1_DCACHE_SIZE); s > 0)

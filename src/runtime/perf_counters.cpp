@@ -1,0 +1,211 @@
+#include "runtime/perf_counters.h"
+
+#include <atomic>
+#include <cstring>
+
+#include "runtime/env.h"
+
+#if defined(__linux__) && !defined(NDIRECT_PMU_DISABLED)
+#define NDIRECT_PMU_LINUX 1
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#else
+#define NDIRECT_PMU_LINUX 0
+#endif
+
+namespace ndirect {
+namespace {
+
+int initial_pmu_mode() {
+  if (!kPmuCompiled) return 0;
+  const char* v = std::getenv("NDIRECT_PMU");
+  if (v == nullptr || *v == '\0') return 1;
+  const std::string s(v);
+  if (s == "0" || s == "off" || s == "false") return 0;
+  if (s == "2" || s == "phase") return 2;
+  return 1;
+}
+
+std::atomic<int> g_mode{initial_pmu_mode()};
+
+#if NDIRECT_PMU_LINUX
+
+struct EventSpec {
+  std::uint32_t type;
+  std::uint64_t config;
+};
+
+EventSpec event_spec(PmuEvent e) {
+  switch (e) {
+    case PmuEvent::kCycles:
+      return {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES};
+    case PmuEvent::kInstructions:
+      return {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS};
+    case PmuEvent::kL1DMisses:
+      return {PERF_TYPE_HW_CACHE,
+              PERF_COUNT_HW_CACHE_L1D |
+                  (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+                  (PERF_COUNT_HW_CACHE_RESULT_MISS << 16)};
+    case PmuEvent::kLLCMisses:
+      return {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES};
+    case PmuEvent::kStalledCycles:
+      return {PERF_TYPE_HARDWARE,
+              PERF_COUNT_HW_STALLED_CYCLES_BACKEND};
+  }
+  return {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES};
+}
+
+int open_event(PmuEvent e, int group_fd) {
+  const EventSpec spec = event_spec(e);
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = spec.type;
+  attr.config = spec.config;
+  // User-space only: works at perf_event_paranoid <= 2 without
+  // CAP_PERFMON, and keeps the engine's own syscalls (the group reads)
+  // out of the counts.
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.disabled = group_fd == -1 ? 1 : 0;
+  attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_ID |
+                     PERF_FORMAT_TOTAL_TIME_ENABLED |
+                     PERF_FORMAT_TOTAL_TIME_RUNNING;
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, &attr, /*pid=*/0, /*cpu=*/-1,
+              group_fd, /*flags=*/0));
+}
+
+#endif  // NDIRECT_PMU_LINUX
+
+}  // namespace
+
+const char* pmu_event_name(PmuEvent e) {
+  switch (e) {
+    case PmuEvent::kCycles: return "cycles";
+    case PmuEvent::kInstructions: return "instructions";
+    case PmuEvent::kL1DMisses: return "l1d_misses";
+    case PmuEvent::kLLCMisses: return "llc_misses";
+    case PmuEvent::kStalledCycles: return "stalled_cycles";
+  }
+  return "unknown";
+}
+
+PmuSample pmu_delta(const PmuSample& a, const PmuSample& b) {
+  PmuSample d;
+  d.valid = a.valid && b.valid;
+  if (!d.valid) return d;
+  for (int i = 0; i < kPmuEventCount; ++i)
+    d.v[i] = b.v[i] >= a.v[i] ? b.v[i] - a.v[i] : 0;
+  return d;
+}
+
+PmuThreadCounters::~PmuThreadCounters() { close(); }
+
+bool PmuThreadCounters::open() {
+#if NDIRECT_PMU_LINUX
+  if (open_attempted_) return active();
+  open_attempted_ = true;
+  const int leader = open_event(PmuEvent::kCycles, -1);
+  if (leader < 0) return false;  // null backend: paranoid/EPERM/seccomp
+  leader_fd_ = leader;
+  fd_[static_cast<int>(PmuEvent::kCycles)] = leader;
+  for (int i = 1; i < kPmuEventCount; ++i) {
+    // Optional members: an event this kernel/PMU lacks is skipped, not
+    // fatal — its delta stays 0 and event_available() says so.
+    fd_[i] = open_event(static_cast<PmuEvent>(i), leader);
+  }
+  for (int i = 0; i < kPmuEventCount; ++i) {
+    if (fd_[i] >= 0) ioctl(fd_[i], PERF_EVENT_IOC_ID, &id_[i]);
+  }
+  ioctl(leader, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(leader, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+  // A leader that opened but cannot be read (some hardened kernels) is
+  // still a null backend.
+  if (!read().valid) {
+    close();
+    return false;
+  }
+  return true;
+#else
+  open_attempted_ = true;
+  return false;
+#endif
+}
+
+void PmuThreadCounters::close() {
+#if NDIRECT_PMU_LINUX
+  for (int i = 0; i < kPmuEventCount; ++i) {
+    if (fd_[i] >= 0) ::close(fd_[i]);
+    fd_[i] = -1;
+  }
+#endif
+  leader_fd_ = -1;
+}
+
+PmuSample PmuThreadCounters::read() const {
+  PmuSample s;
+#if NDIRECT_PMU_LINUX
+  if (leader_fd_ < 0) return s;
+  // PERF_FORMAT_GROUP|ID layout:
+  //   u64 nr; u64 time_enabled; u64 time_running; {u64 value; u64 id;}[nr]
+  std::uint64_t buf[3 + 2 * kPmuEventCount];
+  const ssize_t n = ::read(leader_fd_, buf, sizeof(buf));
+  if (n < static_cast<ssize_t>(3 * sizeof(std::uint64_t))) return s;
+  const std::uint64_t nr = buf[0];
+  const std::uint64_t enabled = buf[1], running = buf[2];
+  if (3 + 2 * nr > sizeof(buf) / sizeof(buf[0])) return s;
+  for (std::uint64_t c = 0; c < nr; ++c) {
+    const std::uint64_t value = buf[3 + 2 * c];
+    const std::uint64_t id = buf[3 + 2 * c + 1];
+    for (int i = 0; i < kPmuEventCount; ++i) {
+      if (fd_[i] >= 0 && id_[i] == id) {
+        // Multiplex scaling: extrapolate by enabled/running when the
+        // kernel time-shared the PMU among groups.
+        s.v[i] = running > 0 && running < enabled
+                     ? static_cast<std::uint64_t>(
+                           static_cast<double>(value) *
+                           (static_cast<double>(enabled) /
+                            static_cast<double>(running)))
+                     : value;
+        break;
+      }
+    }
+  }
+  s.valid = true;
+#endif
+  return s;
+}
+
+PmuThreadCounters& this_thread_pmu() {
+  thread_local PmuThreadCounters counters;
+  return counters;
+}
+
+int pmu_mode() {
+  return kPmuCompiled ? g_mode.load(std::memory_order_relaxed) : 0;
+}
+
+void set_pmu_mode(int mode) {
+  if (!kPmuCompiled) return;
+  g_mode.store(mode < 0 ? 0 : mode > 2 ? 2 : mode,
+               std::memory_order_relaxed);
+}
+
+bool pmu_available() {
+  // Probed once by opening a real group on the first calling thread:
+  // availability (paranoid level, seccomp, hardware) is process-wide
+  // even though the groups themselves are per thread.
+  static const bool available = [] {
+    if (!kPmuCompiled) return false;
+    PmuThreadCounters probe;
+    const bool ok = probe.open();
+    probe.close();
+    return ok;
+  }();
+  return available;
+}
+
+}  // namespace ndirect

@@ -1,0 +1,133 @@
+// Hardware performance counters (PMU) for the telemetry layer.
+//
+// One perf_event_open group per OS thread — cycles as the leader plus
+// instructions, L1D-read misses, LLC misses and backend-stall cycles as
+// optional members — read with a single group read() so all five values
+// come from the same scheduling interval and can be delta'd across a
+// worker task or an engine phase. Per-thread scoping (pid=0, cpu=-1,
+// no inherit) is what makes the deltas attributable to the pool worker
+// that did the work: the engine reads the calling thread's group at
+// task boundaries and adds the difference into that worker's telemetry
+// slot.
+//
+// Fallback ladder (each step degrades, never fails):
+//   1. full group: all five events counted;
+//   2. optional members that the kernel/PMU rejects (common for
+//      stalled-cycles, or L1D/LLC on partial PMUs) are simply absent —
+//      their deltas read as 0 and event_available() reports them;
+//   3. leader open fails (non-Linux build, perf_event_paranoid,
+//      EPERM/ENOSYS in containers, -DNDIRECT_PMU=OFF): the null
+//      backend — open() returns false, read() returns an invalid
+//      all-zero sample, and every consumer keeps running with zeroed
+//      PMU fields.
+//
+// Gating is two-level, mirroring runtime/telemetry.h:
+//   * compile time — configure with -DNDIRECT_PMU=OFF and the backend
+//     is the null one on every platform (kPmuCompiled = false);
+//   * run time — NDIRECT_PMU: 0/off disables, 1/on (default) collects
+//     per-task deltas, 2/phase additionally attributes L1D misses to
+//     the pack vs compute phases inside the engine's tile loop (extra
+//     group reads around each pack call; measurably more intrusive, so
+//     opt-in). set_pmu_mode() overrides in-process.
+//
+// Values are multiplex-scaled: when the kernel time-shares the PMU
+// (time_running < time_enabled), counts are extrapolated by the
+// enabled/running ratio, the standard perf correction.
+#pragma once
+
+#include <cstdint>
+
+namespace ndirect {
+
+/// Events in the group, in read order. Kept in sync with the
+/// Counter::kPmu* telemetry counters (telemetry.h).
+enum class PmuEvent : int {
+  kCycles = 0,     ///< PERF_COUNT_HW_CPU_CYCLES (group leader)
+  kInstructions,   ///< PERF_COUNT_HW_INSTRUCTIONS
+  kL1DMisses,      ///< L1D read misses (cache event)
+  kLLCMisses,      ///< PERF_COUNT_HW_CACHE_MISSES (LLC)
+  kStalledCycles,  ///< PERF_COUNT_HW_STALLED_CYCLES_BACKEND
+};
+inline constexpr int kPmuEventCount = 5;
+
+/// Stable snake_case name ("cycles", "l1d_misses", ...).
+const char* pmu_event_name(PmuEvent e);
+
+#if defined(NDIRECT_PMU_DISABLED)
+inline constexpr bool kPmuCompiled = false;
+#else
+inline constexpr bool kPmuCompiled = true;
+#endif
+
+/// One scaled reading of the whole group. `valid` is false when the
+/// backend is null (values are then all zero); individual events the
+/// ladder dropped read as 0 within a valid sample.
+struct PmuSample {
+  std::uint64_t v[kPmuEventCount] = {};
+  bool valid = false;
+
+  std::uint64_t value(PmuEvent e) const {
+    return v[static_cast<int>(e)];
+  }
+};
+
+/// Delta b - a per event, saturating at 0 (a multiplex-scaled counter
+/// can regress by rounding). Invalid when either sample is.
+PmuSample pmu_delta(const PmuSample& a, const PmuSample& b);
+
+/// The counter group of one OS thread. Construction is free; open()
+/// performs the perf_event_open ladder and is idempotent. The fds are
+/// closed on destruction (thread exit for the thread_local instance).
+class PmuThreadCounters {
+ public:
+  PmuThreadCounters() = default;
+  ~PmuThreadCounters();
+
+  PmuThreadCounters(const PmuThreadCounters&) = delete;
+  PmuThreadCounters& operator=(const PmuThreadCounters&) = delete;
+
+  /// Open the group on the calling thread (the thread that will be
+  /// measured — the group counts this thread only). Returns active().
+  /// Safe to call repeatedly; later calls are one branch.
+  bool open();
+  void close();
+
+  /// True when the leader opened and reads succeed.
+  bool active() const { return leader_fd_ >= 0; }
+
+  /// True when `e` survived the open ladder (always false when
+  /// !active()).
+  bool event_available(PmuEvent e) const {
+    return fd_[static_cast<int>(e)] >= 0;
+  }
+
+  /// One group read of the calling thread's counters, multiplex-scaled.
+  /// Invalid (all zero) when !active() or the read fails.
+  PmuSample read() const;
+
+ private:
+  int fd_[kPmuEventCount] = {-1, -1, -1, -1, -1};
+  std::uint64_t id_[kPmuEventCount] = {};
+  int leader_fd_ = -1;
+  bool open_attempted_ = false;
+};
+
+/// The calling OS thread's lazily-opened group. Pool workers, graph
+/// runners and the main thread each get their own; the engine calls
+/// this once per worker task. open() is NOT called implicitly — call
+/// sites gate on pmu_mode()/pmu_available() and open explicitly.
+PmuThreadCounters& this_thread_pmu();
+
+/// Runtime mode from NDIRECT_PMU: 0 = off, 1 = per-task deltas
+/// (default), 2 = per-task deltas + per-phase L1D attribution.
+/// Always 0 when compiled out.
+int pmu_mode();
+void set_pmu_mode(int mode);
+
+/// True when a usable group can be opened on this host (probed once by
+/// actually opening and reading one). False on non-Linux, under a
+/// restrictive perf_event_paranoid, in seccomp'd containers, or when
+/// compiled out — the null-backend cases.
+bool pmu_available();
+
+}  // namespace ndirect

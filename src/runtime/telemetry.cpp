@@ -33,6 +33,13 @@ const char* counter_name(Counter c) {
     case Counter::kMicrokernelNs: return "microkernel_ns";
     case Counter::kEpilogueNs: return "epilogue_ns";
     case Counter::kCacheHits: return "cache_hits";
+    case Counter::kPmuCycles: return "pmu_cycles";
+    case Counter::kPmuInstructions: return "pmu_instructions";
+    case Counter::kPmuL1DMisses: return "pmu_l1d_misses";
+    case Counter::kPmuLLCMisses: return "pmu_llc_misses";
+    case Counter::kPmuStalledCycles: return "pmu_stalled_cycles";
+    case Counter::kPmuPackL1DMisses: return "pmu_pack_l1d_misses";
+    case Counter::kPmuMicroL1DMisses: return "pmu_micro_l1d_misses";
   }
   return "unknown";
 }
@@ -126,7 +133,11 @@ std::string TelemetrySnapshot::to_json() const {
     s += "{\"tiles\": " +
          std::to_string(workers[w].value(Counter::kTilesClaimed)) +
          ", \"steals\": " + std::to_string(workers[w].steals()) +
-         ", \"busy\": " + fmt_double(workers[w].busy_seconds()) + "}";
+         ", \"busy\": " + fmt_double(workers[w].busy_seconds()) +
+         ", \"l1d_misses\": " +
+         std::to_string(workers[w].value(Counter::kPmuL1DMisses)) +
+         ", \"llc_misses\": " +
+         std::to_string(workers[w].value(Counter::kPmuLLCMisses)) + "}";
   }
   s += "]}";
   return s;

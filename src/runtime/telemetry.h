@@ -41,8 +41,23 @@ enum class Counter : int {
                        ///< Ndirect store epilogue is folded into the
                        ///< micro-kernel and costs no separate phase)
   kCacheHits,          ///< packed-filter cache hits serving this run
+  // Hardware (PMU) counters, filled from per-thread perf_event_open
+  // group deltas (runtime/perf_counters.h) when NDIRECT_PMU is on and
+  // the host allows it; all zero otherwise. The first five mirror
+  // PmuEvent order and are per-task deltas attributed to the worker
+  // that executed the task.
+  kPmuCycles,          ///< CPU cycles (user space)
+  kPmuInstructions,    ///< retired instructions
+  kPmuL1DMisses,       ///< L1D read misses
+  kPmuLLCMisses,       ///< last-level-cache misses (≈ DRAM lines)
+  kPmuStalledCycles,   ///< backend-stall cycles
+  // Phase attribution (NDIRECT_PMU=2 only): L1D misses split between
+  // the explicit pack phase and everything else (micro-kernel, fused
+  // pack, filter transform) so "is packing hidden?" is measurable.
+  kPmuPackL1DMisses,   ///< L1D misses inside pack_window calls
+  kPmuMicroL1DMisses,  ///< L1D misses in the compute/fused remainder
 };
-inline constexpr int kCounterCount = 9;
+inline constexpr int kCounterCount = 16;
 
 /// Stable snake_case name used in JSON exports and reports.
 const char* counter_name(Counter c);
@@ -86,6 +101,13 @@ struct TelemetrySnapshot {
              value(Counter::kGlobalSteals);
     }
   };
+
+  /// Any hardware-counter data present? (False when the PMU backend is
+  /// null or NDIRECT_PMU=0 — the fields then serialize as zeros.)
+  bool has_pmu() const {
+    return total(Counter::kPmuCycles) > 0 ||
+           total(Counter::kPmuInstructions) > 0;
+  }
 
   std::vector<Worker> workers;
   double wall_seconds = 0;

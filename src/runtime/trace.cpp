@@ -173,6 +173,22 @@ void TraceSession::instant(const char* name) {
   record(ev);
 }
 
+void TraceSession::counter(const char* name, const char* arg1_name,
+                           std::int64_t arg1, const char* arg2_name,
+                           std::int64_t arg2) {
+  if (!trace_on()) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.ph = 'C';
+  ev.ts_ns = now_ns();
+  ev.tid = static_cast<std::uint32_t>(trace_lane());
+  ev.arg1_name = arg1_name;
+  ev.arg1 = arg1;
+  ev.arg2_name = arg2_name;
+  ev.arg2 = arg2;
+  record(ev);
+}
+
 std::size_t TraceSession::size() const {
   return std::min(cursor_.load(std::memory_order_relaxed), ring_.size());
 }

@@ -54,7 +54,8 @@ struct TraceEvent {
   std::uint64_t ts_ns = 0;   ///< since session start
   std::uint64_t dur_ns = 0;  ///< 'X' events only
   std::uint32_t tid = 0;     ///< recording thread's lane id
-  char ph = 'X';             ///< 'X' complete, 'B' begin, 'E' end, 'i' instant
+  char ph = 'X';             ///< 'X' complete, 'B' begin, 'E' end,
+                             ///< 'i' instant, 'C' counter sample
 };
 
 /// Small id for the calling OS thread, stable for the thread's
@@ -98,6 +99,11 @@ class TraceSession {
              std::int64_t arg1 = 0);
   void end(const char* name);
   void instant(const char* name);
+  /// Chrome counter-track sample ('C'): up to two named series under
+  /// one counter name. The engine emits "pmu" counters (l1d/llc miss
+  /// deltas) per worker task when both tracing and the PMU are on.
+  void counter(const char* name, const char* arg1_name, std::int64_t arg1,
+               const char* arg2_name = nullptr, std::int64_t arg2 = 0);
 
   std::size_t size() const;     ///< events recorded (<= capacity)
   std::size_t dropped() const;  ///< events lost to a full ring
