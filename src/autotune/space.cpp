@@ -21,8 +21,9 @@ bool schedule_valid(const Schedule& s, const ConvParams& p, int threads) {
 ScheduleSpace::ScheduleSpace(const ConvParams& p, int threads,
                              std::uint64_t seed)
     : params_(p), threads_(threads < 1 ? 1 : threads), rng_(seed) {
-  for (int v = 4; v <= kMaxVw; v += 4) vw_choices_.push_back(v);
-  for (int v = 4; v <= kMaxVk; v += 4) vk_choices_.push_back(v);
+  // The (vw, vk) gene enumerates the registry's instantiated blocks
+  // (every Eq. 3-feasible pair), in the registry's deterministic order.
+  block_choices_ = microkernel_blocks();
 
   // Power-of-two-ish ladders clipped to the problem bounds.
   for (int t : {1, 2, 4, 8, 16, 32, 64, 128, 256, 512}) {
@@ -46,7 +47,7 @@ ScheduleSpace::ScheduleSpace(const ConvParams& p, int threads,
 }
 
 std::size_t ScheduleSpace::approximate_size() const {
-  return vw_choices_.size() * vk_choices_.size() * tc_choices_.size() *
+  return block_choices_.size() * tc_choices_.size() *
          tk_mult_choices_.size() * th_choices_.size() *
          ptn_choices_.size() * 2;
 }
@@ -57,8 +58,11 @@ Schedule ScheduleSpace::sample_once() {
         rng_)];
   };
   Schedule s;
-  s.vw = pick(vw_choices_);
-  s.vk = pick(vk_choices_);
+  const RegisterBlock& rb =
+      block_choices_[std::uniform_int_distribution<std::size_t>(
+          0, block_choices_.size() - 1)(rng_)];
+  s.vw = rb.vw;
+  s.vk = rb.vk;
   s.tc = pick(tc_choices_);
   s.tk = pick(tk_mult_choices_) * s.vk;
   s.th = pick(th_choices_);
@@ -87,17 +91,19 @@ Schedule ScheduleSpace::mutate(const Schedule& base) {
   for (int attempt = 0; attempt < 256; ++attempt) {
     Schedule s = base;
     const Schedule fresh = sample_once();
-    switch (std::uniform_int_distribution<int>(0, 6)(rng_)) {
-      case 0: s.vw = fresh.vw; break;
-      case 1:
+    switch (std::uniform_int_distribution<int>(0, 5)(rng_)) {
+      case 0:
+        // The register block is one gene: (vw, vk) move together so
+        // every mutation lands on an instantiated kernel.
+        s.vw = fresh.vw;
         s.vk = fresh.vk;
         s.tk = std::max(1, s.tk / s.vk) * s.vk;  // keep divisibility
         break;
-      case 2: s.tc = fresh.tc; break;
-      case 3: s.tk = fresh.tk / fresh.vk * s.vk; break;
-      case 4: s.th = fresh.th; break;
-      case 5: s.ptn = fresh.ptn; break;
-      case 6: s.aot_filter = !s.aot_filter; break;
+      case 1: s.tc = fresh.tc; break;
+      case 2: s.tk = fresh.tk / fresh.vk * s.vk; break;
+      case 3: s.th = fresh.th; break;
+      case 4: s.ptn = fresh.ptn; break;
+      case 5: s.aot_filter = !s.aot_filter; break;
     }
     if (schedule_valid(s, params_, threads_)) return s;
   }
@@ -108,8 +114,10 @@ Schedule ScheduleSpace::crossover(const Schedule& a, const Schedule& b) {
   for (int attempt = 0; attempt < 256; ++attempt) {
     Schedule s;
     auto coin = [&] { return std::bernoulli_distribution(0.5)(rng_); };
-    s.vw = coin() ? a.vw : b.vw;
-    s.vk = coin() ? a.vk : b.vk;
+    // Register block crosses over as one gene (see mutate).
+    const Schedule& rb_parent = coin() ? a : b;
+    s.vw = rb_parent.vw;
+    s.vk = rb_parent.vk;
     s.tc = coin() ? a.tc : b.tc;
     s.tk = (coin() ? a.tk / a.vk : b.tk / b.vk) * s.vk;
     s.th = coin() ? a.th : b.th;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "autotune/schedule.h"
+#include "core/fai.h"
 
 namespace ndirect {
 
@@ -35,8 +36,11 @@ class ScheduleSpace {
   ConvParams params_;
   int threads_;
   std::mt19937_64 rng_;
-  std::vector<int> vw_choices_;
-  std::vector<int> vk_choices_;
+  /// (vw, vk) sampled jointly from the micro-kernel policy registry, so
+  /// the tuner searches exactly the blocks that have specialized
+  /// kernels instead of the raw multiples-of-4 grid (most of which
+  /// would silently run generic).
+  std::vector<RegisterBlock> block_choices_;
   std::vector<int> tc_choices_;
   std::vector<int> tk_mult_choices_;  ///< tk = mult * vk
   std::vector<int> th_choices_;

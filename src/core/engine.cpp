@@ -227,15 +227,26 @@ void run_nest(const ConvParams& p, const NdirectPlan& plan,
   const bool stride_compact = p.S == 1 && p.str > 1;
   const int kstr = stride_compact ? 1 : p.str;
 
-  // Kernel selection: the fully unrolled Algorithm 3 form when this
-  // (block, S, stride) is instantiated, else the runtime-S specialized
-  // form, else the generic kernel.
-  ComputeKernelFn compute_fn = nullptr;
-  FusedKernelFn fused_fn = nullptr;
+  // Kernel resolution, once per conv rather than per tile: the fully
+  // unrolled policy pair when this (block, S, stride) is instantiated —
+  // interior store for full tiles, masked-edge store for ragged ones —
+  // else the runtime-S specialized block, else the generic kernel
+  // (every generic invocation is counted in Counter::kGenericFallback
+  // so un-specialized convs show up in telemetry and ConvReport).
+  //
+  // Ragged W tiles run a narrower block (wn rounded up to a vector
+  // multiple) instead of the full vw tile; computing the full tile
+  // would waste (vw - wn)/vw of its arithmetic, which is decisive when
+  // Q is small (e.g. Q=14 under vw=12 wastes 10/24) — so the W tail
+  // gets its own resolution. A narrower block never loses feasibility
+  // (Eq. 3 cost is monotone in vw), so the tail resolves at least as
+  // specialized as the main block.
+  KernelResolution main_k, tail_k;
+  const int q_tail = Q % vw;
+  const int vw_tail = q_tail == 0 ? 0 : std::min(vw, (q_tail + 3) / 4 * 4);
   if (!opts.generic_kernel_only) {
-    compute_fn = find_unrolled_kernel(vw, vk, p.S, kstr);
-    if (compute_fn == nullptr) compute_fn = find_compute_kernel(vw, vk);
-    fused_fn = find_fused_kernel(vw, vk);
+    main_k = resolve_kernel(vw, vk, p.S, kstr);
+    if (q_tail > 0) tail_k = resolve_kernel(vw_tail, vk, p.S, kstr);
   }
 
   ThreadPool& pool =
@@ -271,6 +282,9 @@ void run_nest(const ConvParams& p, const NdirectPlan& plan,
     // Phase-time accumulators, flushed to this worker's telemetry slot
     // once at task end (no shared writes inside the tile loop).
     std::uint64_t pack_ns = 0, transform_ns = 0, micro_ns = 0;
+    // Micro-kernel invocations that fell through to the generic
+    // runtime-loop kernel (un-specialized block).
+    std::uint64_t generic_calls = 0;
     // PMU: one group read at task start/end gives this worker's
     // hardware-counter deltas (the task runs on exactly one OS thread,
     // whose thread-local group scopes the counts to it). pack_l1d is
@@ -424,46 +438,36 @@ void run_nest(const ConvParams& p, const NdirectPlan& plan,
                 a.accumulate = !first_c;
                 a.relu = last_c && epi.relu;
 
-                // Ragged W tiles run a narrower specialized kernel (wn
-                // rounded up to a vector multiple) instead of the full
-                // vw tile; computing the full tile would waste
-                // (vw - wn)/vw of its arithmetic, which is decisive
-                // when Q is small (e.g. Q=14 under vw=12 wastes 10/24).
+                // Dispatch against the per-conv resolution: interior
+                // when the tile fills its resolved block (the W tail
+                // uses the narrower vw_tail block, so its full tiles
+                // are interior too), masked-edge otherwise. Both slots
+                // are non-null for any registered block; the generic
+                // fallback only fires for blocks outside the registry.
                 const bool full_w = wn == vw;
-                const int vw_tail = std::min(vw, (wn + 3) / 4 * 4);
-                ComputeKernelFn tail_fn =
-                    full_w || opts.generic_kernel_only
-                        ? nullptr
-                        : find_compute_kernel(vw_tail, vk);
-                FusedKernelFn tail_fused_fn =
-                    full_w || opts.generic_kernel_only
-                        ? nullptr
-                        : find_fused_kernel(vw_tail, vk);
+                const KernelResolution& kres = full_w ? main_k : tail_k;
+                const int rvw = full_w ? vw : vw_tail;
 
                 const auto call_compute = [&](const MicroArgs& args) {
-                  if (full_w) {
-                    if (compute_fn != nullptr) {
-                      compute_fn(args);
-                    } else {
-                      compute_kernel_generic(args, vw, vk);
-                    }
-                  } else if (tail_fn != nullptr) {
-                    tail_fn(args);
+                  const ComputeKernelFn fn =
+                      args.wn == rvw && args.kn == vk ? kres.interior
+                                                      : kres.edge;
+                  if (fn != nullptr) {
+                    fn(args);
                   } else {
-                    compute_kernel_generic(args, wn, vk);
+                    ++generic_calls;
+                    compute_kernel_generic(args, full_w ? vw : wn, vk);
                   }
                 };
                 const auto call_fused = [&](const MicroArgs& args) {
-                  if (full_w) {
-                    if (fused_fn != nullptr) {
-                      fused_fn(args, g);
-                    } else {
-                      fused_kernel_generic(args, g, vw, vk);
-                    }
-                  } else if (tail_fused_fn != nullptr) {
-                    tail_fused_fn(args, g);
+                  const FusedKernelFn fn =
+                      args.wn == rvw && args.kn == vk ? kres.interior_fused
+                                                      : kres.edge_fused;
+                  if (fn != nullptr) {
+                    fn(args, g);
                   } else {
-                    fused_kernel_generic(args, g, wn, vk);
+                    ++generic_calls;
+                    fused_kernel_generic(args, g, full_w ? vw : wn, vk);
                   }
                 };
 
@@ -548,6 +552,7 @@ void run_nest(const ConvParams& p, const NdirectPlan& plan,
       tel.add(w, Counter::kPackNs, pack_ns);
       tel.add(w, Counter::kTransformNs, transform_ns);
       tel.add(w, Counter::kMicrokernelNs, micro_ns);
+      tel.add(w, Counter::kGenericFallback, generic_calls);
       if (pc != nullptr) {
         const PmuSample d = pmu_delta(pmu_t0, pc->read());
         if (d.valid) {

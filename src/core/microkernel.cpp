@@ -1,115 +1,18 @@
 #include "core/microkernel.h"
 
-#include <cstring>
 #include <utility>
 
+#include "core/microkernel_generator.h"
 #include "simd/vec128.h"
 
 namespace ndirect {
 namespace {
 
-// Gather one (c, ih) input row segment of `packw` elements into `dst`,
-// zero-filling where the window hangs over the (padded) border. The
-// segment is contiguous in the input row for any stride, because the
-// micro-kernel indexes the buffer as brow[w*str + s].
-inline void pack_row(float* dst, const PackGeometry& g, int c, int ih,
-                     int packw) {
-  if (ih < 0 || ih >= g.H) {
-    std::memset(dst, 0, sizeof(float) * static_cast<std::size_t>(packw));
-    return;
-  }
-  const float* row = g.src + c * g.chan_stride +
-                     static_cast<std::int64_t>(ih) * g.row_stride;
-  int t = 0;
-  while (t < packw && g.iw0 + t * g.iw_step < 0) dst[t++] = 0.0f;
-  int t_hi = packw;
-  while (t_hi > t && g.iw0 + (t_hi - 1) * g.iw_step >= g.W) --t_hi;
-  if (g.col_stride == 1 && g.iw_step == 1) {
-    if (t_hi > t) {
-      std::memcpy(dst + t, row + g.iw0 + t,
-                  sizeof(float) * static_cast<std::size_t>(t_hi - t));
-    }
-  } else {
-    for (int u = t; u < t_hi; ++u) {
-      dst[u] = row[(g.iw0 + u * g.iw_step) * g.col_stride];
-    }
-  }
-  for (int u = t_hi; u < packw; ++u) dst[u] = 0.0f;
-}
-
-// Write a vw x vk accumulator tile to the output tensor. The fast paths
-// need wn == vw and kn == vk; NCHW uses 4x4 in-register transposes to
-// turn the K-vectorized accumulators into W-contiguous stores.
-template <int VW, int VKV>
-inline void store_tile(const MicroArgs& a, vec128f acc[VW][VKV]) {
-  constexpr int VK = VKV * 4;
-  const vec128f zero = vzero();
-  if (a.wn == VW && a.kn == VK) {
-    if (a.out_w_stride == 1) {  // NCHW
-      for (int j = 0; j < VKV; ++j) {
-        for (int w0 = 0; w0 < VW; w0 += 4) {
-          vec128f r0 = acc[w0 + 0][j], r1 = acc[w0 + 1][j],
-                  r2 = acc[w0 + 2][j], r3 = acc[w0 + 3][j];
-          vtranspose4x4(r0, r1, r2, r3);
-          float* o0 = a.out + (4 * j + 0) * a.out_k_stride + w0;
-          float* o1 = a.out + (4 * j + 1) * a.out_k_stride + w0;
-          float* o2 = a.out + (4 * j + 2) * a.out_k_stride + w0;
-          float* o3 = a.out + (4 * j + 3) * a.out_k_stride + w0;
-          if (a.accumulate) {
-            r0 = vadd(r0, vload(o0));
-            r1 = vadd(r1, vload(o1));
-            r2 = vadd(r2, vload(o2));
-            r3 = vadd(r3, vload(o3));
-          }
-          if (a.bias != nullptr) {
-            // After the transpose each row holds one output channel.
-            r0 = vadd(r0, vdup(a.bias[4 * j + 0]));
-            r1 = vadd(r1, vdup(a.bias[4 * j + 1]));
-            r2 = vadd(r2, vdup(a.bias[4 * j + 2]));
-            r3 = vadd(r3, vdup(a.bias[4 * j + 3]));
-          }
-          if (a.relu) {
-            r0 = vmax(r0, zero);
-            r1 = vmax(r1, zero);
-            r2 = vmax(r2, zero);
-            r3 = vmax(r3, zero);
-          }
-          vstore(o0, r0);
-          vstore(o1, r1);
-          vstore(o2, r2);
-          vstore(o3, r3);
-        }
-      }
-    } else {  // NHWC: K is contiguous (out_k_stride == 1)
-      for (int w = 0; w < VW; ++w) {
-        float* o = a.out + w * a.out_w_stride;
-        for (int j = 0; j < VKV; ++j) {
-          vec128f v = acc[w][j];
-          if (a.accumulate) v = vadd(v, vload(o + 4 * j));
-          if (a.bias != nullptr) v = vadd(v, vload(a.bias + 4 * j));
-          if (a.relu) v = vmax(v, zero);
-          vstore(o + 4 * j, v);
-        }
-      }
-    }
-    return;
-  }
-  // Ragged tile: dump to a local array, then scalar-copy the valid part.
-  float tile[VW][VK];
-  for (int w = 0; w < VW; ++w) {
-    for (int j = 0; j < VKV; ++j) vstore(&tile[w][4 * j], acc[w][j]);
-  }
-  for (int w = 0; w < a.wn; ++w) {
-    for (int k = 0; k < a.kn; ++k) {
-      float* o = a.out + k * a.out_k_stride + w * a.out_w_stride;
-      float v = a.accumulate ? *o + tile[w][k] : tile[w][k];
-      if (a.bias != nullptr) v += a.bias[k];
-      if (a.relu && v < 0.0f) v = 0.0f;
-      *o = v;
-    }
-  }
-}
-
+// Runtime-S/stride specialized kernels: compile-time block, runtime
+// kernel-width loops. These cover feasible blocks whose (S, str) has no
+// unrolled policy (S outside {1, 3, 5, 7} or stride > 2); their stores
+// go through the same interior/edge paths as the policy kernels, so
+// ragged tiles stay vectorized here too.
 template <int VW, int VKV>
 void compute_kernel(const MicroArgs& a) {
   constexpr int VK = VKV * 4;
@@ -134,14 +37,14 @@ void compute_kernel(const MicroArgs& a) {
       }
     }
   }
-  store_tile<VW, VKV>(a, acc);
+  if (a.wn == VW && a.kn == VK) {
+    detail::store_tile_interior<VW, VKV>(a, acc);
+  } else {
+    detail::store_tile_edge<VW, VKV>(a, acc);
+  }
 }
 
-// Fused packing + first-kv compute (Section 5.3): every gathered row is
-// stored to the pack buffer and consumed by FMAs in the same pass, so
-// packing stores retire behind the FMAs (the paper's "st immediately
-// after FMA" arrangement, realized at row granularity) and loops L7 > 0
-// find the whole window L1-resident.
+// Fused packing + first-kv compute (Section 5.3), runtime-S form.
 template <int VW, int VKV>
 void fused_kernel(const MicroArgs& a, const PackGeometry& g) {
   constexpr int VK = VKV * 4;
@@ -154,7 +57,7 @@ void fused_kernel(const MicroArgs& a, const PackGeometry& g) {
     const float* fc = a.ftile + c * a.f_c_stride;
     for (int r = 0; r < a.R; ++r) {
       float* brow = brows + r * a.pack_r_stride;
-      pack_row(brow, g, c, g.ih0 + r, a.packw);
+      detail::pack_row(brow, g, c, g.ih0 + r, a.packw);
       const float* frow = fc + static_cast<std::int64_t>(r) * a.S * VK;
       for (int s = 0; s < a.S; ++s) {
         vec128f f[VKV];
@@ -167,66 +70,60 @@ void fused_kernel(const MicroArgs& a, const PackGeometry& g) {
       }
     }
   }
-  store_tile<VW, VKV>(a, acc);
-}
-
-// ---------------------------------------------------------------------------
-// Fully unrolled Algorithm 3 kernel
-// ---------------------------------------------------------------------------
-
-// One lane-indexed FMA tap: acc[j] += x[I/4][lane I%4] * f[j]. I is the
-// compile-time index of the input element (w*STR + s) within the
-// preloaded window registers.
-template <int I, int XV, int VKV>
-inline void lane_fma_tap(vec128f (&acc)[VKV], const vec128f (&x)[XV],
-                         const vec128f (&f)[VKV]) {
-  static_assert(I / 4 < XV);
-  for (int j = 0; j < VKV; ++j) {
-    acc[j] = vfma_lane<I % 4>(acc[j], x[I / 4], f[j]);
+  if (a.wn == VW && a.kn == VK) {
+    detail::store_tile_interior<VW, VKV>(a, acc);
+  } else {
+    detail::store_tile_edge<VW, VKV>(a, acc);
   }
 }
 
-// Process one (c, r) row pair: preload the packed input row into XV
-// vector registers, then for each kernel tap s (unrolled) load the Vk
-// filter vector and update all VW accumulators via lane FMAs.
-template <int VW, int VKV, int S, int STR>
-inline void cr_compute_unrolled(vec128f (&acc)[VW][VKV], const float* brow,
-                                const float* frow) {
-  constexpr int VK = VKV * 4;
-  constexpr int PACKW = (VW - 1) * STR + S;
-  constexpr int XV = (PACKW + 3) / 4;
-  vec128f x[XV];
-  for (int t = 0; t < XV; ++t) x[t] = vload(brow + 4 * t);
+// Runtime-S dispatch table, generated from the same Eq. 3 predicate as
+// the policy registry (S = 1 gives the union over all kernel widths:
+// the input-row register cost only grows with S).
+struct RuntimeEntry {
+  int vw = 0;
+  int vk = 0;
+  ComputeKernelFn compute = nullptr;
+  FusedKernelFn fused = nullptr;
+};
 
-  [&]<int... Ss>(std::integer_sequence<int, Ss...>) {
-    (([&] {
-       constexpr int s = Ss;
-       vec128f f[VKV];
-       for (int j = 0; j < VKV; ++j) f[j] = vload(frow + s * VK + 4 * j);
-       [&]<int... Ws>(std::integer_sequence<int, Ws...>) {
-         (lane_fma_tap<Ws * STR + s, XV, VKV>(acc[Ws], x, f), ...);
-       }(std::make_integer_sequence<int, VW>{});
-     }()),
-     ...);
-  }(std::make_integer_sequence<int, S>{});
+template <int VW, int VK, typename Table>
+constexpr void emit_runtime_block(Table& table, std::size_t& i) {
+  if constexpr (kernel_block_feasible(VW, VK, 1)) {
+    table[i++] = RuntimeEntry{VW, VK, &compute_kernel<VW, VK / 4>,
+                              &fused_kernel<VW, VK / 4>};
+  }
 }
 
-template <int VW, int VKV, int S, int STR>
-void compute_kernel_unrolled(const MicroArgs& a) {
-  vec128f acc[VW][VKV];
-  for (int w = 0; w < VW; ++w) {
-    for (int j = 0; j < VKV; ++j) acc[w][j] = vzero();
-  }
-  for (int c = 0; c < a.tc; ++c) {
-    const float* brows = a.pack + c * a.pack_c_stride;
-    const float* fc = a.ftile + c * a.f_c_stride;
-    for (int r = 0; r < a.R; ++r) {
-      cr_compute_unrolled<VW, VKV, S, STR>(
-          acc, brows + r * a.pack_r_stride,
-          fc + static_cast<std::int64_t>(r) * S * VKV * 4);
+template <int VW, typename Table>
+constexpr void emit_runtime_row(Table& table, std::size_t& i) {
+  [&]<int... Ks>(std::integer_sequence<int, Ks...>) {
+    (emit_runtime_block<VW, (Ks + 1) * 4>(table, i), ...);
+  }(std::make_integer_sequence<int, kMaxVk / 4>{});
+}
+
+constexpr auto build_runtime_table() {
+  std::array<RuntimeEntry,
+             static_cast<std::size_t>(detail::policy_block_count(1))>
+      table{};
+  std::size_t i = 0;
+  [&]<int... Ws>(std::integer_sequence<int, Ws...>) {
+    (emit_runtime_row<(Ws + 1) * 4>(table, i), ...);
+  }(std::make_integer_sequence<int, kMaxVw / 4>{});
+  return table;
+}
+
+constexpr auto kRuntimeTable = build_runtime_table();
+
+const KernelEntry* find_policy(int vw, int vk, int S, int str,
+                               TailMode tail) {
+  for (const KernelEntry& e : kernel_registry()) {
+    if (e.vw == vw && e.vk == vk && e.S == S && e.str == str &&
+        e.tail == tail) {
+      return &e;
     }
   }
-  store_tile<VW, VKV>(a, acc);
+  return nullptr;
 }
 
 }  // namespace
@@ -235,8 +132,8 @@ void pack_window(float* pack, const PackGeometry& geom, int tc, int R,
                  int packw) {
   for (int c = 0; c < tc; ++c) {
     for (int r = 0; r < R; ++r) {
-      pack_row(pack + (static_cast<std::int64_t>(c) * R + r) * packw, geom,
-               c, geom.ih0 + r, packw);
+      detail::pack_row(pack + (static_cast<std::int64_t>(c) * R + r) * packw,
+                       geom, c, geom.ih0 + r, packw);
     }
   }
 }
@@ -264,7 +161,9 @@ void compute_kernel_generic(const MicroArgs& a, int vw, int vk) {
       }
     }
   }
-  // Store via the scalar path of store_tile by reusing its ragged logic.
+  // Scalar spill-and-copy store: the generic kernel is the last-resort
+  // path for blocks outside the registry, so it keeps the simplest
+  // correct store rather than the vectorized interior/edge pair.
   float tile[kMaxVw][kMaxVk];
   for (int w = 0; w < vw; ++w) {
     for (int j = 0; j < vkv; ++j) vstore(&tile[w][4 * j], acc[w][j]);
@@ -286,49 +185,88 @@ void fused_kernel_generic(const MicroArgs& a, const PackGeometry& geom,
   compute_kernel_generic(a, vw, vk);
 }
 
-#define NDIRECT_KERNEL_LIST(X) \
-  X(4, 1) X(4, 2) X(4, 3) X(4, 4) X(4, 5) X(4, 6) \
-  X(8, 1) X(8, 2) X(8, 3) \
-  X(12, 1) X(12, 2) \
-  X(16, 1) X(20, 1) X(24, 1)
-
-// Unrolled-kernel instantiations: the Eq. 3/4 solutions for the kernel
-// widths of Table 4 (S=1 -> 8x12, S=3 -> 12x8, S=7 -> 20x4), each for
-// stride 1 and 2, plus the 12x8 block for S=1 (forced-block ablations).
-#define NDIRECT_UNROLLED_LIST(X) \
-  X(8, 3, 1, 1) X(8, 3, 1, 2)    \
-  X(12, 2, 1, 1) X(12, 2, 1, 2)  \
-  X(12, 2, 3, 1) X(12, 2, 3, 2)  \
-  X(24, 1, 5, 1) X(24, 1, 5, 2)  \
-  X(20, 1, 7, 1) X(20, 1, 7, 2)
-
-ComputeKernelFn find_unrolled_kernel(int vw, int vk, int S, int str) {
-#define NDIRECT_DISPATCH_UNROLLED(VW, VKV, KS, STR)                       \
-  if (vw == (VW) && vk == (VKV) * 4 && S == (KS) && str == (STR))         \
-    return &compute_kernel_unrolled<VW, VKV, KS, STR>;
-  NDIRECT_UNROLLED_LIST(NDIRECT_DISPATCH_UNROLLED)
-#undef NDIRECT_DISPATCH_UNROLLED
-  return nullptr;
+const std::vector<KernelEntry>& kernel_registry() {
+  static const std::vector<KernelEntry> registry = [] {
+    std::vector<KernelEntry> all;
+    for (const detail::PolicySpan span :
+         {detail::policy_entries_s1(), detail::policy_entries_s3(),
+          detail::policy_entries_s5(), detail::policy_entries_s7()}) {
+      all.insert(all.end(), span.data, span.data + span.size);
+    }
+    return all;
+  }();
+  return registry;
 }
 
-#undef NDIRECT_UNROLLED_LIST
+const std::vector<RegisterBlock>& microkernel_blocks() {
+  static const std::vector<RegisterBlock> blocks = [] {
+    std::vector<RegisterBlock> v;
+    v.reserve(kRuntimeTable.size());
+    for (const RuntimeEntry& e : kRuntimeTable) v.push_back({e.vw, e.vk});
+    return v;
+  }();
+  return blocks;
+}
+
+const char* kernel_class_name(KernelClass cls) {
+  switch (cls) {
+    case KernelClass::kUnrolled: return "unrolled";
+    case KernelClass::kSpecialized: return "specialized";
+    case KernelClass::kGeneric: return "generic";
+  }
+  return "?";
+}
+
+KernelResolution resolve_kernel(int vw, int vk, int S, int str) {
+  KernelResolution r;
+  if (const KernelEntry* in = find_policy(vw, vk, S, str, TailMode::kInterior);
+      in != nullptr) {
+    const KernelEntry* ed = find_policy(vw, vk, S, str, TailMode::kEdge);
+    r.interior = in->compute;
+    r.interior_fused = in->fused;
+    r.edge = ed->compute;
+    r.edge_fused = ed->fused;
+    r.cls = KernelClass::kUnrolled;
+    r.reason = "";
+    return r;
+  }
+  if (ComputeKernelFn fn = find_compute_kernel(vw, vk); fn != nullptr) {
+    // The runtime-S kernel branches interior/edge internally, so it
+    // serves both dispatch slots.
+    r.interior = r.edge = fn;
+    r.interior_fused = r.edge_fused = find_fused_kernel(vw, vk);
+    r.cls = KernelClass::kSpecialized;
+    if (str != 1 && str != 2) {
+      r.reason = "stride outside the unrolled set {1, 2}";
+    } else if (S != 1 && S != 3 && S != 5 && S != 7) {
+      r.reason = "kernel width S outside the unrolled set {1, 3, 5, 7}";
+    } else {
+      r.reason = "block exceeds the Eq. 3 budget at this kernel width";
+    }
+    return r;
+  }
+  r.cls = KernelClass::kGeneric;
+  r.reason = "block (vw, vk) outside the Eq. 3 feasible registry";
+  return r;
+}
+
+ComputeKernelFn find_unrolled_kernel(int vw, int vk, int S, int str) {
+  const KernelEntry* e = find_policy(vw, vk, S, str, TailMode::kInterior);
+  return e != nullptr ? e->compute : nullptr;
+}
 
 ComputeKernelFn find_compute_kernel(int vw, int vk) {
-#define NDIRECT_DISPATCH_COMPUTE(VW, VKV) \
-  if (vw == (VW) && vk == (VKV) * 4) return &compute_kernel<VW, VKV>;
-  NDIRECT_KERNEL_LIST(NDIRECT_DISPATCH_COMPUTE)
-#undef NDIRECT_DISPATCH_COMPUTE
+  for (const RuntimeEntry& e : kRuntimeTable) {
+    if (e.vw == vw && e.vk == vk) return e.compute;
+  }
   return nullptr;
 }
 
 FusedKernelFn find_fused_kernel(int vw, int vk) {
-#define NDIRECT_DISPATCH_FUSED(VW, VKV) \
-  if (vw == (VW) && vk == (VKV) * 4) return &fused_kernel<VW, VKV>;
-  NDIRECT_KERNEL_LIST(NDIRECT_DISPATCH_FUSED)
-#undef NDIRECT_DISPATCH_FUSED
+  for (const RuntimeEntry& e : kRuntimeTable) {
+    if (e.vw == vw && e.vk == vk) return e.fused;
+  }
   return nullptr;
 }
-
-#undef NDIRECT_KERNEL_LIST
 
 }  // namespace ndirect

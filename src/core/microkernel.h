@@ -16,9 +16,22 @@
 // first kv iteration's FMAs (Section 5.3): each gathered row is stored
 // to the buffer and immediately consumed, so the packing latency hides
 // behind the compute and later kv iterations hit the L1-resident buffer.
+//
+// Kernel instantiations come from a compile-time *policy registry*
+// rather than hand-enumerated macro lists: a policy is the tuple
+// (Vw, Vk, S, stride, tail-mode), a single generator template
+// (core/microkernel_generator.h) expands the fully-unrolled Algorithm 3
+// body per policy, and a constexpr table instantiates every block that
+// satisfies the Eq. 3 register budget for S in {1, 3, 5, 7} and stride
+// in {1, 2} — in both an interior (branch-free full-tile store) and an
+// edge (masked partial-lane store) variant, so ragged tile borders stay
+// vectorized instead of falling back to scalar stores.
 #pragma once
 
 #include <cstdint>
+#include <vector>
+
+#include "core/fai.h"
 
 namespace ndirect {
 
@@ -80,11 +93,78 @@ inline constexpr int kMaxVk = 24;
 using ComputeKernelFn = void (*)(const MicroArgs&);
 using FusedKernelFn = void (*)(const MicroArgs&, const PackGeometry&);
 
+/// Compile-time mirror of register_block_feasible() for the paper's
+/// FP32 / 128-bit / 32-register instantiation (Eq. 3 with lanes = 4):
+/// the predicate the policy registry is generated from. A test
+/// cross-checks it against the runtime fai.h solver.
+constexpr bool kernel_block_feasible(int vw, int vk, int S) {
+  if (vw < 4 || vw > kMaxVw || vk < 4 || vk > kMaxVk) return false;
+  if (vw % 4 != 0 || vk % 4 != 0) return false;
+  // ceil((vw+S-1)/4) input regs + vk/4 filter regs + vw*vk/4 accumulators
+  // must fit the 32 NEON registers.
+  return (vw + S - 1 + 3) / 4 + vk / 4 + vw * vk / 4 <= 32;
+}
+
+/// How a policy kernel stores its tile.
+enum class TailMode : std::uint8_t {
+  kInterior,  ///< requires wn == Vw and kn == Vk; branch-free full store
+  kEdge,      ///< any wn <= Vw, kn <= Vk; masked partial-lane stores
+};
+
+/// One instantiated policy: the (Vw, Vk, S, stride, tail-mode) tuple and
+/// the generated compute / fused-pack-compute entry points.
+struct KernelEntry {
+  int vw = 0;
+  int vk = 0;
+  int S = 0;
+  int str = 0;
+  TailMode tail = TailMode::kInterior;
+  ComputeKernelFn compute = nullptr;
+  FusedKernelFn fused = nullptr;
+};
+
+/// Every instantiated policy: each Eq. 3-feasible block x S in
+/// {1, 3, 5, 7} x stride in {1, 2} x {interior, edge}. Deterministic
+/// order (S, then vw, then vk, then stride, then tail mode).
+const std::vector<KernelEntry>& kernel_registry();
+
+/// The distinct (vw, vk) blocks present in the registry — the real
+/// instantiation space the auto-tuner should search.
+const std::vector<RegisterBlock>& microkernel_blocks();
+
+/// How a convolution's (block, S, stride) resolved against the registry.
+enum class KernelClass : std::uint8_t {
+  kUnrolled,     ///< fully unrolled policy kernels (interior + edge)
+  kSpecialized,  ///< compile-time block, runtime S/stride loops
+  kGeneric,      ///< runtime-loop fallback — counted in telemetry
+};
+
+const char* kernel_class_name(KernelClass cls);
+
+/// Per-conv kernel resolution: the engine calls this once per (block,
+/// S, stride) — not per tile — and dispatches tiles to `interior` when
+/// the tile is full (wn == vw, kn == vk) and to `edge` otherwise. For
+/// kSpecialized both slots hold the same runtime-S kernel (it branches
+/// internally); for kGeneric all slots are nullptr and the caller must
+/// use compute_kernel_generic (and count the fallback). `reason` says
+/// why the resolution fell short of kUnrolled ("" when it didn't).
+struct KernelResolution {
+  ComputeKernelFn interior = nullptr;
+  ComputeKernelFn edge = nullptr;
+  FusedKernelFn interior_fused = nullptr;
+  FusedKernelFn edge_fused = nullptr;
+  KernelClass cls = KernelClass::kGeneric;
+  const char* reason = "";
+};
+
+KernelResolution resolve_kernel(int vw, int vk, int S, int str);
+
 /// Fully unrolled Algorithm 3 kernel: compile-time Vw, Vk, S and stride.
 /// The input window is preloaded into ceil(packw/4) vector registers and
 /// every (w, s) tap becomes one lane-indexed FMA, exactly as lines 3-14
-/// of Algorithm 3 arrange it. Instantiated for the register blocks and
-/// kernel widths appearing in Table 4; nullptr otherwise.
+/// of Algorithm 3 arrange it. Returns the registry's interior-store
+/// policy for the tuple, or nullptr when it is not instantiated (block
+/// infeasible under Eq. 3, S outside {1, 3, 5, 7}, or stride > 2).
 /// NOTE: reads the pack buffer in whole vectors, so rows must be
 /// readable up to the next multiple of 4 floats (the engine allocates
 /// the buffer with that slack).
@@ -99,7 +179,9 @@ ComputeKernelFn find_compute_kernel(int vw, int vk);
 FusedKernelFn find_fused_kernel(int vw, int vk);
 
 /// Runtime-parameterized kernels (any vw <= kMaxVw, vk <= kMaxVk,
-/// vk % 4 == 0). Used for ragged tiles and by the auto-tuner.
+/// vk % 4 == 0). Last-resort fallback for blocks outside the registry
+/// (scalar ragged stores); every invocation the engine makes of these
+/// is counted in Counter::kGenericFallback.
 void compute_kernel_generic(const MicroArgs& args, int vw, int vk);
 void fused_kernel_generic(const MicroArgs& args, const PackGeometry& geom,
                           int vw, int vk);

@@ -1,0 +1,15 @@
+// Policy registry slice for kernel width S = 1 (1x1 convolutions and
+// stride-compacted pointwise layers). Each kernel width compiles in its
+// own translation unit so the full instantiation set builds in parallel.
+#include "core/microkernel_generator.h"
+
+namespace ndirect {
+namespace detail {
+namespace {
+constexpr auto kTable = build_policy_table<1>();
+}  // namespace
+
+PolicySpan policy_entries_s1() { return {kTable.data(), kTable.size()}; }
+
+}  // namespace detail
+}  // namespace ndirect

@@ -1,0 +1,14 @@
+// Policy registry slice for kernel width S = 3 (the paper's headline
+// case: ResNet/VGG 3x3 layers, Table 4's Vw=12, Vk=8 block).
+#include "core/microkernel_generator.h"
+
+namespace ndirect {
+namespace detail {
+namespace {
+constexpr auto kTable = build_policy_table<3>();
+}  // namespace
+
+PolicySpan policy_entries_s3() { return {kTable.data(), kTable.size()}; }
+
+}  // namespace detail
+}  // namespace ndirect

@@ -1,0 +1,14 @@
+// Policy registry slice for kernel width S = 5 (Inception-style 5x5
+// layers and the 5-tap rows of larger stem kernels).
+#include "core/microkernel_generator.h"
+
+namespace ndirect {
+namespace detail {
+namespace {
+constexpr auto kTable = build_policy_table<5>();
+}  // namespace
+
+PolicySpan policy_entries_s5() { return {kTable.data(), kTable.size()}; }
+
+}  // namespace detail
+}  // namespace ndirect

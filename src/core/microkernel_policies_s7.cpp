@@ -1,0 +1,15 @@
+// Policy registry slice for kernel width S = 7 (ResNet's 7x7 stride-2
+// stem). The widest blocks drop out here: (24, 4) and (4, 24) exceed
+// the Eq. 3 budget once the input row needs ceil((vw+6)/4) registers.
+#include "core/microkernel_generator.h"
+
+namespace ndirect {
+namespace detail {
+namespace {
+constexpr auto kTable = build_policy_table<7>();
+}  // namespace
+
+PolicySpan policy_entries_s7() { return {kTable.data(), kTable.size()}; }
+
+}  // namespace detail
+}  // namespace ndirect

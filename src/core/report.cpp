@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "core/microkernel.h"
 #include "core/threading.h"
 
 namespace ndirect {
@@ -56,6 +57,21 @@ ConvReport build_conv_report(const NdirectConv& conv,
   r.ptn_star = ptn_continuous(exec, plan.alpha);
   for (int ptn = 1; ptn <= std::max(1, threads); ++ptn)
     r.best_fai = std::max(r.best_fai, thread_fai(exec, plan.alpha, ptn));
+
+  // Kernel resolution: mirror the engine's once-per-conv resolve (same
+  // stride compaction rule) so the report names the class the tiles
+  // actually dispatched to.
+  const int kstr = exec.S == 1 && exec.str > 1 ? 1 : exec.str;
+  if (conv.options().generic_kernel_only) {
+    r.kernel_class = "generic (forced)";
+    r.kernel_reason = "NdirectOptions::generic_kernel_only";
+  } else {
+    const KernelResolution kres =
+        resolve_kernel(plan.rb.vw, plan.rb.vk, exec.S, kstr);
+    r.kernel_class = kernel_class_name(kres.cls);
+    r.kernel_reason = kres.reason;
+  }
+  r.generic_fallback = telemetry.total(Counter::kGenericFallback);
 
   r.tiles = telemetry.total(Counter::kTilesClaimed);
   r.local_steals = telemetry.total(Counter::kLocalSteals);
@@ -126,6 +142,20 @@ ConvReport build_conv_report(const NdirectConv& conv,
                              static_cast<double>(r.tiles)) +
         "% of tiles: the seed slices are ragged for this shape; the "
         "static Eq. 5/6 split would have idled here");
+  }
+  if (r.generic_fallback > 0) {
+    r.diagnoses.push_back(
+        std::to_string(r.generic_fallback) +
+        " micro-kernel calls fell back to the generic runtime-loop "
+        "kernel (" + r.kernel_reason +
+        "): those tiles pay runtime loops and scalar stores — add the "
+        "block to the policy registry (core/microkernel_generator.h)");
+  } else if (r.kernel_class == "specialized") {
+    r.diagnoses.push_back(
+        "conv runs un-unrolled (" + r.kernel_reason +
+        "): tiles use the runtime-S specialized kernel; instantiating "
+        "this (S, stride) in the policy registry would unlock the "
+        "fully unrolled Algorithm 3 form");
   }
   if (r.model_ratio > 0 && r.model_ratio < 0.5) {
     r.diagnoses.push_back(
@@ -213,6 +243,11 @@ std::string ConvReport::to_text() const {
   else if (model_ratio > 0)
     s += ")";
   s += " over " + fmt1(wall_seconds * 1e3, "%.3f") + " ms\n";
+  s += "  kernel: " + kernel_class +
+       (kernel_reason.empty() ? std::string()
+                              : " (" + kernel_reason + ")") +
+       ", generic fallback calls " + std::to_string(generic_fallback) +
+       "\n";
   s += "  tiles " + std::to_string(tiles) + ", steals " +
        std::to_string(steals) + " (local " + std::to_string(local_steals) +
        " / neighbour " + std::to_string(neighbour_steals) + " / global " +
@@ -267,6 +302,9 @@ std::string ConvReport::to_json() const {
   s += ", \"mapping_fai\": " + fmt_json(mapping_fai);
   s += ", \"best_fai\": " + fmt_json(best_fai);
   s += ", \"ptn_star\": " + fmt_json(ptn_star);
+  s += ", \"kernel_class\": \"" + kernel_class + "\"";
+  s += ", \"kernel_reason\": \"" + kernel_reason + "\"";
+  s += ", \"generic_fallback\": " + std::to_string(generic_fallback);
   s += ", \"tiles\": " + std::to_string(tiles);
   s += ", \"steals\": " + std::to_string(steals);
   s += ", \"local_steals\": " + std::to_string(local_steals);

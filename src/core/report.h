@@ -48,6 +48,15 @@ struct ConvReport {
   double best_fai = 0;     ///< best FAI over all PTn in [1, workers]
   double ptn_star = 0;     ///< Eq. 6 continuous optimum PTn*
 
+  // Kernel resolution (Section 5): which micro-kernel class the conv's
+  // (block, S, stride) resolved to — "unrolled" (policy registry),
+  // "specialized" (runtime-S loops), or "generic" — with the resolver's
+  // reason when it fell short of unrolled, plus the telemetry count of
+  // tile calls that used the generic runtime-loop kernel.
+  std::string kernel_class;
+  std::string kernel_reason;
+  std::uint64_t generic_fallback = 0;
+
   // Scheduler outcome.
   std::uint64_t tiles = 0;
   std::uint64_t steals = 0;

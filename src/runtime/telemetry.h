@@ -41,6 +41,10 @@ enum class Counter : int {
                        ///< Ndirect store epilogue is folded into the
                        ///< micro-kernel and costs no separate phase)
   kCacheHits,          ///< packed-filter cache hits serving this run
+  kGenericFallback,    ///< micro-kernel calls that fell back to the
+                       ///< runtime-loop generic kernel (un-specialized
+                       ///< block — the tuning-gap signal; 0 when every
+                       ///< tile ran a registry kernel)
   // Hardware (PMU) counters, filled from per-thread perf_event_open
   // group deltas (runtime/perf_counters.h) when NDIRECT_PMU is on and
   // the host allows it; all zero otherwise. The first five mirror
@@ -57,7 +61,7 @@ enum class Counter : int {
   kPmuPackL1DMisses,   ///< L1D misses inside pack_window calls
   kPmuMicroL1DMisses,  ///< L1D misses in the compute/fused remainder
 };
-inline constexpr int kCounterCount = 16;
+inline constexpr int kCounterCount = 17;
 
 /// Stable snake_case name used in JSON exports and reports.
 const char* counter_name(Counter c);

@@ -91,6 +91,96 @@ inline void vstore(float* p, vec128f a) {
 #endif
 }
 
+/// Partial-lane load: the first N floats of p land in lanes [0, N); the
+/// remaining lanes are zero. Unlike vload, reads exactly N floats — safe
+/// at the very end of a buffer. N must be in [1, 4]; N == 4 is vload.
+template <int N>
+inline vec128f vload_partial(const float* p) {
+  static_assert(N >= 1 && N <= 4);
+  if constexpr (N == 4) {
+    return vload(p);
+  } else {
+#if defined(NDIRECT_SIMD_NEON)
+    if constexpr (N == 1) {
+      return {vld1q_lane_f32(p, vdupq_n_f32(0.0f), 0)};
+    } else if constexpr (N == 2) {
+      return {vcombine_f32(vld1_f32(p), vdup_n_f32(0.0f))};
+    } else {
+      const float32x4_t lo = vcombine_f32(vld1_f32(p), vdup_n_f32(0.0f));
+      return {vld1q_lane_f32(p + 2, lo, 2)};
+    }
+#elif defined(NDIRECT_SIMD_SSE)
+    if constexpr (N == 1) {
+      return {_mm_load_ss(p)};
+    } else if constexpr (N == 2) {
+      // 8-byte load into the low half, upper half zero.
+      return {_mm_castpd_ps(_mm_load_sd(reinterpret_cast<const double*>(p)))};
+    } else {
+      const __m128 lo =
+          _mm_castpd_ps(_mm_load_sd(reinterpret_cast<const double*>(p)));
+      return {_mm_movelh_ps(lo, _mm_load_ss(p + 2))};
+    }
+#else
+    vec128f r = vzero();
+    std::memcpy(r.v, p, sizeof(float) * N);
+    return r;
+#endif
+  }
+}
+
+/// Partial-lane store: writes lanes [0, N) to p and touches exactly N
+/// floats of memory — the masked counterpart of vstore for ragged tile
+/// edges. N must be in [1, 4]; N == 4 is vstore.
+template <int N>
+inline void vstore_partial(float* p, vec128f a) {
+  static_assert(N >= 1 && N <= 4);
+  if constexpr (N == 4) {
+    vstore(p, a);
+  } else {
+#if defined(NDIRECT_SIMD_NEON)
+    if constexpr (N == 1) {
+      vst1q_lane_f32(p, a.v, 0);
+    } else if constexpr (N == 2) {
+      vst1_f32(p, vget_low_f32(a.v));
+    } else {
+      vst1_f32(p, vget_low_f32(a.v));
+      vst1q_lane_f32(p + 2, a.v, 2);
+    }
+#elif defined(NDIRECT_SIMD_SSE)
+    if constexpr (N == 1) {
+      _mm_store_ss(p, a.v);
+    } else if constexpr (N == 2) {
+      _mm_store_sd(reinterpret_cast<double*>(p), _mm_castps_pd(a.v));
+    } else {
+      _mm_store_sd(reinterpret_cast<double*>(p), _mm_castps_pd(a.v));
+      _mm_store_ss(p + 2, _mm_movehl_ps(a.v, a.v));
+    }
+#else
+    std::memcpy(p, a.v, sizeof(float) * N);
+#endif
+  }
+}
+
+/// Runtime-lane-count wrappers over vload_partial/vstore_partial, for
+/// code whose ragged extent is only known per tile. n must be in [1, 4].
+inline vec128f vload_lanes(const float* p, int n) {
+  switch (n) {
+    case 1: return vload_partial<1>(p);
+    case 2: return vload_partial<2>(p);
+    case 3: return vload_partial<3>(p);
+    default: return vload_partial<4>(p);
+  }
+}
+
+inline void vstore_lanes(float* p, vec128f a, int n) {
+  switch (n) {
+    case 1: vstore_partial<1>(p, a); break;
+    case 2: vstore_partial<2>(p, a); break;
+    case 3: vstore_partial<3>(p, a); break;
+    default: vstore_partial<4>(p, a); break;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Arithmetic
 // ---------------------------------------------------------------------------

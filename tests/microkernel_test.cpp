@@ -4,8 +4,15 @@
 // direct, ragged, accumulate, epilogue).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <random>
+#include <set>
+#include <string>
+#include <utility>
 #include <vector>
+
+#include "core/fai.h"
 
 #include "core/filter_transform.h"
 #include "core/microkernel.h"
@@ -273,6 +280,240 @@ TEST(Microkernel, DispatchTableConsistency) {
   // Unrolled lookups reject non-instantiated (S, str) combos.
   EXPECT_EQ(find_unrolled_kernel(12, 8, 2, 1), nullptr);
   EXPECT_EQ(find_unrolled_kernel(12, 8, 3, 3), nullptr);
+}
+
+// ---------------------------------------------------------------------
+// Policy registry (template-generated kernel table).
+
+TEST(PolicyRegistry, MatchesEq3FeasibilityAndIsComplete) {
+  // kernel_block_feasible is the constexpr mirror of Eq. 3; it must
+  // agree with the runtime predicate everywhere, including at kernel
+  // widths the registry does not instantiate.
+  for (int S : {1, 2, 3, 5, 7, 11}) {
+    for (int vw = 4; vw <= kMaxVw; vw += 4) {
+      for (int vk = 4; vk <= kMaxVk; vk += 4) {
+        EXPECT_EQ(kernel_block_feasible(vw, vk, S),
+                  register_block_feasible(vw, vk, S))
+            << vw << "x" << vk << " S" << S;
+      }
+    }
+  }
+  EXPECT_FALSE(kernel_block_feasible(13, 8, 3));  // vw % 4
+  EXPECT_FALSE(kernel_block_feasible(12, 6, 3));  // vk % 4
+  EXPECT_FALSE(kernel_block_feasible(28, 4, 1));  // vw > kMaxVw
+
+  // The registry instantiates every feasible block for each unrolled S,
+  // in two stride variants x two tail modes — nothing missing, nothing
+  // extra, no duplicates.
+  std::size_t expect = 0;
+  for (int S : {1, 3, 5, 7}) {
+    for (int vw = 4; vw <= kMaxVw; vw += 4) {
+      for (int vk = 4; vk <= kMaxVk; vk += 4) {
+        if (kernel_block_feasible(vw, vk, S)) expect += 4;
+      }
+    }
+  }
+  const std::vector<KernelEntry>& reg = kernel_registry();
+  EXPECT_EQ(reg.size(), expect);
+  EXPECT_EQ(reg.size(), 216u);  // 54 blocks x 2 strides x 2 tail modes
+  std::set<std::array<int, 5>> seen;
+  for (const KernelEntry& e : reg) {
+    EXPECT_TRUE(kernel_block_feasible(e.vw, e.vk, e.S))
+        << e.vw << "x" << e.vk << " S" << e.S;
+    EXPECT_TRUE(e.str == 1 || e.str == 2) << e.str;
+    EXPECT_NE(e.compute, nullptr);
+    EXPECT_NE(e.fused, nullptr);
+    seen.insert({e.vw, e.vk, e.S, e.str, static_cast<int>(e.tail)});
+  }
+  EXPECT_EQ(seen.size(), reg.size()) << "duplicate registry entries";
+}
+
+TEST(PolicyRegistry, BlocksEnumerateTheS1FeasibleSet) {
+  // The runtime-S table (what the autotuner samples) covers exactly the
+  // S=1 feasible set — the superset, since Eq. 3 cost grows with S.
+  const std::vector<RegisterBlock>& blocks = microkernel_blocks();
+  EXPECT_EQ(blocks.size(), feasible_register_blocks(1).size());
+  EXPECT_EQ(blocks.size(), 14u);
+  for (const RegisterBlock& b : blocks) {
+    EXPECT_TRUE(register_block_feasible(b.vw, b.vk, 1))
+        << b.vw << "x" << b.vk;
+    EXPECT_NE(find_compute_kernel(b.vw, b.vk), nullptr);
+    EXPECT_NE(find_fused_kernel(b.vw, b.vk), nullptr);
+  }
+}
+
+TEST(PolicyRegistry, ResolveKernelClassifies) {
+  // Registry hit: fully unrolled, separate interior and edge kernels.
+  KernelResolution r = resolve_kernel(12, 8, 3, 1);
+  EXPECT_EQ(r.cls, KernelClass::kUnrolled);
+  EXPECT_STREQ(r.reason, "");
+  EXPECT_NE(r.interior, nullptr);
+  EXPECT_NE(r.edge, nullptr);
+  EXPECT_NE(r.interior_fused, nullptr);
+  EXPECT_NE(r.edge_fused, nullptr);
+  EXPECT_NE(r.interior, r.edge);
+
+  // S outside {1, 3, 5, 7}: runtime-S specialization, one kernel for
+  // both tile kinds.
+  r = resolve_kernel(12, 8, 2, 1);
+  EXPECT_EQ(r.cls, KernelClass::kSpecialized);
+  EXPECT_NE(std::string(r.reason).find("kernel width"), std::string::npos)
+      << r.reason;
+  EXPECT_NE(r.interior, nullptr);
+  EXPECT_EQ(r.interior, r.edge);
+
+  // Stride outside {1, 2}.
+  r = resolve_kernel(12, 8, 3, 3);
+  EXPECT_EQ(r.cls, KernelClass::kSpecialized);
+  EXPECT_NE(std::string(r.reason).find("stride"), std::string::npos)
+      << r.reason;
+
+  // Feasible at S=1 but over the Eq. 3 budget at S=7.
+  r = resolve_kernel(24, 4, 7, 1);
+  EXPECT_EQ(r.cls, KernelClass::kSpecialized);
+  EXPECT_NE(std::string(r.reason).find("Eq. 3"), std::string::npos)
+      << r.reason;
+  EXPECT_NE(r.interior, nullptr);
+
+  // Outside the feasible set entirely: generic.
+  r = resolve_kernel(20, 8, 3, 1);
+  EXPECT_EQ(r.cls, KernelClass::kGeneric);
+  EXPECT_EQ(r.interior, nullptr);
+  EXPECT_EQ(r.edge, nullptr);
+
+  EXPECT_STREQ(kernel_class_name(KernelClass::kUnrolled), "unrolled");
+  EXPECT_STREQ(kernel_class_name(KernelClass::kSpecialized),
+               "specialized");
+  EXPECT_STREQ(kernel_class_name(KernelClass::kGeneric), "generic");
+}
+
+// Run one registry entry and the generic kernel on identically-seeded
+// tiles and require bitwise-equal output planes: both issue the same
+// per-accumulator FMA sequence (same c, r, s, w, k order; lane-FMA and
+// dup+FMA round identically), so any difference is a store-path bug.
+// The sentinel fill doubles as an untouched-region check. epi selects
+// the epilogue: 0 = plain (also checked against the scalar oracle),
+// 1 = accumulate, 2 = bias + relu.
+void expect_policy_matches_generic(const KernelEntry& e, int wn, int kn,
+                                   int epi, bool nhwc, unsigned seed) {
+  const TileProblem t{e.vw, e.vk, 3, 2, e.S, e.str};
+  TileData d1 = make_tile(t, seed);
+  TileData d2 = make_tile(t, seed);
+  std::vector<float> bias(static_cast<std::size_t>(t.vk));
+  for (int k = 0; k < t.vk; ++k) {
+    bias[static_cast<std::size_t>(k)] = 0.25f * static_cast<float>(k - 3);
+  }
+  for (TileData* d : {&d1, &d2}) {
+    MicroArgs& a = d->args;
+    a.wn = wn;
+    a.kn = kn;
+    if (nhwc) {
+      a.out_k_stride = 1;
+      a.out_w_stride = t.vk;
+    }
+    const float fill = epi == 1 ? 2.5f : -77.0f;
+    for (float& v : d->out) v = fill;
+    a.accumulate = epi == 1;
+    if (epi == 2) {
+      a.bias = bias.data();
+      a.relu = true;
+    }
+  }
+  e.compute(d1.args);
+  compute_kernel_generic(d2.args, t.vw, t.vk);
+  for (std::size_t i = 0; i < d1.out.size(); ++i) {
+    ASSERT_EQ(d1.out[i], d2.out[i])
+        << e.vw << "x" << e.vk << " S" << e.S << " str" << e.str
+        << (e.tail == TailMode::kEdge ? " edge" : " interior") << " wn="
+        << wn << " kn=" << kn << " epi=" << epi
+        << (nhwc ? " nhwc" : " nchw") << " out[" << i << "]";
+  }
+  if (epi == 0) {
+    const std::vector<float> want = oracle(t, d1.pack, d1.ftile);
+    for (int w = 0; w < wn; ++w) {
+      for (int k = 0; k < kn; ++k) {
+        const std::size_t idx = static_cast<std::size_t>(
+            k * d1.args.out_k_stride + w * d1.args.out_w_stride);
+        ASSERT_NEAR(d1.out[idx],
+                    want[static_cast<std::size_t>(w) * t.vk + k], 1e-4f)
+            << e.vw << "x" << e.vk << " S" << e.S << " w=" << w
+            << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(PolicyRegistry, ParitySweepEveryPolicyMatchesOracleAndGeneric) {
+  // Every registered policy, every epilogue; edge policies additionally
+  // at partial-width, partial-channel (kn % 4 != 0), and both-ragged
+  // shapes.
+  unsigned seed = 100;
+  for (const KernelEntry& e : kernel_registry()) {
+    std::vector<std::pair<int, int>> shapes;
+    shapes.emplace_back(e.vw, e.vk);
+    if (e.tail == TailMode::kEdge) {
+      shapes.emplace_back(e.vw, e.vk - 1);
+      shapes.emplace_back(e.vw - 1, e.vk);
+      shapes.emplace_back(e.vw / 2 + 1, e.vk / 2 + 1);
+    }
+    for (const auto& [wn, kn] : shapes) {
+      for (int epi = 0; epi < 3; ++epi) {
+        expect_policy_matches_generic(e, wn, kn, epi, /*nhwc=*/false,
+                                      seed++);
+      }
+    }
+  }
+}
+
+TEST(PolicyRegistry, EdgeStoreNhwcParity) {
+  // The edge store's NHWC path (partial k-vectors, no transpose) on a
+  // both-ragged tile with the full bias+relu epilogue.
+  unsigned seed = 900;
+  for (const KernelEntry& e : kernel_registry()) {
+    if (e.tail != TailMode::kEdge) continue;
+    expect_policy_matches_generic(e, e.vw - 1, e.vk - 1, /*epi=*/2,
+                                  /*nhwc=*/true, seed++);
+  }
+}
+
+TEST(PolicyRegistry, FusedPolicyMatchesPackThenCompute) {
+  // Every fused policy kernel against standalone pack + generic
+  // compute on a real image window overlapping the padding.
+  const int C = 3, H = 7, W = 29;
+  Tensor image = make_input_nchw(1, C, H, W);
+  fill_random(image, 50);
+  unsigned seed = 500;
+  for (const KernelEntry& e : kernel_registry()) {
+    const TileProblem t{e.vw, e.vk, C, 2, e.S, e.str};
+    TileData df = make_tile(t, seed);
+    TileData dr = make_tile(t, seed);
+    ++seed;
+    const bool edge = e.tail == TailMode::kEdge;
+    const int wn = edge ? std::max(1, t.vw - 3) : t.vw;
+    const int kn = edge ? std::max(1, t.vk - 3) : t.vk;
+    for (TileData* d : {&df, &dr}) {
+      d->args.wn = wn;
+      d->args.kn = kn;
+      for (float& v : d->out) v = -5.0f;
+    }
+    PackGeometry g;
+    g.src = image.data();
+    g.chan_stride = H * W;
+    g.row_stride = W;
+    g.col_stride = 1;
+    g.H = H;
+    g.W = W;
+    g.ih0 = -1;  // window overlaps the top/left padding
+    g.iw0 = -1;
+    e.fused(df.args, g);
+    pack_window(dr.pack.data(), g, C, t.R, t.packw());
+    compute_kernel_generic(dr.args, t.vw, t.vk);
+    for (std::size_t i = 0; i < df.out.size(); ++i) {
+      ASSERT_EQ(df.out[i], dr.out[i])
+          << e.vw << "x" << e.vk << " S" << e.S << " str" << e.str
+          << (edge ? " edge" : " interior") << " out[" << i << "]";
+    }
+  }
 }
 
 }  // namespace

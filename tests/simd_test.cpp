@@ -129,5 +129,76 @@ TEST(Vec128, BackendNameIsKnown) {
   EXPECT_TRUE(name == "neon" || name == "sse" || name == "scalar");
 }
 
+TEST(Vec128, PartialLoadZeroFillsUpperLanes) {
+  const float src[4] = {1.5f, -2.25f, 3.0f, 4.75f};
+  float dst[4];
+  vstore(dst, vload_partial<1>(src));
+  EXPECT_EQ(dst[0], src[0]);
+  for (int i = 1; i < 4; ++i) EXPECT_EQ(dst[i], 0.0f) << i;
+  vstore(dst, vload_partial<2>(src));
+  for (int i = 0; i < 2; ++i) EXPECT_EQ(dst[i], src[i]) << i;
+  for (int i = 2; i < 4; ++i) EXPECT_EQ(dst[i], 0.0f) << i;
+  vstore(dst, vload_partial<3>(src));
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(dst[i], src[i]) << i;
+  EXPECT_EQ(dst[3], 0.0f);
+  vstore(dst, vload_partial<4>(src));
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(dst[i], src[i]) << i;
+}
+
+TEST(Vec128, PartialStoreTouchesExactlyNLanes) {
+  const float src[4] = {10.0f, 20.0f, 30.0f, 40.0f};
+  // A sentinel beyond every store width proves nothing past lane N-1
+  // is written — partial stores must be safe at buffer ends.
+  float dst[5];
+  auto reset = [&] {
+    for (float& v : dst) v = -9.0f;
+  };
+  reset();
+  vstore_partial<1>(dst, vload(src));
+  EXPECT_EQ(dst[0], 10.0f);
+  for (int i = 1; i < 5; ++i) EXPECT_EQ(dst[i], -9.0f) << i;
+  reset();
+  vstore_partial<2>(dst, vload(src));
+  EXPECT_EQ(dst[0], 10.0f);
+  EXPECT_EQ(dst[1], 20.0f);
+  for (int i = 2; i < 5; ++i) EXPECT_EQ(dst[i], -9.0f) << i;
+  reset();
+  vstore_partial<3>(dst, vload(src));
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(dst[i], src[i]) << i;
+  }
+  for (int i = 3; i < 5; ++i) EXPECT_EQ(dst[i], -9.0f) << i;
+  reset();
+  vstore_partial<4>(dst, vload(src));
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(dst[i], src[i]) << i;
+  EXPECT_EQ(dst[4], -9.0f);
+}
+
+TEST(Vec128, RuntimeLaneHelpersMatchTemplates) {
+  const float src[4] = {1.0f, 2.0f, 3.0f, 4.0f};
+  for (int n = 1; n <= 4; ++n) {
+    float a[4], b[4];
+    vstore(a, vload_lanes(src, n));
+    switch (n) {
+      case 1: vstore(b, vload_partial<1>(src)); break;
+      case 2: vstore(b, vload_partial<2>(src)); break;
+      case 3: vstore(b, vload_partial<3>(src)); break;
+      default: vstore(b, vload_partial<4>(src)); break;
+    }
+    for (int i = 0; i < 4; ++i) EXPECT_EQ(a[i], b[i]) << n << " " << i;
+
+    float sa[5], sb[5];
+    for (int i = 0; i < 5; ++i) sa[i] = sb[i] = -3.0f;
+    vstore_lanes(sa, vload(src), n);
+    switch (n) {
+      case 1: vstore_partial<1>(sb, vload(src)); break;
+      case 2: vstore_partial<2>(sb, vload(src)); break;
+      case 3: vstore_partial<3>(sb, vload(src)); break;
+      default: vstore_partial<4>(sb, vload(src)); break;
+    }
+    for (int i = 0; i < 5; ++i) EXPECT_EQ(sa[i], sb[i]) << n << " " << i;
+  }
+}
+
 }  // namespace
 }  // namespace ndirect

@@ -501,5 +501,50 @@ TEST(ConvReportTest, JoinsMeasuredAndPredicted) {
   EXPECT_NE(j.find("\"per_worker\""), std::string::npos);
 }
 
+// ----------------------------------------------------------------------
+// Generic-fallback counter (the issue's acceptance invariant)
+// ----------------------------------------------------------------------
+
+TEST(EngineTelemetry, ZeroGenericFallbackAcrossTable4) {
+  if (!kTelemetryCompiled) GTEST_SKIP() << "telemetry compiled out";
+  // Every Table 4 layer — shrunk to test size but keeping each layer's
+  // (R, S, stride, padding) shape — must run entirely on registry
+  // kernels: the policy table covers the main block, the W-tail block,
+  // and every ragged edge tile, so the generic runtime-loop kernel is
+  // never invoked.
+  ThreadPool pool(2);
+  for (const ConvLayer& layer : table4_layers(1)) {
+    ConvParams p = layer.params;
+    p.C = std::min(p.C, 32);
+    p.K = std::min(p.K, 32);
+    p.H = std::min(p.H, 28);
+    p.W = std::min(p.W, 28);
+    const ConvData d = make_data(p, 77);
+    TelemetrySnapshot snap;
+    NdirectOptions opts;
+    opts.pool = &pool;
+    opts.threads = 2;
+    opts.telemetry = &snap;
+    (void)ndirect_conv(d.input, d.filter, p, opts);
+    EXPECT_EQ(snap.total(Counter::kGenericFallback), 0u)
+        << "layer " << layer.id << " (" << p.R << "x" << p.S << " str"
+        << p.str << ") hit the generic kernel";
+  }
+}
+
+TEST(EngineTelemetry, ForcedUnregisteredBlockCountsFallbacks) {
+  if (!kTelemetryCompiled) GTEST_SKIP() << "telemetry compiled out";
+  // Forcing a block outside the Eq. 3 feasible set drives every tile
+  // through the generic path, and the counter must say so.
+  const ConvParams p = medium_conv();
+  const ConvData d = make_data(p, 78);
+  TelemetrySnapshot snap;
+  NdirectOptions opts;
+  opts.force_rb = {20, 8};  // infeasible: no registry or runtime kernel
+  opts.telemetry = &snap;
+  (void)ndirect_conv(d.input, d.filter, p, opts);
+  EXPECT_GT(snap.total(Counter::kGenericFallback), 0u);
+}
+
 }  // namespace
 }  // namespace ndirect
