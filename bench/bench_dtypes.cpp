@@ -21,8 +21,43 @@
 using namespace ndirect;
 using namespace ndirect::bench;
 
+namespace {
+
+// Measure the int8 engine on `p` with the fp32 dequantize epilogue (the
+// end-to-end inference configuration). The packed-filter cache is off so
+// the run includes the filter transform, matching the Section 7.4
+// methodology the fp32 row uses. GFLOPS are fp32-equivalent.
+double time_int8_gflops(const ConvParams& p, Int8Backend backend,
+                        double min_seconds) {
+  std::vector<std::uint8_t> in(static_cast<std::size_t>(p.input_elems()));
+  std::vector<std::int8_t> flt(
+      static_cast<std::size_t>(p.filter_elems()));
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    in[i] = static_cast<std::uint8_t>((i * 97 + 13) & 0xff);
+  }
+  for (std::size_t i = 0; i < flt.size(); ++i) {
+    flt[i] = static_cast<std::int8_t>(((i * 61 + 7) & 0xff) - 128);
+  }
+  std::vector<float> scales(static_cast<std::size_t>(p.K), 1.0f / 16384);
+  std::vector<float> out(static_cast<std::size_t>(p.output_elems()));
+  Int8Epilogue ep;
+  ep.dequant_scale = scales.data();
+  Int8Output dst;
+  dst.f32 = out.data();
+  Int8ConvOptions opt;
+  opt.backend = backend;
+  opt.cache_packed_filter = false;
+  const Int8Conv conv(p, opt);
+  return time_gflops(
+      [&] { conv.run(in.data(), 128, flt.data(), ep, dst); },
+      static_cast<double>(p.flops()), min_seconds);
+}
+
+}  // namespace
+
 int main() {
   const BenchConfig cfg = BenchConfig::from_env();
+  JsonReport report("dtypes");
 
   print_header(
       "Eq. 3/4 register blocks across datatypes and vector widths");
@@ -65,6 +100,7 @@ int main() {
     const double g = time_gflops([&] { (void)conv.run(in, flt); }, flops,
                                  cfg.min_seconds);
     print_row({"FP32", fmt(g, 2), "-"}, w2);
+    report.add("layer10.fp32_gflops", g);
   }
 
   std::mt19937_64 rng(3);
@@ -125,9 +161,61 @@ int main() {
     print_row({"INT16 (qmax=" + std::to_string(qmax) + ")", fmt(g, 2),
                "exact int32"},
               w2);
+    report.add("layer10.int16_gflops", g);
+  }
+
+  // INT8 on the same layer, for the single-layer dtype ladder.
+  {
+    const double g =
+        time_int8_gflops(p, int8_preferred_backend(), cfg.min_seconds);
+    print_row({"INT8 (" +
+                   std::string(int8_backend_name(int8_preferred_backend())) +
+                   ")",
+               fmt(g, 2), "exact int32 (see tests)"},
+              w2);
+    report.add("layer10.int8_gflops", g);
   }
   std::printf(
-      "\n(FP64/FP16/INT16 run clarity-first generic kernels; FP32 "
-      "carries the hand-unrolled Algorithm 3 forms.)\n");
+      "\n(FP64/FP16/INT16 run clarity-first generic kernels; FP32 and "
+      "INT8 carry the unrolled policy-registry forms.)\n");
+
+  // Section 14: the int8 path on the bandwidth-bound Table 4 layers
+  // (late 1x1 convolutions — low arithmetic intensity, where the 4x
+  // byte-traffic reduction pays the most). Both the preferred backend
+  // and the forced widening-emulation path are timed; on a
+  // dot-product-capable ARM host the preferred column is the SDOT
+  // kernels.
+  print_header("INT8 vs FP32 on bandwidth-bound Table 4 layers");
+  const std::vector<int> w3 = {22, 10, 14, 14, 10};
+  print_row({"layer", "fp32", "int8 " +
+                 std::string(int8_backend_name(int8_preferred_backend())),
+             "int8 emulated", "speedup"},
+            w3);
+  for (const int id : {17, 22, 23}) {
+    const ConvParams lp = scale_layer(table4_layer(id, 1).params, cfg);
+    Tensor in = make_input_nchw(lp.N, lp.C, lp.H, lp.W);
+    Tensor flt = make_filter_kcrs(lp.K, lp.C, lp.R, lp.S);
+    fill_random(in, 6);
+    fill_random(flt, 7);
+    const NdirectConv fconv(lp, {.threads = cfg.threads});
+    const double f32 =
+        time_gflops([&] { (void)fconv.run(in, flt); },
+                    static_cast<double>(lp.flops()), cfg.min_seconds);
+    const double i8 =
+        time_int8_gflops(lp, int8_preferred_backend(), cfg.min_seconds);
+    const double i8emu =
+        time_int8_gflops(lp, Int8Backend::kEmulated, cfg.min_seconds);
+    const std::string label = "layer" + std::to_string(id);
+    print_row({label + " " + lp.to_string(), fmt(f32, 1), fmt(i8, 1),
+               fmt(i8emu, 1), fmt(i8 / f32, 2) + "x"},
+              w3);
+    report.add(label + ".fp32_gflops", f32);
+    report.add(label + ".int8_gflops", i8);
+    report.add(label + ".int8_emulated_gflops", i8emu);
+    report.add(label + ".int8_speedup", i8 / f32);
+  }
+  report.add("int8_backend",
+             std::string(int8_backend_name(int8_preferred_backend())));
+  report.write();
   return 0;
 }

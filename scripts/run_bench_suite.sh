@@ -27,7 +27,8 @@ done
 # The smoke set: quick, deterministic-shape benches that exercise the
 # scheduler, the dispatch overhead path and the graph executor. The
 # figure benches (paper-scale sweeps) are intentionally not gated.
-BENCHES=(bench_scheduler bench_dispatch bench_graph bench_microkernel)
+BENCHES=(bench_scheduler bench_dispatch bench_graph bench_microkernel
+         bench_dtypes)
 
 mkdir -p "$OUT"
 NDIRECT_BENCH_DIR="$(cd "$OUT" && pwd)"

@@ -6,6 +6,7 @@
 
 #include "autotune/space.h"
 #include "core/alpha.h"
+#include "core/quantized.h"
 #include "runtime/timer.h"
 #include "tensor/rng.h"
 
@@ -148,6 +149,61 @@ TuneResult tune_conv(const ConvParams& p, const TuneOptions& opts) {
     }
     population = std::move(next);
   }
+  return result;
+}
+
+Int8TuneResult autotune_int8_block(const ConvParams& p,
+                                   double budget_seconds,
+                                   ThreadPool* pool) {
+  Int8TuneResult result;
+  // Deterministic synthetic tensors: the tuner ranks blocks, it does
+  // not validate numerics.
+  std::vector<std::uint8_t> input(
+      static_cast<std::size_t>(p.input_elems()));
+  std::vector<std::int8_t> filter(
+      static_cast<std::size_t>(p.filter_elems()));
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input[i] = static_cast<std::uint8_t>((i * 97 + 13) & 0xff);
+  }
+  for (std::size_t i = 0; i < filter.size(); ++i) {
+    filter[i] = static_cast<std::int8_t>(((i * 61 + 7) & 0xff) - 128);
+  }
+  std::vector<std::int32_t> out(
+      static_cast<std::size_t>(p.output_elems()));
+  Int8Output dst;
+  dst.i32 = out.data();
+  const Int8Epilogue ep;
+  const double flops = static_cast<double>(p.flops());
+
+  WallTimer total;
+  for (const RegisterBlock& rb : int8_microkernel_blocks()) {
+    if (!kernel_block_feasible(rb.vw, rb.vk, p.S)) continue;
+    Int8ConvOptions opt;
+    opt.force_block = rb;
+    opt.pool = pool;
+    const Int8Conv conv(p, opt);
+    conv.prepare_filter(filter.data());
+    Int8BlockTrial trial{rb, 0.0};
+    if (total.seconds() < budget_seconds) {
+      conv.run(input.data(), 128, filter.data(), ep, dst);  // warm
+      int reps = 0;
+      WallTimer t;
+      do {
+        conv.run(input.data(), 128, filter.data(), ep, dst);
+        ++reps;
+      } while (t.seconds() < 0.005 &&
+               total.seconds() < budget_seconds);
+      trial.gflops = flops * reps / t.seconds() * 1e-9;
+    }
+    result.trials.push_back(trial);
+    if (trial.gflops > result.best_gflops) {
+      result.best_gflops = trial.gflops;
+      result.best = rb;
+    }
+  }
+  // Budget exhausted before anything was measured: fall back to the
+  // analytical Eq. 3 solution.
+  if (result.best.vw == 0) result.best = solve_register_block(p.S);
   return result;
 }
 

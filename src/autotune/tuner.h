@@ -59,4 +59,28 @@ double measure_schedule_gflops(const ConvParams& p, const Schedule& s,
 /// Run the evolutionary search.
 TuneResult tune_conv(const ConvParams& p, const TuneOptions& opts = {});
 
+// ---------------------------------------------------------------------------
+// Int8 block tuning
+// ---------------------------------------------------------------------------
+
+struct Int8BlockTrial {
+  RegisterBlock block{};
+  double gflops = 0;  ///< fp32-equivalent throughput
+};
+
+struct Int8TuneResult {
+  RegisterBlock best{};
+  double best_gflops = 0;
+  std::vector<Int8BlockTrial> trials;  ///< every block measured
+};
+
+/// Exhaustively measure every (Vw, Vk) register block the int8 policy
+/// registry instantiates for `p`'s kernel width (the same Eq. 3 grid
+/// the fp32 tuner searches — small enough to sweep instead of evolve)
+/// and return the fastest. `budget_seconds` bounds total measurement
+/// wall time; blocks past the budget keep the analytical order.
+Int8TuneResult autotune_int8_block(const ConvParams& p,
+                                   double budget_seconds = 1.0,
+                                   ThreadPool* pool = nullptr);
+
 }  // namespace ndirect

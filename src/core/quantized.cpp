@@ -1,12 +1,17 @@
 #include "core/quantized.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
 #include <cstring>
+#include <limits>
 
 #include "core/fai.h"
 #include "runtime/aligned_buffer.h"
+#include "runtime/scratch.h"
+#include "simd/vec128.h"
+#include "simd/vec128_int8.h"
 
 namespace ndirect {
 
@@ -214,6 +219,419 @@ void naive_conv_int16(const std::int16_t* input,
                        filter[((std::int64_t{k} * p.C + c) * p.R + r) *
                                   p.S +
                               s];
+              }
+            }
+          output[((std::int64_t{n} * p.K + k) * P + oj) * Q + oi] = sum;
+        }
+}
+
+// ---------------------------------------------------------------------------
+// INT8 path
+// ---------------------------------------------------------------------------
+
+std::int32_t choose_qmax_int8(std::int64_t reduction_len) {
+  // Exact integer search (the sqrt/floor shortcut of choose_qmax is off
+  // by one exactly at the boundary: 133144 * 127^2 = 2147479576 still
+  // fits, but floor(sqrt(INT32_MAX / 133144)) = 126).
+  constexpr std::int64_t kMax = std::numeric_limits<std::int32_t>::max();
+  if (reduction_len < 1) reduction_len = 1;
+  if (reduction_len >= kMax) return 1;
+  std::int32_t q = 127;
+  while (q > 1 && reduction_len * q * q > kMax) --q;
+  return q;
+}
+
+QuantizedActivation quantize_activation_u8(const float* data,
+                                           std::size_t n) {
+  float lo = 0.0f, hi = 0.0f;  // range includes 0 (exact padding)
+  for (std::size_t i = 0; i < n; ++i) {
+    lo = std::min(lo, data[i]);
+    hi = std::max(hi, data[i]);
+  }
+  QuantizedActivation q;
+  const float range = hi - lo;
+  q.scale = range > 0 ? range / 255.0f : 1.0f;
+  const float inv = 1.0f / q.scale;
+  q.zero_point = std::clamp<std::int32_t>(
+      static_cast<std::int32_t>(std::lrintf(-lo * inv)), 0, 255);
+  q.values.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int32_t v =
+        static_cast<std::int32_t>(std::lrintf(data[i] * inv)) +
+        q.zero_point;
+    q.values[i] =
+        static_cast<std::uint8_t>(std::clamp<std::int32_t>(v, 0, 255));
+  }
+  return q;
+}
+
+QuantizedFilterI8 quantize_filter_i8(const float* filter,
+                                     const ConvParams& p) {
+  const std::int64_t crs = std::int64_t{p.C} * p.R * p.S;
+  const std::int32_t qmax = choose_qmax_int8(crs);
+  QuantizedFilterI8 q;
+  q.values.resize(static_cast<std::size_t>(p.K) * crs);
+  q.scales.resize(static_cast<std::size_t>(p.K));
+  for (int k = 0; k < p.K; ++k) {
+    const float* src = filter + k * crs;
+    float max_abs = 0.0f;
+    for (std::int64_t e = 0; e < crs; ++e) {
+      max_abs = std::max(max_abs, std::fabs(src[e]));
+    }
+    const float scale =
+        max_abs > 0 ? max_abs / static_cast<float>(qmax) : 1.0f;
+    q.scales[static_cast<std::size_t>(k)] = scale;
+    const float inv = 1.0f / scale;
+    std::int8_t* dst = q.values.data() + k * crs;
+    for (std::int64_t e = 0; e < crs; ++e) {
+      const auto r = static_cast<std::int32_t>(std::lrintf(src[e] * inv));
+      dst[e] = static_cast<std::int8_t>(
+          std::clamp<std::int32_t>(r, -qmax, qmax));
+    }
+  }
+  return q;
+}
+
+/// Packed filter: [kb][c4][R][S][vk][4] s8 (K zero-padded to vk, C to
+/// 4) plus per-k filter-tap sums (the zero-point compensation base).
+struct Int8Conv::PackedFilter {
+  const std::int8_t* key = nullptr;
+  AlignedBuffer<std::int8_t> data;
+  std::vector<std::int32_t> rowsum;  ///< K: sum of filter k's s8 taps
+  explicit PackedFilter(std::size_t bytes) : data(bytes) {}
+};
+
+namespace {
+
+/// The execution shape: 1x1/stride-1/no-pad convolutions flatten the
+/// P x Q output plane into one long row (the fp32 engine's row
+/// flattening), so late small-spatial layers don't pay a ragged tile
+/// per 7-wide row.
+struct I8ExecShape {
+  int H, W, P, Q;
+};
+
+I8ExecShape i8_exec_shape(const ConvParams& p) {
+  if (p.R == 1 && p.S == 1 && p.str == 1 && p.pad == 0) {
+    return {1, p.H * p.W, 1, p.P() * p.Q()};
+  }
+  return {p.H, p.W, p.P(), p.Q()};
+}
+
+std::shared_ptr<const Int8Conv::PackedFilter> i8_pack_filter(
+    const std::int8_t* filter, const ConvParams& p, int vk);
+
+/// Pack one input window: [c4][R][rowbytes] with every byte XORed with
+/// 0x80 (u - 128 as s8). Spatial padding and the c >= C channel lanes
+/// fill with `border` = zp ^ 0x80, so border taps cancel exactly under
+/// the zero-point compensation and padded channel lanes meet zero
+/// filter taps.
+void i8_pack_window(std::int8_t* dst, const std::uint8_t* image, int C,
+                    int H, int W, int c4, int R, int ih0, int iw0,
+                    int packw, int rowbytes, std::int8_t border) {
+  for (int g = 0; g < c4; ++g) {
+    for (int r = 0; r < R; ++r) {
+      std::int8_t* drow =
+          dst + (static_cast<std::int64_t>(g) * R + r) * rowbytes;
+      std::memset(drow, border, static_cast<std::size_t>(rowbytes));
+      const int ih = ih0 + r;
+      if (ih < 0 || ih >= H) continue;
+      const int t0 = std::max(0, -iw0);
+      const int t1 = std::min(packw, W - iw0);
+      for (int j = 0; j < 4; ++j) {
+        const int c = 4 * g + j;
+        if (c >= C) break;
+        const std::uint8_t* row =
+            image + (static_cast<std::int64_t>(c) * H + ih) * W + iw0;
+        std::int8_t* d = drow + j;
+        for (int t = t0; t < t1; ++t) {
+          d[4 * t] = static_cast<std::int8_t>(row[t] ^ 0x80u);
+        }
+      }
+    }
+  }
+}
+
+/// Finish one vw x kn accumulator tile: add the zero-point compensation
+/// and store through the epilogue mode. Shared by every backend, so
+/// outputs are bitwise identical whenever the accumulators are.
+void i8_store_tile(const Int8Epilogue& ep, const Int8Output& out,
+                   const std::int32_t* acc, const std::int32_t* comp,
+                   int vw, int wn, int kn, std::int64_t kv,
+                   std::int64_t k_stride, std::int64_t base) {
+  for (int k = 0; k < kn; ++k) {
+    const std::int64_t kk = kv + k;
+    const std::int32_t* arow = acc + static_cast<std::int64_t>(k) * vw;
+    const std::int64_t off = base + kk * k_stride;
+    const std::int32_t cadd = comp[kk];
+    if (out.f32 != nullptr) {
+      float* orow = out.f32 + off;
+      const vec128f dq = vdup(ep.dequant_scale[kk]);
+      const vec128f bb =
+          vdup(ep.bias != nullptr ? ep.bias[kk] : 0.0f);
+      const vec128i cc = vdup_i32(cadd);
+      for (int w0 = 0; w0 < wn; w0 += 4) {
+        const int m = std::min(4, wn - w0);
+        vec128f v = vfma(
+            bb, vcvt_f32_i32(vadd_i32(vload_i32(arow + w0), cc)), dq);
+        if (ep.relu) v = vmax(v, vzero());
+        if (m == 4) {
+          vstore(orow + w0, v);
+        } else {
+          vstore_lanes(orow + w0, v, m);
+        }
+      }
+    } else if (out.s8 != nullptr) {
+      std::int8_t* orow = out.s8 + off;
+      const float mult = ep.requant_scale[kk];
+      const std::int32_t badd =
+          ep.bias_i32 != nullptr ? ep.bias_i32[kk] : 0;
+      for (int w = 0; w < wn; ++w) {
+        const std::int32_t a = arow[w] + cadd + badd;
+        // Round-to-nearest-even (nearbyintf under the default
+        // FE_TONEAREST mode), then saturate to the symmetric [-127,
+        // 127] range around the output zero point.
+        std::int32_t q = static_cast<std::int32_t>(std::nearbyintf(
+                             static_cast<float>(a) * mult)) +
+                         ep.out_zero_point;
+        if (ep.relu) q = std::max(q, ep.out_zero_point);
+        orow[w] = static_cast<std::int8_t>(
+            std::clamp<std::int32_t>(q, -127, 127));
+      }
+    } else {
+      std::int32_t* orow = out.i32 + off;
+      const vec128i cc = vdup_i32(cadd);
+      int w = 0;
+      for (; w + 4 <= wn; w += 4) {
+        vstore_i32(orow + w, vadd_i32(vload_i32(arow + w), cc));
+      }
+      for (; w < wn; ++w) orow[w] = arow[w] + cadd;
+    }
+  }
+}
+
+std::shared_ptr<const Int8Conv::PackedFilter> i8_pack_filter(
+    const std::int8_t* filter, const ConvParams& p, int vk) {
+  const std::int64_t c4 = (p.C + 3) / 4;
+  const std::int64_t kb_count = (p.K + vk - 1) / vk;
+  const std::int64_t rs = std::int64_t{p.R} * p.S;
+  const std::int64_t crs = std::int64_t{p.C} * rs;
+  const std::int64_t tile = c4 * rs * vk * 4;  // bytes per kb
+  auto pf = std::make_shared<Int8Conv::PackedFilter>(
+      static_cast<std::size_t>(kb_count * tile));
+  pf->key = filter;
+  pf->data.fill_zero();
+  pf->rowsum.assign(static_cast<std::size_t>(p.K), 0);
+  for (int k = 0; k < p.K; ++k) {
+    const std::int64_t kb = k / vk, ki = k % vk;
+    std::int32_t sum = 0;
+    for (int c = 0; c < p.C; ++c) {
+      const std::int64_t g = c / 4, j = c % 4;
+      const std::int8_t* src = filter + k * crs + c * rs;
+      // dst tap (kb, g, r, s): vector byte ki*4 + j of the vk*4 block.
+      std::int8_t* dst =
+          pf->data.data() + kb * tile + g * rs * vk * 4 + ki * 4 + j;
+      for (std::int64_t e = 0; e < rs; ++e) {
+        dst[e * vk * 4] = src[e];
+        sum += src[e];
+      }
+    }
+    pf->rowsum[static_cast<std::size_t>(k)] = sum;
+  }
+  return pf;
+}
+
+}  // namespace
+
+Int8Conv::Int8Conv(const ConvParams& p, const Int8ConvOptions& opt)
+    : p_(p), opt_(opt) {
+  rb_ = (opt_.force_block.vw > 0 && opt_.force_block.vk > 0)
+            ? opt_.force_block
+            : solve_register_block(p_.S);
+  kres_ = resolve_int8_kernel(rb_.vw, rb_.vk, p_.S, p_.str, opt_.backend);
+}
+
+Int8Conv::~Int8Conv() = default;
+
+Int8Backend Int8Conv::backend() const {
+  return kres_.fn != nullptr ? kres_.backend : Int8Backend::kScalar;
+}
+
+void Int8Conv::prepare_filter(const std::int8_t* filter) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (packed_ != nullptr && packed_->key == filter) return;
+  packed_ = i8_pack_filter(filter, p_, rb_.vk);
+}
+
+void Int8Conv::run(const std::uint8_t* input, int in_zero_point,
+                   const std::int8_t* filter, const Int8Epilogue& ep,
+                   const Int8Output& out, Int8RunStats* stats) const {
+  assert(p_.valid());
+  assert((out.i32 != nullptr) + (out.s8 != nullptr) +
+             (out.f32 != nullptr) ==
+         1);
+  std::shared_ptr<const PackedFilter> pf;
+  if (opt_.cache_packed_filter) {
+    prepare_filter(filter);
+    std::lock_guard<std::mutex> lock(mu_);
+    pf = packed_;
+  } else {
+    pf = i8_pack_filter(filter, p_, rb_.vk);
+  }
+
+  ThreadPool& tp =
+      opt_.pool != nullptr ? *opt_.pool : ThreadPool::global();
+  const int vw = rb_.vw, vk = rb_.vk;
+  const I8ExecShape ex = i8_exec_shape(p_);
+  const int packw = (vw - 1) * p_.str + p_.S;
+  const int rowbytes = ((packw + 3) / 4) * 16;
+  const int c4 = (p_.C + 3) / 4;
+  const std::int64_t kb_count = (p_.K + vk - 1) / vk;
+  const std::int64_t ftile_stride =
+      static_cast<std::int64_t>(c4) * p_.R * p_.S * vk * 4;
+  const std::int64_t k_stride = std::int64_t{ex.P} * ex.Q;
+  const auto border =
+      static_cast<std::int8_t>(static_cast<unsigned>(in_zero_point) ^
+                               0x80u);
+
+  // comp[k] = (128 - zp) * sum(w_k): rowsum is cached at pack time, the
+  // zero point arrives per run.
+  std::vector<std::int32_t> comp(static_cast<std::size_t>(p_.K));
+  for (int k = 0; k < p_.K; ++k) {
+    comp[static_cast<std::size_t>(k)] =
+        (128 - in_zero_point) * pf->rowsum[static_cast<std::size_t>(k)];
+  }
+
+  const I8KernelFn fn = kres_.fn;
+  const int tq = (ex.Q + vw - 1) / vw;
+  const std::int64_t tiles_per_image = std::int64_t{ex.P} * tq;
+  const std::int64_t total = p_.N * tiles_per_image;
+  std::atomic<std::uint64_t> kernel_calls{0};
+  std::atomic<std::uint64_t> generic_calls{0};
+
+  tp.parallel_for(
+      static_cast<std::size_t>(total),
+      [&](std::size_t begin, std::size_t end) {
+        const ScratchDepth depth;
+        ScratchArena& arena = this_thread_scratch();
+        const std::size_t pack_bytes =
+            static_cast<std::size_t>(c4) * p_.R * rowbytes;
+        auto* pack = reinterpret_cast<std::int8_t*>(arena.floats(
+            depth.level(), ScratchSlot::kAux0, pack_bytes / 4));
+        auto* acc = reinterpret_cast<std::int32_t*>(
+            arena.floats(depth.level(), ScratchSlot::kAux1,
+                         static_cast<std::size_t>(vw) * vk));
+        std::uint64_t local_calls = 0, local_generic = 0;
+        for (std::size_t t = begin; t < end; ++t) {
+          const auto ti = static_cast<std::int64_t>(t);
+          const std::int64_t n = ti / tiles_per_image;
+          const std::int64_t rem = ti % tiles_per_image;
+          const int oh = static_cast<int>(rem / tq);
+          const int wv = static_cast<int>(rem % tq) * vw;
+          const int wn = std::min(vw, ex.Q - wv);
+          const std::uint8_t* image =
+              input + n * std::int64_t{p_.C} * ex.H * ex.W;
+          const std::int64_t out_base =
+              n * std::int64_t{p_.K} * k_stride +
+              std::int64_t{oh} * ex.Q + wv;
+
+          i8_pack_window(pack, image, p_.C, ex.H, ex.W, c4, p_.R,
+                         oh * p_.str - p_.pad, wv * p_.str - p_.pad,
+                         packw, rowbytes, border);
+          for (std::int64_t kb = 0; kb < kb_count; ++kb) {
+            const std::int64_t kv = kb * vk;
+            const int kn =
+                static_cast<int>(std::min<std::int64_t>(vk, p_.K - kv));
+            I8MicroArgs a;
+            a.pack = pack;
+            a.pack_c4_stride = std::int64_t{p_.R} * rowbytes;
+            a.pack_r_stride = rowbytes;
+            a.ftile = pf->data.data() + kb * ftile_stride;
+            a.f_c4_stride = std::int64_t{p_.R} * p_.S * vk * 4;
+            a.c4 = c4;
+            a.R = p_.R;
+            a.S = p_.S;
+            a.str = p_.str;
+            a.packw = packw;
+            a.acc = acc;
+            ++local_calls;
+            if (fn != nullptr) {
+              fn(a);
+            } else {
+              ++local_generic;
+              int8_kernel_generic(a, vw, vk);
+            }
+            i8_store_tile(ep, out, acc, comp.data(), vw, wn, kn, kv,
+                          k_stride, out_base);
+          }
+        }
+        kernel_calls.fetch_add(local_calls, std::memory_order_relaxed);
+        generic_calls.fetch_add(local_generic,
+                                std::memory_order_relaxed);
+      });
+
+  if (stats != nullptr) {
+    stats->tiles = kernel_calls.load(std::memory_order_relaxed);
+    stats->generic_fallback =
+        generic_calls.load(std::memory_order_relaxed);
+    stats->backend = backend();
+    stats->vw = vw;
+    stats->vk = vk;
+    stats->reason = kres_.reason;
+  }
+}
+
+std::vector<float> int8_conv_fp32(const float* input, const float* filter,
+                                  const ConvParams& p, const float* bias,
+                                  bool relu, const Int8ConvOptions& opt,
+                                  Int8RunStats* stats) {
+  const QuantizedActivation qin = quantize_activation_u8(
+      input, static_cast<std::size_t>(p.input_elems()));
+  const QuantizedFilterI8 qf = quantize_filter_i8(filter, p);
+  std::vector<float> dq(static_cast<std::size_t>(p.K));
+  for (int k = 0; k < p.K; ++k) {
+    dq[static_cast<std::size_t>(k)] =
+        qin.scale * qf.scales[static_cast<std::size_t>(k)];
+  }
+  Int8Epilogue ep;
+  ep.dequant_scale = dq.data();
+  ep.bias = bias;
+  ep.relu = relu;
+  std::vector<float> result(static_cast<std::size_t>(p.output_elems()));
+  Int8Output o;
+  o.f32 = result.data();
+  const Int8Conv conv(p, opt);
+  conv.run(qin.values.data(), qin.zero_point, qf.values.data(), ep, o,
+           stats);
+  return result;
+}
+
+void naive_conv_int8(const std::uint8_t* input, int in_zero_point,
+                     const std::int8_t* filter, std::int32_t* output,
+                     const ConvParams& p) {
+  const int P = p.P(), Q = p.Q();
+  for (int n = 0; n < p.N; ++n)
+    for (int k = 0; k < p.K; ++k)
+      for (int oj = 0; oj < P; ++oj)
+        for (int oi = 0; oi < Q; ++oi) {
+          std::int32_t sum = 0;
+          for (int c = 0; c < p.C; ++c)
+            for (int r = 0; r < p.R; ++r) {
+              const int ij = p.str * oj + r - p.pad;
+              if (ij < 0 || ij >= p.H) continue;
+              for (int s = 0; s < p.S; ++s) {
+                const int ii = p.str * oi + s - p.pad;
+                if (ii < 0 || ii >= p.W) continue;
+                sum +=
+                    (static_cast<std::int32_t>(
+                         input[((std::int64_t{n} * p.C + c) * p.H + ij) *
+                                   p.W +
+                               ii]) -
+                     in_zero_point) *
+                    static_cast<std::int32_t>(
+                        filter[((std::int64_t{k} * p.C + c) * p.R + r) *
+                                   p.S +
+                               s]);
               }
             }
           output[((std::int64_t{n} * p.K + k) * P + oj) * Q + oi] = sum;

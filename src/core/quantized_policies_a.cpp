@@ -1,0 +1,24 @@
+// Int8 policy kernel instantiations for S = 1 and S = 3 (the 1x1 and
+// 3x3 kernel widths that dominate ResNet). See
+// core/quantized_microkernel.h for the generator.
+#include "core/quantized_microkernel.h"
+
+namespace ndirect {
+namespace detail {
+namespace {
+
+constexpr auto kTableS1 = build_i8_policy_table<1>();
+constexpr auto kTableS3 = build_i8_policy_table<3>();
+
+}  // namespace
+
+I8PolicySpan i8_policy_entries_s1() {
+  return {kTableS1.data(), kTableS1.size()};
+}
+
+I8PolicySpan i8_policy_entries_s3() {
+  return {kTableS3.data(), kTableS3.size()};
+}
+
+}  // namespace detail
+}  // namespace ndirect

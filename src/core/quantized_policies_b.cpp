@@ -1,0 +1,22 @@
+// Int8 policy kernel instantiations for S = 5 and S = 7.
+#include "core/quantized_microkernel.h"
+
+namespace ndirect {
+namespace detail {
+namespace {
+
+constexpr auto kTableS5 = build_i8_policy_table<5>();
+constexpr auto kTableS7 = build_i8_policy_table<7>();
+
+}  // namespace
+
+I8PolicySpan i8_policy_entries_s5() {
+  return {kTableS5.data(), kTableS5.size()};
+}
+
+I8PolicySpan i8_policy_entries_s7() {
+  return {kTableS7.data(), kTableS7.size()};
+}
+
+}  // namespace detail
+}  // namespace ndirect

@@ -21,7 +21,7 @@ std::string fmt_json(double v) { return fmt1(v, "%.9g"); }
 
 ConvReport build_conv_report(const NdirectConv& conv,
                              const TelemetrySnapshot& telemetry,
-                             const PlatformSpec* spec) {
+                             const PlatformSpec* spec, ConvDtype dtype) {
   const PlatformSpec& plat = spec != nullptr ? *spec : host_platform();
   const NdirectPlan& plan = conv.plan();
   const ConvParams& p = conv.params();
@@ -35,8 +35,9 @@ ConvReport build_conv_report(const NdirectConv& conv,
   r.stealers = plan.stealers;
   r.alpha = plan.alpha;
 
+  r.dtype = dtype;
   const PerfEstimate est =
-      estimate_conv_perf(plat, p, ConvMethod::Ndirect, threads);
+      estimate_conv_perf(plat, p, ConvMethod::Ndirect, threads, dtype);
   r.predicted_gflops = est.gflops;
   r.peak_gflops = plat.peak_gflops;
   r.roofline_compute = est.compute_bound;
@@ -246,8 +247,8 @@ std::string ConvReport::to_text() const {
   s += "  kernel: " + kernel_class +
        (kernel_reason.empty() ? std::string()
                               : " (" + kernel_reason + ")") +
-       ", generic fallback calls " + std::to_string(generic_fallback) +
-       "\n";
+       ", dtype " + conv_dtype_name(dtype) + ", generic fallback calls " +
+       std::to_string(generic_fallback) + "\n";
   s += "  tiles " + std::to_string(tiles) + ", steals " +
        std::to_string(steals) + " (local " + std::to_string(local_steals) +
        " / neighbour " + std::to_string(neighbour_steals) + " / global " +
@@ -302,6 +303,7 @@ std::string ConvReport::to_json() const {
   s += ", \"mapping_fai\": " + fmt_json(mapping_fai);
   s += ", \"best_fai\": " + fmt_json(best_fai);
   s += ", \"ptn_star\": " + fmt_json(ptn_star);
+  s += ", \"dtype\": \"" + std::string(conv_dtype_name(dtype)) + "\"";
   s += ", \"kernel_class\": \"" + kernel_class + "\"";
   s += ", \"kernel_reason\": \"" + kernel_reason + "\"";
   s += ", \"generic_fallback\": " + std::to_string(generic_fallback);

@@ -29,6 +29,10 @@ namespace ndirect {
 struct ConvReport {
   std::string platform;     ///< spec the prediction was evaluated on
   ConvParams params{};
+  /// Datatype the prediction was evaluated for (the measured side is
+  /// whatever engine filled the telemetry; GFLOPS are always
+  /// fp32-equivalent so dtypes share one roofline).
+  ConvDtype dtype = ConvDtype::kF32;
   ThreadMapping mapping{};  ///< the planned PTn x PTk grid
   int stealers = 0;         ///< pure stealers beyond the grid
   double alpha = 0;         ///< pack/compute cost ratio the plan used
@@ -113,6 +117,7 @@ struct ConvReport {
 /// microbenchmarks — pass a spec in tests).
 ConvReport build_conv_report(const NdirectConv& conv,
                              const TelemetrySnapshot& telemetry,
-                             const PlatformSpec* spec = nullptr);
+                             const PlatformSpec* spec = nullptr,
+                             ConvDtype dtype = ConvDtype::kF32);
 
 }  // namespace ndirect

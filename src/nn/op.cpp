@@ -79,12 +79,14 @@ void ConvOp::set_filter_cache(bool enabled) {
   if (filter_cache_ == enabled) return;
   filter_cache_ = enabled;
   engine_.reset();  // the cache flag is baked into the engine's options
+  qengine_.reset();
 }
 
 void ConvOp::set_pool(ThreadPool* pool) {
   if (pool_ == pool) return;
   pool_ = pool;
   engine_.reset();  // the pool pointer is baked into the engine's options
+  qengine_.reset();
 }
 
 void ConvOp::set_worker_budget(int budget, int extra_stealers) {
@@ -111,11 +113,54 @@ TensorShape ConvOp::infer(const std::vector<TensorShape>& in) const {
   return {params_.N, params_.K, params_.P(), params_.Q()};
 }
 
+void ConvOp::set_quantized(bool on) {
+  quantized_ = on;
+  if (!on) {
+    qengine_.reset();
+    qfilter_ready_ = false;
+  }
+}
+
+Tensor ConvOp::quantized_forward(const Tensor& x) const {
+  if (!qengine_) {
+    Int8ConvOptions qopts;
+    qopts.pool = pool_;
+    qopts.cache_packed_filter = filter_cache_;
+    qengine_ = std::make_unique<Int8Conv>(params_, qopts);
+  }
+  if (filter_dirty_ || !qfilter_ready_) {
+    // Re-quantize the (possibly rescaled) weights; the fresh values
+    // vector re-keys the engine's packed-filter cache automatically.
+    qfilter_ = quantize_filter_i8(filter_.data(), params_);
+    qfilter_ready_ = true;
+    filter_dirty_ = false;
+  }
+  const QuantizedActivation qx = quantize_activation_u8(
+      x.data(), static_cast<std::size_t>(params_.input_elems()));
+  qdequant_.resize(static_cast<std::size_t>(params_.K));
+  for (int k = 0; k < params_.K; ++k) {
+    qdequant_[static_cast<std::size_t>(k)] =
+        qx.scale * qfilter_.scales[static_cast<std::size_t>(k)];
+  }
+  Int8Epilogue epi;
+  epi.dequant_scale = qdequant_.data();
+  epi.bias = bias_.empty() ? nullptr : bias_.data();
+  epi.relu = fused_relu_;
+  Tensor out({params_.N, params_.K, params_.P(), params_.Q()},
+             Layout::NCHW);
+  Int8Output dst;
+  dst.f32 = out.data();
+  qengine_->run(qx.values.data(), qx.zero_point, qfilter_.values.data(),
+                epi, dst, &qstats_);
+  return out;
+}
+
 Tensor ConvOp::forward(const std::vector<const Tensor*>& in) const {
   const Tensor& x = *in.at(0);
   Tensor out;
   switch (backend_) {
     case ConvBackend::Ndirect: {
+      if (quantized_) return quantized_forward(x);
       if (!engine_) {
         // Inference configuration: persistent scratch arenas plus the
         // packed-filter cache, so steady-state forward passes allocate

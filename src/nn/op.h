@@ -9,6 +9,7 @@
 #include "autotune/schedule.h"
 #include "core/depthwise.h"
 #include "core/ndirect.h"
+#include "core/quantized.h"
 #include "runtime/timer.h"
 #include "tensor/conv_params.h"
 #include "tensor/tensor.h"
@@ -69,6 +70,19 @@ class ConvOp final : public Op {
   void set_fused_relu(bool fused) { fused_relu_ = fused; }
   bool fused_relu() const { return fused_relu_; }
 
+  /// Run this convolution through the int8 path (DESIGN.md §14):
+  /// activations are quantized u8 asymmetric per forward, weights s8
+  /// symmetric per output channel (re-quantized whenever the filter is
+  /// marked dirty), and the fp32 output is produced by the per-channel
+  /// dequantize epilogue with the op's bias and fused ReLU — so the
+  /// graph topology and every downstream op are unchanged. Only the
+  /// Ndirect backend; other backends ignore the flag.
+  void set_quantized(bool on);
+  bool quantized() const { return quantized_; }
+  /// Stats of the most recent quantized forward (backend actually used,
+  /// generic-fallback tile count).
+  const Int8RunStats& quantized_stats() const { return qstats_; }
+
   /// Cache the packed filter inside the Ndirect engine (on by default:
   /// graph inference packs each layer's weights exactly once). Off
   /// restores the seed's transform-per-forward behaviour for A/B
@@ -119,6 +133,8 @@ class ConvOp final : public Op {
   std::vector<float>& bias() { return bias_; }
 
  private:
+  Tensor quantized_forward(const Tensor& x) const;
+
   ConvParams params_;
   ConvBackend backend_;
   Tensor filter_;  ///< KCRS
@@ -135,6 +151,14 @@ class ConvOp final : public Op {
   mutable bool filter_dirty_ = false;
   // Planned engine for the Ndirect backend (lazy, shape is fixed).
   mutable std::unique_ptr<NdirectConv> engine_;
+  // Int8 path state (lazy; rebuilt when the pool changes or the filter
+  // goes dirty).
+  bool quantized_ = false;
+  mutable std::unique_ptr<Int8Conv> qengine_;
+  mutable QuantizedFilterI8 qfilter_;
+  mutable std::vector<float> qdequant_;  ///< K: in_scale * w_scale[k]
+  mutable bool qfilter_ready_ = false;
+  mutable Int8RunStats qstats_;
 };
 
 /// Depthwise convolution (Section 10.2: the C reduction removed).

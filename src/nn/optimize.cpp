@@ -78,4 +78,14 @@ int fuse_conv_relu(Graph& graph) {
   return fused;
 }
 
+int quantize_convs(Graph& graph) {
+  int switched = 0;
+  for (ConvOp* conv : graph.conv_ops()) {
+    if (conv->backend() != ConvBackend::Ndirect) continue;
+    conv->set_quantized(true);
+    ++switched;
+  }
+  return switched;
+}
+
 }  // namespace ndirect

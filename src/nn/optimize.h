@@ -24,4 +24,12 @@ int fold_batchnorm(Graph& graph);
 /// the conv -> bn -> relu chains collapse into single fused convs.
 int fuse_conv_relu(Graph& graph);
 
+/// Switch every Ndirect-backend convolution to the int8 path
+/// (DESIGN.md §14): u8 activations, per-channel s8 weights, fp32
+/// dequantized outputs — so the rest of the graph is untouched.
+/// Returns the number switched. Run fold_batchnorm/fuse_conv_relu
+/// first so the quantized convs carry the folded bias and ReLU in
+/// their epilogue.
+int quantize_convs(Graph& graph);
+
 }  // namespace ndirect

@@ -169,11 +169,33 @@ double method_utilization(ConvMethod m, const ConvParams& p, int threads) {
 
 }  // namespace
 
+const char* conv_dtype_name(ConvDtype d) {
+  switch (d) {
+    case ConvDtype::kF32: return "f32";
+    case ConvDtype::kI8Emulated: return "i8-emulated";
+    case ConvDtype::kI8Dot: return "i8-dot";
+  }
+  return "?";
+}
+
 PerfEstimate estimate_conv_perf(const PlatformSpec& spec,
                                 const ConvParams& p, ConvMethod method,
                                 int threads) {
+  return estimate_conv_perf(spec, p, method, threads, ConvDtype::kF32);
+}
+
+PerfEstimate estimate_conv_perf(const PlatformSpec& spec,
+                                const ConvParams& p, ConvMethod method,
+                                int threads, ConvDtype dtype) {
   PerfEstimate est;
   if (threads <= 0) threads = spec.cores;
+  // Int8 tensors are a quarter the bytes: 4x the flops per byte both
+  // at the register tile (FAI) and at DRAM (traffic); SDOT also
+  // quadruples the per-instruction MAC rate.
+  const bool int8 = dtype != ConvDtype::kF32;
+  const double fai_scale = int8 ? 4.0 : 1.0;
+  const double traffic_scale = int8 ? 0.25 : 1.0;
+  const double peak_scale = dtype == ConvDtype::kI8Dot ? 4.0 : 1.0;
 
   double kappa = platform_kappa(spec);
   // SMT oversubscription hides load latency: each extra hardware thread
@@ -185,15 +207,16 @@ PerfEstimate estimate_conv_perf(const PlatformSpec& spec,
     kappa /= std::sqrt(ways);
   }
 
-  const double fai = method_fai(method, p);
+  const double fai = method_fai(method, p) * fai_scale;
   est.e_kernel = fai / (fai + kappa);
   est.u_parallel = method_utilization(method, p, threads);
 
-  const double peak = spec.peak_gflops;
+  const double peak = spec.peak_gflops * peak_scale;
   est.compute_bound = est.e_kernel * est.u_parallel * peak;
 
   const double bw_gbps = spec.bandwidth_gibs * 1.073741824;  // GiB -> GB
-  const double bytes = essential_traffic_bytes(method, p, threads);
+  const double bytes =
+      essential_traffic_bytes(method, p, threads) * traffic_scale;
   // (flops/byte) * (GB/s) = GFLOP/s.
   const double flops = static_cast<double>(p.flops());
   est.memory_bound = flops / bytes * bw_gbps;
@@ -205,8 +228,8 @@ PerfEstimate estimate_conv_perf(const PlatformSpec& spec,
 
   const double overlapped = std::min(est.compute_bound, est.memory_bound);
   const double t_kernel = flops / (overlapped * 1e9);
-  const double t_overhead =
-      sequential_overhead_bytes(method, p) / (bw_gbps * 1e9);
+  const double t_overhead = sequential_overhead_bytes(method, p) *
+                            traffic_scale / (bw_gbps * 1e9);
   est.gflops = flops / (t_kernel + t_overhead) / 1e9;
   est.pct_peak = 100.0 * est.gflops / peak;
   return est;

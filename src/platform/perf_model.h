@@ -50,6 +50,17 @@ const char* method_name(ConvMethod m);
 /// All methods, in the order the paper's figure legends list them.
 std::vector<ConvMethod> all_methods();
 
+/// Datatype axis of the model (DESIGN.md §14). GFLOPS stay
+/// "GFLOPS-equivalent": the nominal fp32 flop count divided by wall
+/// time, so dtypes compare directly on one roofline.
+enum class ConvDtype {
+  kF32,        ///< 4-byte tensors, FMA peak
+  kI8Emulated, ///< 1-byte tensors, widening-multiply ladder (~FMA peak)
+  kI8Dot,      ///< 1-byte tensors, SDOT: 4x the MACs per instruction
+};
+
+const char* conv_dtype_name(ConvDtype d);
+
 struct PerfEstimate {
   double gflops = 0;        ///< predicted throughput
   double pct_peak = 0;      ///< gflops / platform peak (0-100)
@@ -67,5 +78,14 @@ struct PerfEstimate {
 PerfEstimate estimate_conv_perf(const PlatformSpec& spec,
                                 const ConvParams& p, ConvMethod method,
                                 int threads);
+
+/// Dtype-aware overload. Int8 quarters every tensor's DRAM traffic
+/// (4x arithmetic intensity — which is exactly what lifts the
+/// bandwidth-bound Table 4 layers), scales the register-tile FAI by
+/// the same factor, and kI8Dot additionally raises the compute roof
+/// 4x (SDOT retires 16 MACs per instruction vs the fp32 FMA's 4).
+PerfEstimate estimate_conv_perf(const PlatformSpec& spec,
+                                const ConvParams& p, ConvMethod method,
+                                int threads, ConvDtype dtype);
 
 }  // namespace ndirect

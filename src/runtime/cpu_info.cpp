@@ -5,6 +5,10 @@
 
 #include <unistd.h>
 
+#if defined(__aarch64__) && defined(__linux__)
+#include <sys/auxv.h>
+#endif
+
 namespace ndirect {
 namespace {
 
@@ -63,6 +67,15 @@ CpuInfo probe_host_cpu() {
   info.logical_cores = hc == 0 ? 1 : static_cast<int>(hc);
   const std::string model = probe_cpu_model();
   if (!model.empty()) info.name = model;
+
+#if defined(__aarch64__) && defined(__linux__)
+  // HWCAP bits per the kernel's arch/arm64/include/uapi/asm/hwcap.h;
+  // defined locally so old libc headers don't hide the features.
+  constexpr unsigned long kHwcapAsimddp = 1ul << 20;
+  constexpr unsigned long kHwcap2I8mm = 1ul << 13;
+  info.asimddp = (getauxval(AT_HWCAP) & kHwcapAsimddp) != 0;
+  info.i8mm = (getauxval(AT_HWCAP2) & kHwcap2I8mm) != 0;
+#endif
 
 #ifdef _SC_LEVEL1_DCACHE_SIZE
   if (long s = sysconf(_SC_LEVEL1_DCACHE_SIZE); s > 0)

@@ -20,6 +20,13 @@ struct CpuInfo {
   std::string name = "host";
   int logical_cores = 1;
   CacheInfo cache;
+  /// ARMv8.2 dot-product extension (HWCAP asimddp): UDOT/SDOT issue four
+  /// int8 MACs per 32-bit lane — the int8 path's 4x arithmetic lever.
+  /// Always false on non-aarch64 hosts.
+  bool asimddp = false;
+  /// ARMv8.6 int8 matrix-multiply extension (HWCAP2 i8mm): adds USDOT /
+  /// SMMLA. Detected for the host stamp; no kernel uses it yet.
+  bool i8mm = false;
 };
 
 /// Probe the calling machine. Never fails: unknown values keep defaults.
