@@ -8,8 +8,9 @@ files with the same names; a result is only ever compared against a
 baseline from the *same* host key, so laptops, CI runners and the
 paper's ARM boards never gate each other.
 
-Metrics: every numeric leaf whose name contains "gflops" is compared
-higher-is-better; with --latency, leaves ending in _us/_ms/_ns and
+Metrics: every numeric leaf whose name contains "gflops" or "goodput"
+or ends in "_qps" is compared higher-is-better; with --latency, leaves
+ending in _us/_ms/_ns, bare percentile leaves (p50/p95/p99), and
 wall_seconds are additionally compared lower-is-better. A change worse
 than --threshold (relative, default 0.25 — smoke-mode runs are noisy)
 is a regression and the script exits 1. Hosts or benches with no
@@ -24,6 +25,7 @@ Usage:
 """
 import argparse
 import json
+import re
 import shutil
 import sys
 import tempfile
@@ -62,13 +64,17 @@ def metric_direction(key, include_latency):
 
     Latency metrics may nest percentiles under the named series
     ("round_trip_spin_us.p50"), so every path segment is checked for
-    the unit suffix, not just the leaf.
+    the unit suffix, not just the leaf. A bare percentile leaf
+    ("p50"/"p95"/"p99") with no unit anywhere on its path is still a
+    latency metric — the serving bench reports percentile rows that
+    way.
     """
     leaf = key.rsplit(".", 1)[-1]
-    if "gflops" in leaf:
+    if "gflops" in leaf or "goodput" in leaf or leaf.endswith("_qps"):
         return "higher"
     if include_latency and (
         any(seg.endswith(("_us", "_ms", "_ns")) for seg in key.split("."))
+        or re.fullmatch(r"p\d{2,3}", leaf)
         or leaf == "wall_seconds"
     ):
         return "lower"
@@ -174,6 +180,22 @@ def run_self_test():
     slow_doc = json.loads(json.dumps(base_doc))
     slow_doc["cases"][0]["stealing_gflops"] = 30.0  # -40% injected
 
+    # Serving-shaped doc: goodput gated unconditionally (higher-better),
+    # bare percentile leaves (no unit suffix anywhere on the path) gated
+    # lower-better only under --latency.
+    serve_doc = {
+        "host": {"key": "self-test-host-1c", "cores": 1},
+        "goodput_ratio_batched_vs_single": 2.0,
+        "cases": [
+            {"case": "batched", "goodput_qps": 90.0,
+             "latency": {"p50": 2.0, "p99": 8.0}},
+        ],
+    }
+    shed_doc = json.loads(json.dumps(serve_doc))
+    shed_doc["cases"][0]["goodput_qps"] = 50.0  # -44% goodput
+    tail_doc = json.loads(json.dumps(serve_doc))
+    tail_doc["cases"][0]["latency"]["p99"] = 13.0  # +62% p99
+
     with tempfile.TemporaryDirectory() as tmp:
         tmp = Path(tmp)
         (tmp / "baselines" / "self-test-host-1c").mkdir(parents=True)
@@ -182,14 +204,22 @@ def run_self_test():
                   "BENCH_selftest.json", "w") as f:
             json.dump(base_doc, f)
 
-        def run_with(doc, threshold):
-            with open(tmp / "results" / "BENCH_selftest.json", "w") as f:
+        def run_with(doc, threshold, name="BENCH_selftest.json",
+                     baseline=None, latency=False):
+            if baseline is not None:
+                with open(tmp / "baselines" / "self-test-host-1c" /
+                          name, "w") as f:
+                    json.dump(baseline, f)
+            with open(tmp / "results" / name, "w") as f:
                 json.dump(doc, f)
-            ns = argparse.Namespace(
-                results=str(tmp / "results"),
-                baselines=str(tmp / "baselines"),
-                threshold=threshold, latency=False, update=False)
-            return run_compare(ns)
+            try:
+                ns = argparse.Namespace(
+                    results=str(tmp / "results"),
+                    baselines=str(tmp / "baselines"),
+                    threshold=threshold, latency=latency, update=False)
+                return run_compare(ns)
+            finally:
+                (tmp / "results" / name).unlink()
 
         checks = [
             ("identical run passes", run_with(base_doc, 0.25) == 0),
@@ -197,6 +227,18 @@ def run_self_test():
              run_with(slow_doc, 0.25) == 1),
             ("-40% slowdown passes a 50% gate",
              run_with(slow_doc, 0.50) == 0),
+            ("identical serving run passes under --latency",
+             run_with(serve_doc, 0.25, name="BENCH_serveself.json",
+                      baseline=serve_doc, latency=True) == 0),
+            ("-44% goodput trips the 25% gate without --latency",
+             run_with(shed_doc, 0.25,
+                      name="BENCH_serveself.json") == 1),
+            ("+62% bare-p99 trips the 50% gate under --latency",
+             run_with(tail_doc, 0.50, name="BENCH_serveself.json",
+                      latency=True) == 1),
+            ("+62% bare-p99 is ignored without --latency",
+             run_with(tail_doc, 0.50,
+                      name="BENCH_serveself.json") == 0),
         ]
     ok = all(passed for _, passed in checks)
     for name, passed in checks:

@@ -41,6 +41,10 @@ const char* counter_name(Counter c) {
     case Counter::kPmuStalledCycles: return "pmu_stalled_cycles";
     case Counter::kPmuPackL1DMisses: return "pmu_pack_l1d_misses";
     case Counter::kPmuMicroL1DMisses: return "pmu_micro_l1d_misses";
+    case Counter::kServeAdmitted: return "serve_admitted";
+    case Counter::kServeShedArrival: return "serve_shed_arrival";
+    case Counter::kServeShedQueue: return "serve_shed_queue";
+    case Counter::kServeBatches: return "serve_batches";
   }
   return "unknown";
 }

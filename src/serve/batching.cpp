@@ -1,0 +1,100 @@
+#include "serve/batching.h"
+
+#include <algorithm>
+
+namespace ndirect::serve {
+
+namespace {
+
+std::uint64_t saturating_add(std::uint64_t a, std::uint64_t b) {
+  return a > kNeverNs - b ? kNeverNs : a + b;
+}
+
+}  // namespace
+
+BatchPlan plan_batch(const std::deque<Request>& pending,
+                     std::uint64_t now, int max_batch,
+                     const LatencyModel& model,
+                     bool more_arrivals_possible,
+                     std::uint64_t max_linger_ns) {
+  BatchPlan plan;
+  const int limit =
+      static_cast<int>(std::min<std::size_t>(pending.size(),
+                                             static_cast<std::size_t>(
+                                                 std::max(1, max_batch))));
+  if (limit == 0) return plan;
+
+  // Grow the FIFO prefix while the predicted batch latency still meets
+  // the tightest deadline in the batch. The head request is always
+  // taken (expiry shedding ran first, so it is feasible solo — and a
+  // server must make progress even when the model disagrees).
+  std::uint64_t tightest = kNeverNs;
+  for (int k = 1; k <= limit; ++k) {
+    const std::uint64_t d =
+        std::min(tightest, pending[static_cast<std::size_t>(k - 1)]
+                               .deadline_ns);
+    const std::uint64_t p = model.predict_ns(k);
+    if (k > 1 && saturating_add(now, p) > d) break;
+    plan.size = k;
+    plan.predicted_ns = p;
+    plan.tightest_deadline_ns = d;
+    tightest = d;
+  }
+
+  // Launch timing: a full batch (or a draining server) goes now;
+  // otherwise linger for more arrivals until the latest instant the
+  // current members still make their tightest deadline.
+  if (plan.size >= max_batch || !more_arrivals_possible) {
+    plan.launch_at = now;
+    return plan;
+  }
+  std::uint64_t latest = kNeverNs;
+  if (plan.tightest_deadline_ns != kNeverNs) {
+    latest = plan.tightest_deadline_ns > plan.predicted_ns
+                 ? plan.tightest_deadline_ns - plan.predicted_ns
+                 : now;
+  }
+  if (max_linger_ns != kNeverNs) {
+    latest = std::min(
+        latest, saturating_add(pending.front().arrival_ns, max_linger_ns));
+  }
+  // No deadline anywhere and no linger cap: nothing bounds the wait,
+  // so do not wait at all.
+  plan.launch_at = latest == kNeverNs ? now : std::max(now, latest);
+  return plan;
+}
+
+std::uint64_t estimate_finish_ns(std::uint64_t now,
+                                 std::size_t queue_depth,
+                                 std::uint64_t busy_free_at,
+                                 int max_batch, int executors,
+                                 const LatencyModel& model) {
+  max_batch = std::max(1, max_batch);
+  executors = std::max(1, executors);
+  const std::uint64_t start = std::max(now, busy_free_at);
+  const std::uint64_t full_batches =
+      queue_depth / static_cast<std::size_t>(max_batch);
+  const int remainder =
+      static_cast<int>(queue_depth % static_cast<std::size_t>(max_batch));
+  // Backlog of full batches drains across the executor lanes; the
+  // arriving request then rides the remainder batch.
+  const std::uint64_t backlog =
+      full_batches * model.predict_ns(max_batch) /
+      static_cast<std::uint64_t>(executors);
+  const std::uint64_t own =
+      model.predict_ns(std::min(remainder + 1, max_batch));
+  std::uint64_t finish = start;
+  finish = finish > kNeverNs - backlog ? kNeverNs : finish + backlog;
+  finish = finish > kNeverNs - own ? kNeverNs : finish + own;
+  return finish;
+}
+
+bool admit(std::uint64_t now, std::uint64_t deadline_ns,
+           std::size_t queue_depth, std::uint64_t busy_free_at,
+           int max_batch, int executors, const LatencyModel& model) {
+  if (deadline_ns == kNeverNs) return true;
+  return estimate_finish_ns(now, queue_depth, busy_free_at, max_batch,
+                            executors, model) <= deadline_ns;
+}
+
+}  // namespace ndirect::serve

@@ -1,0 +1,73 @@
+// Model-driven batch sizing and deadline-aware admission.
+//
+// Pure functions of (queue state, time, latency model) — no locks, no
+// threads, no clock reads — so the serving layer's decision logic is
+// unit-testable with exact, synthetic inputs. The server calls these
+// under its queue lock with Clock::now_ns(); the tests call them
+// directly with hand-built queues and an AffineLatencyModel.
+//
+// Batch sizing (DESIGN.md §15): a batch is a FIFO prefix of the
+// queue. Grow it while the model-predicted batch latency still meets
+// the tightest deadline *in* the batch if launched now:
+//
+//     now + predict(k) <= min(deadline_1 .. deadline_k)
+//
+// Growing k raises predict(k) and can only tighten the min-deadline,
+// so the feasible prefix is scanned front-to-back. A partial batch
+// then lingers for more arrivals until the last instant the current
+// members still make their tightest deadline — launch_at =
+// tightest(k) - predict(k) — which is exactly "spend the whole
+// latency budget on batching".
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "serve/latency_model.h"
+#include "serve/request_queue.h"
+
+namespace ndirect::serve {
+
+struct BatchPlan {
+  int size = 0;  ///< requests to take from the queue front (0 = empty)
+  /// Earliest instant the batch should launch: now when full /
+  /// deadline-pressed / draining, later when lingering for arrivals.
+  std::uint64_t launch_at = 0;
+  std::uint64_t predicted_ns = 0;  ///< model latency at `size`
+  /// Tightest deadline among the batch members (kNeverNs if none).
+  std::uint64_t tightest_deadline_ns = kNeverNs;
+};
+
+/// Plan the next batch over the FIFO `pending` queue at time `now`.
+/// Precondition: hopeless requests were already removed
+/// (RequestQueue::take_expired), so the head request is feasible solo
+/// and the planned size is >= 1 whenever the queue is non-empty.
+/// `more_arrivals_possible` is false while draining (shutdown): the
+/// plan then never lingers. `max_linger_ns` additionally caps the
+/// linger at head-arrival + max_linger_ns. With no deadline and no
+/// linger cap the batch launches immediately — requests are never
+/// held hostage waiting for company they cannot name a budget for.
+BatchPlan plan_batch(const std::deque<Request>& pending,
+                     std::uint64_t now, int max_batch,
+                     const LatencyModel& model,
+                     bool more_arrivals_possible,
+                     std::uint64_t max_linger_ns = kNeverNs);
+
+/// Predicted completion time of a request arriving at `now` behind
+/// `queue_depth` pending requests, with the earliest executor lane
+/// free at `busy_free_at` (<= now when idle): the backlog runs as
+/// full batches split across `executors` lanes, then the arriving
+/// request rides the remainder batch.
+std::uint64_t estimate_finish_ns(std::uint64_t now,
+                                 std::size_t queue_depth,
+                                 std::uint64_t busy_free_at,
+                                 int max_batch, int executors,
+                                 const LatencyModel& model);
+
+/// Deadline-aware admission: accept iff the model predicts the
+/// request can finish by `deadline_ns` (kNeverNs always admits).
+bool admit(std::uint64_t now, std::uint64_t deadline_ns,
+           std::size_t queue_depth, std::uint64_t busy_free_at,
+           int max_batch, int executors, const LatencyModel& model);
+
+}  // namespace ndirect::serve

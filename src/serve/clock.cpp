@@ -1,0 +1,109 @@
+#include "serve/clock.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "runtime/telemetry.h"
+
+namespace ndirect::serve {
+
+// ---------------------------------------------------------------------------
+// RealClock
+// ---------------------------------------------------------------------------
+
+std::uint64_t RealClock::now_ns() const { return monotonic_ns(); }
+
+void RealClock::wait_until(std::condition_variable& cv,
+                           std::unique_lock<std::mutex>& lk,
+                           std::uint64_t t_ns) {
+  if (t_ns == kNeverNs) {
+    cv.wait(lk);
+    return;
+  }
+  const std::uint64_t now = now_ns();
+  if (t_ns <= now) return;
+  cv.wait_for(lk, std::chrono::nanoseconds(t_ns - now));
+}
+
+RealClock& RealClock::instance() {
+  static RealClock clock;
+  return clock;
+}
+
+// ---------------------------------------------------------------------------
+// VirtualClock
+// ---------------------------------------------------------------------------
+
+void VirtualClock::register_waiter(std::condition_variable* cv,
+                                   std::mutex* mu) {
+  std::lock_guard<std::mutex> g(mu_);
+  for (const auto& [c, m] : waiters_) {
+    if (c == cv && m == mu) return;
+  }
+  waiters_.emplace_back(cv, mu);
+}
+
+void VirtualClock::wait_until(std::condition_variable& cv,
+                              std::unique_lock<std::mutex>& lk,
+                              std::uint64_t t_ns) {
+  // Register BEFORE reading the time. An advance() stores the new time
+  // first and snapshots the registry second, so either this waiter is
+  // in the snapshot (and gets the mutex-handshake notify below) or its
+  // registration happened after the snapshot — in which case the time
+  // read here already sees the advanced value and we return without
+  // waiting. Either way the wakeup cannot be lost.
+  register_waiter(&cv, lk.mutex());
+  if (now_ns() >= t_ns) return;
+  cv.wait(lk);
+}
+
+void VirtualClock::set(std::uint64_t t_ns) {
+  // Monotonic publish of the new time (concurrent setters race to the
+  // max, never backwards).
+  std::uint64_t prev = now_.load(std::memory_order_seq_cst);
+  while (prev < t_ns &&
+         !now_.compare_exchange_weak(prev, t_ns,
+                                     std::memory_order_seq_cst)) {
+  }
+
+  // Snapshot the registry, then handshake-notify each waiter: briefly
+  // acquiring the waiter's mutex guarantees any thread that read the
+  // old time under that mutex has since released it inside cv.wait —
+  // so the notify below is observed, never dropped between a waiter's
+  // time check and its wait.
+  // The pass is counted so unregister_waiter can wait for the snapshot
+  // to go out of use before its caller destroys the cv it names.
+  std::vector<std::pair<std::condition_variable*, std::mutex*>> snapshot;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    ++notify_passes_;
+    snapshot = waiters_;
+  }
+  for (auto& [cv, mu] : snapshot) {
+    { std::lock_guard<std::mutex> g(*mu); }
+    cv->notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    --notify_passes_;
+  }
+  drained_.notify_all();
+}
+
+void VirtualClock::unregister_waiter(std::condition_variable* cv) {
+  std::unique_lock<std::mutex> g(mu_);
+  waiters_.erase(std::remove_if(waiters_.begin(), waiters_.end(),
+                                [cv](const auto& w) {
+                                  return w.first == cv;
+                                }),
+                 waiters_.end());
+  // A pass snapshotted before the erase may still be about to notify
+  // this cv; it cannot be destroyed until those passes finish.
+  drained_.wait(g, [this] { return notify_passes_ == 0; });
+}
+
+void VirtualClock::advance(std::uint64_t delta_ns) {
+  set(now_.load(std::memory_order_seq_cst) + delta_ns);
+}
+
+}  // namespace ndirect::serve

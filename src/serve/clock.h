@@ -1,0 +1,114 @@
+// Injectable time source for the serving layer (DESIGN.md §15).
+//
+// Every queue/deadline decision in serve/ reads time exclusively
+// through a Clock and blocks exclusively through Clock::wait_until, so
+// the same batching/admission/shedding code runs against the wall
+// clock in production and against a VirtualClock in tests — where time
+// moves only when the test calls advance(). That makes every timeout
+// path exact and reproducible: no sleeps, no "within 50ms" margins, no
+// flaky wall-clock assertions (the serving_test suite must survive
+// `ctest --repeat until-fail:100`).
+//
+// The wait contract is deliberately condvar-shaped rather than
+// sleep-shaped: the caller holds its own mutex, passes its own
+// condition variable, and re-checks its predicate in a loop after
+// every return (returns may be spurious, exactly like cv.wait). This
+// lets one wait simultaneously respond to "time reached the batch
+// launch instant" (clock-driven) and "a new request arrived /
+// shutdown began" (cv notified by the server) without polling.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace ndirect::serve {
+
+/// "No deadline" / "wait indefinitely" sentinel for absolute times.
+inline constexpr std::uint64_t kNeverNs = ~std::uint64_t{0};
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time in nanoseconds (monotonic; epoch is clock-defined).
+  virtual std::uint64_t now_ns() const = 0;
+
+  /// Block the calling thread — which holds `lk` — until roughly
+  /// now_ns() >= t_ns, `cv` is notified, or spuriously. The caller
+  /// MUST re-check its predicate and the time in a loop; this is a
+  /// single cv.wait-style round, not a guarantee. t_ns == kNeverNs
+  /// waits for a notification only.
+  virtual void wait_until(std::condition_variable& cv,
+                          std::unique_lock<std::mutex>& lk,
+                          std::uint64_t t_ns) = 0;
+
+  /// Drop every registration of `cv` and block until no in-flight
+  /// wakeup pass can still touch it. A waiter whose cv/mutex die
+  /// before the clock does MUST call this first, and MUST NOT hold
+  /// the mutex it waited with while doing so (a wakeup pass may be
+  /// blocked acquiring that mutex, and this call waits for the pass).
+  /// No-op for clocks that keep no registry (RealClock).
+  virtual void unregister_waiter(std::condition_variable* /*cv*/) {}
+};
+
+/// Production clock: steady_clock time, cv.wait_for-based timed waits.
+class RealClock final : public Clock {
+ public:
+  std::uint64_t now_ns() const override;
+  void wait_until(std::condition_variable& cv,
+                  std::unique_lock<std::mutex>& lk,
+                  std::uint64_t t_ns) override;
+
+  /// Shared stateless instance (what a null ServerOptions::clock means).
+  static RealClock& instance();
+};
+
+/// Test clock: time is a counter that moves only on advance()/set(),
+/// and waiters are woken through a registered-waiter handshake that
+/// cannot lose a wakeup (see wait_until for the ordering argument).
+///
+/// advance()/set() must not be called while holding a mutex that a
+/// waiter passed to wait_until — the wakeup handshake acquires each
+/// waiter's mutex briefly to close the check-then-wait race.
+class VirtualClock final : public Clock {
+ public:
+  explicit VirtualClock(std::uint64_t start_ns = 0) : now_(start_ns) {}
+
+  std::uint64_t now_ns() const override {
+    return now_.load(std::memory_order_seq_cst);
+  }
+
+  void wait_until(std::condition_variable& cv,
+                  std::unique_lock<std::mutex>& lk,
+                  std::uint64_t t_ns) override;
+
+  /// Move time forward by `delta_ns` and wake every registered waiter.
+  void advance(std::uint64_t delta_ns);
+
+  /// Jump to absolute time `t_ns` (monotonic: earlier times are
+  /// ignored) and wake every registered waiter.
+  void set(std::uint64_t t_ns);
+
+  /// Erase `cv` from the registry, then wait for every in-flight
+  /// set()/advance() wakeup pass to finish — after this returns, no
+  /// clock thread holds a pointer to `cv` and it is safe to destroy.
+  void unregister_waiter(std::condition_variable* cv) override;
+
+ private:
+  void register_waiter(std::condition_variable* cv, std::mutex* mu);
+
+  std::atomic<std::uint64_t> now_;
+  std::mutex mu_;  ///< guards waiters_ and notify_passes_
+  /// Registered once per (cv, mutex) pair, kept until explicitly
+  /// unregistered: a waiter whose cv dies before the clock must
+  /// unregister_waiter() first (see Clock::unregister_waiter).
+  std::vector<std::pair<std::condition_variable*, std::mutex*>> waiters_;
+  int notify_passes_ = 0;  ///< set()/advance() passes mid-notification
+  std::condition_variable drained_;  ///< notify_passes_ reached zero
+};
+
+}  // namespace ndirect::serve

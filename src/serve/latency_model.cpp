@@ -1,0 +1,60 @@
+#include "serve/latency_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ndirect::serve {
+
+GraphLatencyModel::GraphLatencyModel(Graph& graph,
+                                     const PlatformSpec* spec,
+                                     int threads,
+                                     std::uint64_t fixed_overhead_ns)
+    : spec_(spec != nullptr ? spec : &host_platform()),
+      threads_(threads > 0 ? threads : 0),
+      overhead_ns_(fixed_overhead_ns) {
+  if (threads_ == 0) threads_ = spec_->cores;
+  for (const ConvOp* op : graph.conv_ops()) {
+    convs_.push_back(op->params());
+  }
+}
+
+std::uint64_t GraphLatencyModel::analytical_ns(int batch) const {
+  // Caller holds mu_.
+  const auto it = cache_.find(batch);
+  if (it != cache_.end()) return it->second;
+  double ns = static_cast<double>(overhead_ns_);
+  for (ConvParams p : convs_) {
+    p.N = batch;
+    const PerfEstimate est =
+        estimate_conv_perf(*spec_, p, ConvMethod::Ndirect, threads_);
+    if (est.gflops > 0) {
+      // flops / (gflops * 1e9 flops/s) seconds = flops / gflops ns.
+      ns += static_cast<double>(p.flops()) / est.gflops;
+    }
+  }
+  const auto v = static_cast<std::uint64_t>(std::llround(ns));
+  cache_.emplace(batch, v);
+  return v;
+}
+
+std::uint64_t GraphLatencyModel::predict_ns(int batch) const {
+  std::lock_guard<std::mutex> g(mu_);
+  const double v = scale_ * static_cast<double>(analytical_ns(batch));
+  return static_cast<std::uint64_t>(std::llround(v));
+}
+
+void GraphLatencyModel::observe(int batch, std::uint64_t measured_ns) {
+  std::lock_guard<std::mutex> g(mu_);
+  const std::uint64_t raw = analytical_ns(batch);
+  if (raw == 0 || measured_ns == 0) return;
+  const double ratio =
+      static_cast<double>(measured_ns) / static_cast<double>(raw);
+  scale_ = std::clamp(0.7 * scale_ + 0.3 * ratio, 0.05, 20.0);
+}
+
+double GraphLatencyModel::scale() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return scale_;
+}
+
+}  // namespace ndirect::serve

@@ -1,0 +1,95 @@
+// Batch-latency prediction for model-driven batch sizing.
+//
+// The serving layer's central decision — "grow the batch, or launch
+// now?" — is taken against a predicted forward-pass latency per batch
+// size. GraphLatencyModel derives that prediction analytically from
+// the FAI roofline model (platform/perf_model.h): each conv layer of
+// the served graph is re-batched to N and its predicted GFLOPS turned
+// into nanoseconds, so batch sizing is model-driven rather than
+// heuristic (the batch grows exactly while the model says the
+// tightest deadline in the batch survives). An EWMA calibration
+// (observe()) folds measured batch wall times back into the scale so
+// admission stays honest when the roofline over/undershoots the host.
+//
+// AffineLatencyModel is the deterministic stand-in for tests and
+// synthetic benches: latency = base + per_item * batch, exactly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "nn/graph.h"
+#include "platform/perf_model.h"
+#include "platform/specs.h"
+
+namespace ndirect::serve {
+
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+
+  /// Predicted wall time of one forward pass at batch size `batch`
+  /// (batch >= 1). Must be monotonically non-decreasing in `batch`.
+  virtual std::uint64_t predict_ns(int batch) const = 0;
+
+  /// Feedback hook: one batch of size `batch` measured `measured_ns`
+  /// of wall time. Default: ignore (fixed models stay fixed).
+  virtual void observe(int batch, std::uint64_t measured_ns) {
+    (void)batch, (void)measured_ns;
+  }
+};
+
+/// Exact affine model for tests/benches: base + per_item * batch.
+class AffineLatencyModel final : public LatencyModel {
+ public:
+  AffineLatencyModel(std::uint64_t base_ns, std::uint64_t per_item_ns)
+      : base_(base_ns), per_(per_item_ns) {}
+
+  std::uint64_t predict_ns(int batch) const override {
+    return base_ + per_ * static_cast<std::uint64_t>(batch);
+  }
+
+ private:
+  std::uint64_t base_;
+  std::uint64_t per_;
+};
+
+/// FAI-roofline-driven model for a served graph.
+class GraphLatencyModel final : public LatencyModel {
+ public:
+  /// Extracts the conv layers of `graph` (any batch size; shapes are
+  /// re-batched per query). Predictions are evaluated on `spec`
+  /// (nullptr = the probed host_platform(), whose first call measures
+  /// peak/bandwidth with microbenchmarks) using `threads` workers
+  /// (0 = spec->cores). `fixed_overhead_ns` charges the per-forward
+  /// non-conv + dispatch cost the roofline cannot see.
+  explicit GraphLatencyModel(Graph& graph,
+                             const PlatformSpec* spec = nullptr,
+                             int threads = 0,
+                             std::uint64_t fixed_overhead_ns = 200'000);
+
+  std::uint64_t predict_ns(int batch) const override;
+
+  /// EWMA-calibrate: scale <- 0.7*scale + 0.3*(measured/analytical),
+  /// clamped to [0.05, 20] so one outlier batch cannot wedge admission
+  /// into rejecting (or accepting) everything.
+  void observe(int batch, std::uint64_t measured_ns) override;
+
+  /// Current calibration factor (1.0 until the first observe()).
+  double scale() const;
+
+ private:
+  std::uint64_t analytical_ns(int batch) const;  ///< unscaled, cached
+
+  std::vector<ConvParams> convs_;
+  const PlatformSpec* spec_;
+  int threads_;
+  std::uint64_t overhead_ns_;
+  mutable std::mutex mu_;  ///< guards cache_ and scale_
+  mutable std::map<int, std::uint64_t> cache_;
+  double scale_ = 1.0;
+};
+
+}  // namespace ndirect::serve

@@ -1,0 +1,56 @@
+#include "serve/request_queue.h"
+
+#include <string>
+
+namespace ndirect::serve {
+
+const char* shed_reason_name(ShedReason r) {
+  switch (r) {
+    case ShedReason::kAdmission: return "admission";
+    case ShedReason::kDeadlineExpired: return "deadline_expired";
+    case ShedReason::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+ShedError::ShedError(ShedReason reason)
+    : std::runtime_error(std::string("request shed: ") +
+                         shed_reason_name(reason)),
+      reason_(reason) {}
+
+std::vector<Request> RequestQueue::pop_front(int n) {
+  std::vector<Request> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n && !q_.empty(); ++i) {
+    out.push_back(std::move(q_.front()));
+    q_.pop_front();
+  }
+  return out;
+}
+
+std::vector<Request> RequestQueue::take_expired(std::uint64_t now,
+                                                std::uint64_t predict_1_ns) {
+  std::vector<Request> shed;
+  // Saturating now + predict(1): a request is hopeless when even an
+  // immediate solo launch would finish past its deadline.
+  const std::uint64_t finish =
+      now > kNeverNs - predict_1_ns ? kNeverNs : now + predict_1_ns;
+  for (auto it = q_.begin(); it != q_.end();) {
+    if (it->deadline_ns != kNeverNs && it->deadline_ns < finish) {
+      shed.push_back(std::move(*it));
+      it = q_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return shed;
+}
+
+std::vector<Request> RequestQueue::drain() {
+  std::vector<Request> out(std::make_move_iterator(q_.begin()),
+                           std::make_move_iterator(q_.end()));
+  q_.clear();
+  return out;
+}
+
+}  // namespace ndirect::serve

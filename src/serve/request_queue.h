@@ -1,0 +1,106 @@
+// Request types and the lock-guarded FIFO request queue.
+//
+// A Request is one single-image inference (N=1 NCHW tensor) with an
+// absolute deadline and a promise for its result. The queue itself is
+// a plain FIFO deque guarded by one mutex: the server's submit path
+// pushes under the lock, executor lanes plan/extract batches under the
+// same lock, and the queue's condition variable — together with
+// Clock::wait_until — is the only thing anyone ever blocks on. FIFO
+// extraction is a fairness guarantee: requests within one deadline
+// class are served in arrival order, and batches are always contiguous
+// prefixes of the queue.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <stdexcept>
+#include <vector>
+
+#include "serve/clock.h"
+#include "tensor/tensor.h"
+
+namespace ndirect::serve {
+
+/// Per-request observability, filled by the server when the request's
+/// batch completes (all times from the server's Clock, so exact under
+/// a VirtualClock).
+struct ServeStats {
+  std::uint64_t arrival_ns = 0;   ///< submit() time
+  std::uint64_t launch_ns = 0;    ///< when the batch started executing
+  std::uint64_t done_ns = 0;      ///< when the result was delivered
+  std::uint64_t queue_wait_ns = 0;  ///< launch - arrival
+  int batch_size = 0;             ///< requests coalesced into the batch
+  /// deadline - done; negative = served but late (a deadline miss).
+  /// INT64_MAX for requests submitted without a deadline.
+  std::int64_t deadline_slack_ns = 0;
+  std::uint64_t predicted_batch_ns = 0;  ///< model latency at batch_size
+  std::uint64_t measured_batch_ns = 0;   ///< wall time of the forward
+};
+
+/// What a served request's future resolves to.
+struct ServeResult {
+  Tensor output;  ///< N=1 slice of the batch output
+  ServeStats stats;
+};
+
+/// Why a request was load-shed instead of served.
+enum class ShedReason {
+  kAdmission,        ///< rejected on arrival: model predicts a miss
+  kDeadlineExpired,  ///< deadline passed while queued
+  kShutdown,         ///< server stopping (submit-after-shutdown or
+                     ///< non-drain shutdown dropping the queue)
+};
+
+const char* shed_reason_name(ShedReason r);
+
+/// The exception a shed request's future throws.
+class ShedError : public std::runtime_error {
+ public:
+  explicit ShedError(ShedReason reason);
+  ShedReason reason() const { return reason_; }
+
+ private:
+  ShedReason reason_;
+};
+
+struct Request {
+  std::uint64_t id = 0;
+  Tensor input;  ///< [1, C, H, W] NCHW
+  std::uint64_t arrival_ns = 0;
+  std::uint64_t deadline_ns = kNeverNs;  ///< absolute; kNeverNs = none
+  std::promise<ServeResult> promise;
+};
+
+/// FIFO queue of pending requests. All methods except mutex()/cv()
+/// require the caller to hold mutex() — the server's submit path and
+/// executor lanes coordinate through that one lock.
+class RequestQueue {
+ public:
+  std::mutex& mutex() { return mu_; }
+  std::condition_variable& cv() { return cv_; }
+
+  void push(Request r) { q_.push_back(std::move(r)); }
+  bool empty() const { return q_.empty(); }
+  std::size_t size() const { return q_.size(); }
+  const std::deque<Request>& pending() const { return q_; }
+
+  /// Remove and return the first `n` requests (the batch).
+  std::vector<Request> pop_front(int n);
+
+  /// Remove and return every pending request that can no longer meet
+  /// its deadline even if launched alone right now (deadline <
+  /// now + predict_1_ns) — the in-queue shed set.
+  std::vector<Request> take_expired(std::uint64_t now,
+                                    std::uint64_t predict_1_ns);
+
+  /// Remove and return everything (non-drain shutdown).
+  std::vector<Request> drain();
+
+ private:
+  std::deque<Request> q_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+}  // namespace ndirect::serve

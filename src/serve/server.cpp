@@ -1,0 +1,380 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <cstring>
+#include <exception>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "runtime/thread_pool.h"
+#include "runtime/trace.h"
+
+namespace ndirect::serve {
+
+namespace {
+
+std::uint64_t saturating_add(std::uint64_t a, std::uint64_t b) {
+  return a > kNeverNs - b ? kNeverNs : a + b;
+}
+
+ServerOptions normalized(ServerOptions o) {
+  o.max_batch = std::max(1, o.max_batch);
+  o.executors = std::max(1, o.executors);
+  return o;
+}
+
+/// One zero-input forward so the graph plans its engines and fills its
+/// packed-filter caches before real traffic (and real timing) hits it.
+void warm_graph(Graph& g) {
+  const TensorShape s = g.shape_of(0);
+  Tensor zero({s.N, s.C, s.H, s.W}, Layout::NCHW);
+  zero.fill_zero();
+  (void)g.run(zero);
+}
+
+}  // namespace
+
+Server::Server(GraphFactory factory, ServerOptions options)
+    : factory_(std::move(factory)),
+      options_(normalized(std::move(options))),
+      clock_(options_.clock != nullptr ? options_.clock
+                                       : &RealClock::instance()),
+      model_(options_.model),
+      pool_(options_.pool != nullptr ? options_.pool
+                                     : &ThreadPool::global()),
+      telemetry_(options_.executors + 1) {
+  if (!factory_)
+    throw std::invalid_argument("serve::Server: null GraphFactory");
+  // Build the batch-1 instance eagerly: it defines the accepted input
+  // shape, seeds the default latency model, and pre-warms the most
+  // common pool entry before the lanes start.
+  std::unique_ptr<Graph> probe = factory_(1);
+  if (!probe)
+    throw std::invalid_argument(
+        "serve::Server: GraphFactory returned null");
+  probe->set_conv_pool(pool_);
+  input_shape_ = probe->shape_of(0);
+  if (input_shape_.N != 1)
+    throw std::invalid_argument(
+        "serve::Server: factory(1) built a graph with input batch " +
+        std::to_string(input_shape_.N));
+  if (model_ == nullptr) {
+    owned_model_ = std::make_unique<GraphLatencyModel>(*probe);
+    model_ = owned_model_.get();
+  }
+  if (options_.warmup) warm_graph(*probe);
+  {
+    std::lock_guard<std::mutex> g(graphs_mu_);
+    free_graphs_[1].push_back(std::move(probe));
+  }
+  busy_until_.assign(static_cast<std::size_t>(options_.executors), 0);
+  lanes_.reserve(static_cast<std::size_t>(options_.executors));
+  for (int lane = 0; lane < options_.executors; ++lane)
+    lanes_.emplace_back([this, lane] { executor_loop(lane); });
+}
+
+Server::~Server() { shutdown(/*drain=*/true); }
+
+std::future<ServeResult> Server::submit(Tensor input,
+                                        std::uint64_t deadline_budget_ns) {
+  if (input.rank() != 4 || input.layout() != Layout::NCHW ||
+      input.dim(0) != 1 || input.dim(1) != input_shape_.C ||
+      input.dim(2) != input_shape_.H || input.dim(3) != input_shape_.W) {
+    throw std::invalid_argument(
+        "serve::Server::submit: input " + input.shape_string() +
+        " does not match the served graph's [1, " +
+        std::to_string(input_shape_.C) + ", " +
+        std::to_string(input_shape_.H) + ", " +
+        std::to_string(input_shape_.W) + "] NCHW input");
+  }
+
+  const std::uint64_t now = clock_->now_ns();
+  Request r;
+  r.input = std::move(input);
+  r.arrival_ns = now;
+  r.deadline_ns = deadline_budget_ns == kNeverNs
+                      ? kNeverNs
+                      : saturating_add(now, deadline_budget_ns);
+  std::future<ServeResult> fut = r.promise.get_future();
+
+  {
+    std::unique_lock<std::mutex> lk(queue_.mutex());
+    ++stats_.submitted;
+    if (stopping_) {
+      ++stats_.shed_shutdown;
+      lk.unlock();
+      shed(std::move(r), ShedReason::kShutdown, 0,
+           Counter::kServeShedArrival);
+      return fut;
+    }
+    if (options_.admission_control &&
+        !admit(now, r.deadline_ns, queue_.size(), earliest_free_at(),
+               options_.max_batch, options_.executors, *model_)) {
+      ++stats_.shed_admission;
+      lk.unlock();
+      shed(std::move(r), ShedReason::kAdmission, 0,
+           Counter::kServeShedArrival);
+      return fut;
+    }
+    r.id = next_id_++;
+    ++stats_.admitted;
+    queue_.push(std::move(r));
+    stats_.queued = queue_.size();
+  }
+  telemetry_.add(0, Counter::kServeAdmitted, 1);
+  if (trace_on()) TraceSession::global().instant("serve_enqueue");
+  queue_.cv().notify_all();
+  return fut;
+}
+
+void Server::executor_loop(int lane) {
+  if (trace_on())
+    set_trace_lane_name("serve-exec-" + std::to_string(lane));
+  std::unique_lock<std::mutex> lk(queue_.mutex());
+  for (;;) {
+    const std::uint64_t now = clock_->now_ns();
+
+    // 1) Shed everything that can no longer make its deadline even
+    //    launched alone right now, then re-evaluate: the planner's
+    //    head-is-feasible precondition depends on this running first.
+    if (!queue_.empty()) {
+      std::vector<Request> expired =
+          queue_.take_expired(now, model_->predict_ns(1));
+      if (!expired.empty()) {
+        stats_.shed_expired += expired.size();
+        stats_.queued = queue_.size();
+        lk.unlock();
+        for (Request& r : expired)
+          shed(std::move(r), ShedReason::kDeadlineExpired, lane + 1,
+               Counter::kServeShedQueue);
+        lk.lock();
+        continue;
+      }
+    }
+
+    // 2) Idle: exit once stopping (drain leaves nothing behind by
+    //    construction — the queue is empty), else park on the cv.
+    if (queue_.empty()) {
+      if (stopping_) return;
+      clock_->wait_until(queue_.cv(), lk, kNeverNs);
+      continue;
+    }
+
+    // 3) Plan a batch. While stopping no more arrivals are possible,
+    //    so partial batches launch immediately (the drain path).
+    const BatchPlan plan =
+        plan_batch(queue_.pending(), now, options_.max_batch, *model_,
+                   /*more_arrivals_possible=*/!stopping_,
+                   options_.max_linger_ns);
+    if (plan.size <= 0) {  // unreachable after expiry; stay safe
+      clock_->wait_until(queue_.cv(), lk, kNeverNs);
+      continue;
+    }
+
+    // 4) Linger for company: wait until the launch instant, a new
+    //    arrival, or shutdown — then replan from scratch.
+    if (plan.launch_at > now) {
+      clock_->wait_until(queue_.cv(), lk, plan.launch_at);
+      continue;
+    }
+
+    // 5) Launch.
+    std::vector<Request> batch = queue_.pop_front(plan.size);
+    busy_until_[static_cast<std::size_t>(lane)] =
+        saturating_add(now, plan.predicted_ns);
+    stats_.queued = queue_.size();
+    lk.unlock();
+    run_batch(lane, std::move(batch), plan, now);
+    lk.lock();
+    busy_until_[static_cast<std::size_t>(lane)] = 0;
+  }
+}
+
+void Server::run_batch(int lane, std::vector<Request> batch,
+                       const BatchPlan& plan, std::uint64_t launch_ns) {
+  const int k = static_cast<int>(batch.size());
+  const TensorShape& s = input_shape_;
+  const std::size_t per_in =
+      static_cast<std::size_t>(s.C) * static_cast<std::size_t>(s.H) *
+      static_cast<std::size_t>(s.W);
+
+  Tensor input({k, s.C, s.H, s.W}, Layout::NCHW);
+  for (int i = 0; i < k; ++i)
+    std::memcpy(input.data() + static_cast<std::size_t>(i) * per_in,
+                batch[static_cast<std::size_t>(i)].input.data(),
+                per_in * sizeof(float));
+
+  std::unique_ptr<Graph> graph;
+  Tensor output;
+  std::exception_ptr error;
+  std::uint64_t measured = 0;
+  try {
+    graph = acquire_graph(k);
+    const std::uint64_t t0 = monotonic_ns();
+    output = graph->run(input);
+    measured = monotonic_ns() - t0;
+  } catch (...) {
+    error = std::current_exception();
+  }
+  const std::uint64_t done = clock_->now_ns();
+
+  if (error) {
+    // The graph's state after a mid-run throw is unknown: drop the
+    // instance instead of returning it to the pool, fail exactly the
+    // requests that were in this batch, and keep serving.
+    graph.reset();
+    {
+      std::lock_guard<std::mutex> g(queue_.mutex());
+      stats_.failed += static_cast<std::uint64_t>(k);
+    }
+    for (Request& r : batch) r.promise.set_exception(error);
+    return;
+  }
+  release_graph(k, std::move(graph));
+
+  if (options_.calibrate) model_->observe(k, measured);
+  telemetry_.add(lane + 1, Counter::kServeBatches, 1);
+  if (trace_on()) {
+    TraceSession& ts = TraceSession::global();
+    const std::uint64_t end = ts.now_ns();
+    ts.complete("serve_batch", end > measured ? end - measured : 0,
+                measured, "batch", k);
+  }
+
+  // Slice the [k, ...] batch output into per-request [1, ...] tensors.
+  const std::size_t per_out = output.size() / static_cast<std::size_t>(k);
+  std::vector<std::int64_t> slice_dims = output.dims();
+  slice_dims[0] = 1;
+
+  std::uint64_t misses = 0;
+  std::vector<ServeResult> results;
+  results.reserve(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    const Request& r = batch[static_cast<std::size_t>(i)];
+    ServeResult res;
+    res.output = Tensor(slice_dims, output.layout());
+    std::memcpy(res.output.data(),
+                output.data() + static_cast<std::size_t>(i) * per_out,
+                per_out * sizeof(float));
+    res.stats.arrival_ns = r.arrival_ns;
+    res.stats.launch_ns = launch_ns;
+    res.stats.done_ns = done;
+    res.stats.queue_wait_ns =
+        launch_ns > r.arrival_ns ? launch_ns - r.arrival_ns : 0;
+    res.stats.batch_size = k;
+    res.stats.deadline_slack_ns =
+        r.deadline_ns == kNeverNs
+            ? std::numeric_limits<std::int64_t>::max()
+            : static_cast<std::int64_t>(r.deadline_ns) -
+                  static_cast<std::int64_t>(done);
+    if (r.deadline_ns != kNeverNs && res.stats.deadline_slack_ns < 0)
+      ++misses;
+    res.stats.predicted_batch_ns = plan.predicted_ns;
+    res.stats.measured_batch_ns = measured;
+    results.push_back(std::move(res));
+  }
+
+  {
+    std::lock_guard<std::mutex> g(queue_.mutex());
+    ++stats_.batches;
+    stats_.batched_requests += static_cast<std::uint64_t>(k);
+    stats_.served += static_cast<std::uint64_t>(k);
+    stats_.deadline_misses += misses;
+    stats_.predicted_ns_sum += plan.predicted_ns;
+    stats_.measured_ns_sum += measured;
+    records_.push_back(
+        BatchRecord{k, plan.predicted_ns, measured});
+  }
+  for (int i = 0; i < k; ++i)
+    batch[static_cast<std::size_t>(i)].promise.set_value(
+        std::move(results[static_cast<std::size_t>(i)]));
+}
+
+void Server::shed(Request r, ShedReason reason, int slot, Counter c) {
+  telemetry_.add(slot, c, 1);
+  if (trace_on()) TraceSession::global().instant("serve_shed");
+  r.promise.set_exception(std::make_exception_ptr(ShedError(reason)));
+}
+
+std::unique_ptr<Graph> Server::acquire_graph(int batch) {
+  {
+    std::lock_guard<std::mutex> g(graphs_mu_);
+    auto it = free_graphs_.find(batch);
+    if (it != free_graphs_.end() && !it->second.empty()) {
+      std::unique_ptr<Graph> graph = std::move(it->second.back());
+      it->second.pop_back();
+      return graph;
+    }
+  }
+  // Build outside the pool lock: graph construction (and its warm-up
+  // forward) is the expensive part and other lanes must not stall on it.
+  std::unique_ptr<Graph> graph = factory_(batch);
+  if (!graph)
+    throw std::runtime_error("serve::Server: GraphFactory returned null");
+  const TensorShape got = graph->shape_of(0);
+  const TensorShape want{batch, input_shape_.C, input_shape_.H,
+                         input_shape_.W};
+  if (!(got == want))
+    throw std::runtime_error(
+        "serve::Server: factory(" + std::to_string(batch) +
+        ") built input " + got.to_string() + ", expected " +
+        want.to_string());
+  graph->set_conv_pool(pool_);
+  if (options_.warmup) warm_graph(*graph);
+  return graph;
+}
+
+void Server::release_graph(int batch, std::unique_ptr<Graph> graph) {
+  std::lock_guard<std::mutex> g(graphs_mu_);
+  free_graphs_[batch].push_back(std::move(graph));
+}
+
+std::uint64_t Server::earliest_free_at() const {
+  std::uint64_t earliest = 0;
+  bool first = true;
+  for (const std::uint64_t b : busy_until_) {
+    earliest = first ? b : std::min(earliest, b);
+    first = false;
+  }
+  return earliest;  // 0 (= "free now") when any lane is idle
+}
+
+void Server::shutdown(bool drain) {
+  std::vector<Request> dropped;
+  {
+    std::lock_guard<std::mutex> lk(queue_.mutex());
+    stopping_ = true;
+    drain_on_stop_ = drain;
+    if (!drain) {
+      dropped = queue_.drain();
+      stats_.shed_shutdown += dropped.size();
+      stats_.queued = 0;
+    }
+  }
+  queue_.cv().notify_all();
+  for (Request& r : dropped)
+    shed(std::move(r), ShedReason::kShutdown, 0,
+         Counter::kServeShedQueue);
+  std::lock_guard<std::mutex> g(join_mu_);
+  for (std::thread& t : lanes_)
+    if (t.joinable()) t.join();
+  // The queue's cv dies with this server; a VirtualClock may outlive
+  // it (tests own both), so drop the registration before that.
+  clock_->unregister_waiter(&queue_.cv());
+}
+
+ServerStatsSnapshot Server::stats() const {
+  std::lock_guard<std::mutex> lk(queue_.mutex());
+  ServerStatsSnapshot snap = stats_;
+  snap.queued = queue_.size();
+  return snap;
+}
+
+std::vector<Server::BatchRecord> Server::batch_records() const {
+  std::lock_guard<std::mutex> lk(queue_.mutex());
+  return records_;
+}
+
+}  // namespace ndirect::serve

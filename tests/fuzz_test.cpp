@@ -106,7 +106,11 @@ class DagFuzz : public ::testing::TestWithParam<int> {};
 
 TEST_P(DagFuzz, ConcurrentExecutionBitwiseIdenticalToSequential) {
   const auto seed = static_cast<std::uint64_t>(GetParam());
-  auto g = testgen::build_random_dag(seed);
+  // Sweep the input batch across the sizes the serving layer coalesces
+  // to (single request, partial batch, full batch) — the executor
+  // guarantees must hold at every N, not just the generator's default.
+  static constexpr int kBatches[] = {1, 3, 8};
+  auto g = testgen::build_random_dag(seed, kBatches[seed % 3]);
   const TensorShape& in_shape = g->shape_of(0);
   Tensor input =
       make_input_nchw(in_shape.N, in_shape.C, in_shape.H, in_shape.W);
@@ -139,6 +143,56 @@ TEST_P(DagFuzz, ConcurrentExecutionBitwiseIdenticalToSequential) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Topologies, DagFuzz, ::testing::Range(0, 110));
+
+// ----------------------------------------------------------------------
+// Batch invariance: graph(N=k) slice i == graph(N=1) on image i
+// ----------------------------------------------------------------------
+
+/// The premise the serving layer's dynamic batching stands on: the same
+/// seed built at batch k computes, for every slice of a batched input,
+/// bitwise the same output as the batch-1 build on that image alone.
+/// Holds because conv weights derive from (seed, K, C, R, S) — never N —
+/// and the tile scheduler keeps every output element's reduction inside
+/// one tile claim regardless of N (DESIGN.md §10).
+class DagBatchInvariance : public ::testing::TestWithParam<int> {};
+
+TEST_P(DagBatchInvariance, BatchedSlicesMatchSingleImageRuns) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const int k = 2 + GetParam() % 3;  // batch 2..4
+  auto g1 = testgen::build_random_dag(seed, 1);
+  auto gk = testgen::build_random_dag(seed, k);
+  const TensorShape s1 = g1->shape_of(0);
+  ASSERT_EQ(gk->shape_of(0).N, k);
+  ASSERT_EQ(gk->node_count(), g1->node_count());
+
+  // Distinct random image per slice, assembled into the batched input.
+  const std::size_t per_in = static_cast<std::size_t>(s1.elems());
+  Tensor batched = make_input_nchw(k, s1.C, s1.H, s1.W);
+  std::vector<Tensor> singles;
+  for (int i = 0; i < k; ++i) {
+    Tensor img = make_input_nchw(1, s1.C, s1.H, s1.W);
+    fill_random(img, seed * 131 + static_cast<std::uint64_t>(i));
+    std::memcpy(batched.data() + static_cast<std::size_t>(i) * per_in,
+                img.data(), per_in * sizeof(float));
+    singles.push_back(std::move(img));
+  }
+
+  const Tensor out_k = gk->run(batched);
+  const std::size_t per_out = out_k.size() / static_cast<std::size_t>(k);
+  for (int i = 0; i < k; ++i) {
+    const Tensor out_1 = g1->run(singles[static_cast<std::size_t>(i)]);
+    ASSERT_EQ(out_1.size(), per_out);
+    ASSERT_EQ(std::memcmp(out_1.data(),
+                          out_k.data() +
+                              static_cast<std::size_t>(i) * per_out,
+                          per_out * sizeof(float)),
+              0)
+        << "seed " << seed << " slice " << i << " of batch " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, DagBatchInvariance,
+                         ::testing::Range(0, 24));
 
 // ----------------------------------------------------------------------
 // Public-API validation

@@ -31,13 +31,22 @@ inline std::unique_ptr<ConvOp> make_conv(const TensorShape& s, int k,
 /// Random branchy DAG seeded from `seed`. Shapes stay small enough for
 /// >= 100 fuzz iterations in CI; topology width is unbounded by design
 /// (that is what the concurrent executor must survive).
-inline std::unique_ptr<Graph> build_random_dag(std::uint64_t seed) {
+///
+/// `batch` > 0 overrides the input batch dimension N while keeping the
+/// topology, channel counts and conv weights of the same seed bitwise
+/// identical (the random N draw still happens, its value is just
+/// discarded — the RNG stream must not shift). The serving layer leans
+/// on this: factory(batch) must build the same function at every batch
+/// size, and the batch-invariance fuzz compares N=1 slices across N.
+inline std::unique_ptr<Graph> build_random_dag(std::uint64_t seed,
+                                               int batch = 0) {
   std::mt19937_64 rng(seed);
   auto pick = [&](int lo, int hi) {
     return std::uniform_int_distribution<int>(lo, hi)(rng);
   };
 
-  const int N = pick(1, 2);
+  const int drawn_n = pick(1, 2);
+  const int N = batch > 0 ? batch : drawn_n;
   const int C = pick(2, 6);
   const int H = pick(6, 14);
   const int W = pick(6, 14);
