@@ -1,0 +1,194 @@
+// Metrics-plane overhead benchmark: what one instrument write costs,
+// and what the whole observability path costs the serving layer.
+//
+// Two sections:
+//
+//  [record]   ns per operation for the three instrument kinds, single
+//             threaded and with 8 threads hammering the *same*
+//             histogram cell (the registry's worst case — real servers
+//             shard naturally across instruments, so contended is an
+//             upper bound, not the expected cost).
+//
+//  [serving]  the acceptance check for DESIGN.md §16: the same
+//             saturating burst through the same max_batch=8 server,
+//             observe=on vs observe=off, interleaved repetitions so
+//             host noise cancels. Every served request pays ~6
+//             instrument writes plus the SLO ring update on the on
+//             path; the bar is < 1% goodput delta. Keys
+//             goodput_qps_observe_{on,off} are gated higher-is-better
+//             by bench_compare.py against the committed per-host
+//             baseline, so a regression in the record path trips CI
+//             even when nobody reads the printed table.
+//
+//   NDIRECT_BENCH_MS=2000 ./bench/bench_metrics   # scales the burst
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "nn/graph.h"
+#include "runtime/env.h"
+#include "runtime/metrics.h"
+#include "runtime/timer.h"
+#include "serve/server.h"
+#include "tensor/rng.h"
+
+using namespace ndirect;
+using namespace ndirect::serve;
+
+namespace {
+
+constexpr int kC = 3, kH = 8, kW = 8;
+constexpr int kMaxBatch = 8;
+
+/// Same tiny net as bench_serving: fixed per-forward cost dominates, so
+/// per-request serving overhead (where the instruments live) is a
+/// visible fraction of the runtime — the harshest realistic regime for
+/// the < 1% bar.
+std::unique_ptr<Graph> make_net(int batch) {
+  auto g = std::make_unique<Graph>(batch, kC, kH, kW);
+  ConvParams p{.N = batch, .C = kC, .H = kH, .W = kW, .K = 4,
+               .R = 3, .S = 3, .str = 1, .pad = 1};
+  NodeId n = g->add(
+      std::make_unique<ConvOp>(p, ConvBackend::Ndirect, /*seed=*/11,
+                               /*bias=*/true),
+      {0});
+  g->add(std::make_unique<ReluOp>(), {n});
+  return g;
+}
+
+/// ns per call of `fn` over `iters` iterations (no warm-up: the
+/// instruments have no cold path once registered).
+template <typename Fn>
+double record_ns(std::uint64_t iters, Fn&& fn) {
+  WallTimer t;
+  for (std::uint64_t i = 0; i < iters; ++i) fn(i);
+  return t.seconds() / static_cast<double>(iters) * 1e9;
+}
+
+/// Spread histogram samples across buckets — a constant value would
+/// keep one bucket's cache line hot and flatter the number.
+std::uint64_t spread(std::uint64_t i) {
+  return (i * 2654435761ull) & 0xFFFFFull;
+}
+
+/// Saturating burst of `n_req` requests through a max_batch=8 server;
+/// returns served requests per second (the burst goodput — nothing has
+/// a deadline, so served == on-time).
+double burst_goodput_qps(bool observe, int n_req, LatencyModel* model,
+                         const Tensor& img) {
+  ServerOptions opts;
+  opts.name = observe ? "bench-on" : "bench-off";
+  opts.observe = observe;
+  opts.max_batch = kMaxBatch;
+  opts.default_deadline_ns = kNeverNs;
+  opts.admission_control = false;
+  opts.max_linger_ns = 0;
+  opts.model = model;
+  Server server(make_net, opts);
+  std::vector<std::future<ServeResult>> futures;
+  futures.reserve(static_cast<std::size_t>(n_req));
+  WallTimer t;
+  for (int i = 0; i < n_req; ++i)
+    futures.push_back(server.submit(img.clone()));
+  for (auto& f : futures) (void)f.get();
+  return static_cast<double>(n_req) / t.seconds();
+}
+
+}  // namespace
+
+int main() {
+  const auto bench_ms = env_long("NDIRECT_BENCH_MS", 1000);
+
+  bench::print_header("metrics plane: record cost and serving overhead");
+
+  MetricsRegistry& reg = MetricsRegistry::global();
+  CounterCell* c = reg.counter("bench_metrics_counter", {},
+                               "bench instrument");
+  GaugeCell* g = reg.gauge("bench_metrics_gauge", {},
+                           "bench instrument");
+  HistogramCell* h = reg.histogram("bench_metrics_hist_ns", {},
+                                   "bench instrument");
+
+  constexpr std::uint64_t kIters = 1 << 22;
+  const double counter_ns = record_ns(kIters, [&](std::uint64_t) {
+    c->inc();
+  });
+  const double gauge_ns = record_ns(kIters, [&](std::uint64_t i) {
+    g->set(static_cast<std::int64_t>(i));
+  });
+  const double hist_ns = record_ns(kIters, [&](std::uint64_t i) {
+    h->record(spread(i));
+  });
+
+  // Contended: 8 threads on the SAME histogram cell. Reported as ns of
+  // wall time per operation per thread — i.e. what one thread
+  // experiences while seven others fight it for the bucket lines.
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 1 << 19;
+  WallTimer ct;
+  {
+    std::vector<std::thread> threads;
+    for (int w = 0; w < kThreads; ++w)
+      threads.emplace_back([&, w] {
+        for (std::uint64_t i = 0; i < kPerThread; ++i)
+          h->record(spread(i + static_cast<std::uint64_t>(w) * 977));
+      });
+    for (std::thread& th : threads) th.join();
+  }
+  const double hist_contended_ns =
+      ct.seconds() / static_cast<double>(kPerThread) * 1e9;
+
+  const std::vector<int> widths = {26, 12};
+  bench::print_row({"instrument", "ns/op"}, widths);
+  bench::print_row({"counter inc", bench::fmt(counter_ns, 2)}, widths);
+  bench::print_row({"gauge set", bench::fmt(gauge_ns, 2)}, widths);
+  bench::print_row({"histogram record", bench::fmt(hist_ns, 2)}, widths);
+  bench::print_row(
+      {"histogram record (8 thr)", bench::fmt(hist_contended_ns, 2)},
+      widths);
+
+  // Serving overhead: interleaved on/off pairs, pooled. The request
+  // count scales with NDIRECT_BENCH_MS so a longer run buys tighter
+  // numbers, not more repetitions of the same noise.
+  const int n_req = static_cast<int>(
+      std::max<long>(1000, bench_ms * 2));
+  AffineLatencyModel model(5'000, 2'000);
+  Tensor img = make_input_nchw(1, kC, kH, kW);
+  fill_random(img, 7);
+  (void)burst_goodput_qps(true, n_req / 2, &model, img);  // warm
+  (void)burst_goodput_qps(false, n_req / 2, &model, img);
+
+  constexpr int kReps = 3;
+  double on_qps = 0, off_qps = 0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    off_qps += burst_goodput_qps(false, n_req, &model, img);
+    on_qps += burst_goodput_qps(true, n_req, &model, img);
+  }
+  on_qps /= kReps;
+  off_qps /= kReps;
+  const double overhead_pct =
+      off_qps > 0 ? (off_qps - on_qps) / off_qps * 100.0 : 0.0;
+
+  std::printf(
+      "\n  burst goodput: observe=off %.0f qps, observe=on %.0f qps\n"
+      "  observability overhead: %.2f%% (acceptance bar: < 1%%)\n",
+      off_qps, on_qps, overhead_pct);
+
+  bench::JsonReport json("metrics");
+  json.add("counter_inc_ns", counter_ns);
+  json.add("gauge_set_ns", gauge_ns);
+  json.add("histogram_record_ns", hist_ns);
+  json.add("histogram_record_contended_ns", hist_contended_ns);
+  json.add("goodput_qps_observe_off", off_qps);
+  json.add("goodput_qps_observe_on", on_qps);
+  json.add("observability_overhead_pct", overhead_pct);
+  json.write();
+  return 0;
+}

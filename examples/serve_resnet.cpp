@@ -4,10 +4,18 @@
 // load-shed instead of blocking everyone behind them, and every result
 // carries its own queueing/batching telemetry.
 //
+// The server also feeds the live metrics plane (DESIGN.md §16): every
+// request updates named registry instruments, and the tail of the run
+// prints the server's OpenMetrics exposition. Point a scraper at a
+// periodic dump with NDIRECT_METRICS_FILE=/tmp/ndirect.prom, or send
+// the process SIGUSR2 for an on-demand flight record.
+//
 //   $ ./examples/serve_resnet            # reduced model, fast
 //   $ NDIRECT_EXAMPLE_FULL=1 ./examples/serve_resnet
 #include <cstdio>
 #include <future>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "nn/models.h"
@@ -32,7 +40,10 @@ int main() {
   };
 
   ServerOptions opts;
+  opts.name = "resnet50";  // the {server="resnet50"} label on every
+                           // instrument this server registers
   opts.max_batch = 4;
+  opts.slo.target_p99_ns = 2'000'000'000;  // watchdog: p99 <= 2 s
   opts.default_deadline_ns = 2'000'000'000;  // 2 s: roomy
   // Without a linger cap, a lone request with a roomy deadline waits
   // for batch-mates until its deadline horizon even on an idle server.
@@ -64,7 +75,8 @@ int main() {
     try {
       const ServeResult r = futures[static_cast<std::size_t>(i)].get();
       std::printf(
-          "%-4d %-9s %7d %10.2f %10.2f %6s\n", i, "served",
+          "%-4llu %-9s %7d %10.2f %10.2f %6s\n",
+          static_cast<unsigned long long>(r.stats.request_id), "served",
           r.stats.batch_size,
           static_cast<double>(r.stats.queue_wait_ns) / 1e6,
           static_cast<double>(r.stats.done_ns - r.stats.arrival_ns) / 1e6,
@@ -76,5 +88,17 @@ int main() {
 
   server.shutdown();
   std::printf("\n%s", build_serve_report(server).to_text().c_str());
+
+  // The same run as a scraper sees it: this server's slice of the
+  // process-wide OpenMetrics exposition (histograms elided for width —
+  // a real scrape keeps them).
+  std::printf("\nlive metrics excerpt (Server::metrics_text()):\n");
+  std::istringstream lines(server.metrics_text());
+  for (std::string line; std::getline(lines, line);) {
+    if (line.find("server=\"resnet50\"") == std::string::npos ||
+        line.find("_bucket{") != std::string::npos)
+      continue;
+    std::printf("  %s\n", line.c_str());
+  }
   return 0;
 }

@@ -9,11 +9,19 @@ must guarantee:
   * per tid, timestamps are monotonically non-decreasing,
   * 'X' events have a non-negative dur,
   * 'C' counter samples carry an args object of non-negative numeric
-    series; "pmu" counters name their l1d_misses/llc_misses series.
+    series; "pmu" counters name their l1d_misses/llc_misses series,
+  * serving-layer spans are attributable: every 'B'/'X' event named
+    serve_* carries a "req" and/or "batch" arg (non-negative integers;
+    'X' request spans like serve_queue must carry both), so a request
+    id printed by the server can always be found in the trace.
 
-Usage: check_trace.py <trace.json>
+Usage: check_trace.py <trace.json> [--require <prefix>]...
+--require fails the check unless at least one event name starts with
+the prefix — CI uses `--require serve_` so a silently un-instrumented
+serving path cannot pass.
 Exit status 0 on a valid trace, 1 with a diagnostic otherwise.
 """
+import argparse
 import json
 import sys
 
@@ -23,10 +31,36 @@ def fail(msg):
     sys.exit(1)
 
 
+def check_serve_args(i, ev):
+    """serve_* 'B'/'X' spans must carry integer req/batch args."""
+    args = ev.get("args")
+    if not isinstance(args, dict):
+        fail(f"event {i}: serve span {ev['name']!r} ({ev['ph']}) has "
+             f"no args object")
+    keys = set(args) & {"req", "batch"}
+    if not keys:
+        fail(f"event {i}: serve span {ev['name']!r} carries neither "
+             f"'req' nor 'batch'")
+    if ev["ph"] == "X" and keys != {"req", "batch"}:
+        fail(f"event {i}: serve request span {ev['name']!r} ('X') "
+             f"must carry both 'req' and 'batch', has {sorted(keys)}")
+    for key in keys:
+        value = args[key]
+        if not isinstance(value, int) or isinstance(value, bool) \
+                or value < 0:
+            fail(f"event {i}: serve span {ev['name']!r} arg {key!r} "
+                 f"is not a non-negative integer: {value!r}")
+
+
 def main():
-    if len(sys.argv) != 2:
-        fail("usage: check_trace.py <trace.json>")
-    with open(sys.argv[1]) as f:
+    ap = argparse.ArgumentParser(
+        description="Validate a Chrome-tracing JSON file")
+    ap.add_argument("trace")
+    ap.add_argument("--require", action="append", default=[],
+                    metavar="PREFIX",
+                    help="fail unless an event name has this prefix")
+    opts = ap.parse_args()
+    with open(opts.trace) as f:
         doc = json.load(f)
 
     if not isinstance(doc, dict) or "traceEvents" not in doc:
@@ -38,6 +72,7 @@ def main():
     open_spans = {}  # tid -> stack of open 'B' names
     last_ts = {}  # tid -> last timestamp seen
     counted = 0
+    prefixes_seen = set()
     for i, ev in enumerate(events):
         ph = ev.get("ph")
         for key in ("name", "ph", "pid", "tid"):
@@ -49,6 +84,11 @@ def main():
             fail(f"event {i} ({ev['name']!r}) missing ts")
         tid, ts = ev["tid"], float(ev["ts"])
         counted += 1
+        for prefix in opts.require:
+            if ev["name"].startswith(prefix):
+                prefixes_seen.add(prefix)
+        if ev["name"].startswith("serve_") and ph in ("B", "X"):
+            check_serve_args(i, ev)
         if ts < last_ts.get(tid, 0.0):
             fail(
                 f"event {i} ({ev['name']!r}) goes back in time on tid "
@@ -104,6 +144,10 @@ def main():
     for tid, stack in open_spans.items():
         if stack:
             fail(f"tid {tid} ends with unclosed spans: {stack}")
+
+    for prefix in opts.require:
+        if prefix not in prefixes_seen:
+            fail(f"no event named {prefix}* in the trace (--require)")
 
     dropped = doc.get("otherData", {}).get("dropped", 0)
     print(

@@ -25,10 +25,12 @@ while [[ $# -gt 0 ]]; do
 done
 
 # The smoke set: quick, deterministic-shape benches that exercise the
-# scheduler, the dispatch overhead path and the graph executor. The
-# figure benches (paper-scale sweeps) are intentionally not gated.
+# scheduler, the dispatch overhead path, the graph executor and the
+# metrics plane (instrument record cost + observe-on/off serving
+# overhead). The figure benches (paper-scale sweeps) are intentionally
+# not gated.
 BENCHES=(bench_scheduler bench_dispatch bench_graph bench_microkernel
-         bench_dtypes)
+         bench_dtypes bench_metrics)
 
 mkdir -p "$OUT"
 NDIRECT_BENCH_DIR="$(cd "$OUT" && pwd)"

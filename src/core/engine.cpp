@@ -633,6 +633,10 @@ void run_nest(const ConvParams& p, const NdirectPlan& plan,
       if (packing > 0) opts.phase_timer->add("packing", packing);
       if (micro > 0) opts.phase_timer->add("micro-kernel", micro);
     }
+    // Live metrics plane: fold this run's deltas into the process-wide
+    // registry so always-on scrapers see engine activity without a
+    // per-run sink (runtime/metrics.h).
+    snap.publish_metrics();
     if (opts.telemetry != nullptr) *opts.telemetry = std::move(snap);
   } else if (opts.telemetry != nullptr) {
     // Disabled collection must not leave a stale previous snapshot.

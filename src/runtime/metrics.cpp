@@ -1,0 +1,390 @@
+#include "runtime/metrics.h"
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "runtime/env.h"
+#include "runtime/shutdown.h"
+#include "runtime/trace.h"
+
+namespace ndirect {
+
+namespace {
+
+/// OpenMetrics escaping for label values and help text: backslash,
+/// double quote and newline get backslash escapes; other control
+/// bytes are dropped.
+std::string escape_text(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    switch (ch) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(ch) >= 0x20) out += ch;
+    }
+  }
+  return out;
+}
+
+bool labels_equal(const MetricLabels& a, const MetricLabels& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i].key != b[i].key || a[i].value != b[i].value) return false;
+  return true;
+}
+
+std::uint64_t sig_flag_mask() { return 1; }
+
+/// Set by the SIGUSR2 handler, consumed by the dump thread. An atomic
+/// is async-signal-safe when lock-free; uint64_t always is here.
+std::atomic<std::uint64_t> g_flight_requests{0};
+
+extern "C" void sigusr2_handler(int) {
+  g_flight_requests.fetch_or(sig_flag_mask(),
+                             std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  for (int b = 0; b < HistogramLayout::kBuckets; ++b)
+    counts[b] += other.counts[b];
+  count += other.count;
+  sum += other.sum;
+}
+
+std::uint64_t HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Rank of the target value, 1-based: ceil(q * count), at least 1.
+  const double scaled = q * static_cast<double>(count);
+  std::uint64_t rank = static_cast<std::uint64_t>(scaled);
+  if (static_cast<double>(rank) < scaled) ++rank;
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  for (int b = 0; b < HistogramLayout::kBuckets; ++b) {
+    seen += counts[b];
+    if (seen >= rank) return HistogramLayout::upper_bound(b);
+  }
+  return HistogramLayout::upper_bound(HistogramLayout::kOverflowBucket);
+}
+
+HistogramSnapshot HistogramCell::snapshot() const {
+  HistogramSnapshot snap;
+  for (int b = 0; b < HistogramLayout::kBuckets; ++b) {
+    snap.counts[b] = buckets_[b].load(std::memory_order_relaxed);
+    snap.count += snap.counts[b];
+  }
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  // Leaked: instrument handles cached by static-duration owners must
+  // stay valid through static destruction (same policy as the trace
+  // lane registry).
+  static MetricsRegistry* registry = new MetricsRegistry;
+  return *registry;
+}
+
+MetricsRegistry::Instrument* MetricsRegistry::find_or_create(
+    const std::string& name, MetricLabels&& labels,
+    const std::string& help, Kind kind) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& ins : instruments_) {
+    if (ins->name == name && labels_equal(ins->labels, labels)) {
+      if (ins->kind != kind)
+        throw std::logic_error(
+            "MetricsRegistry: instrument '" + name +
+            "' re-registered with a different kind");
+      return ins.get();
+    }
+  }
+  auto ins = std::make_unique<Instrument>();
+  ins->name = name;
+  ins->labels = std::move(labels);
+  ins->help = help;
+  ins->kind = kind;
+  switch (kind) {
+    case Kind::kCounter:
+      ins->counter = std::make_unique<CounterCell>();
+      break;
+    case Kind::kGauge:
+      ins->gauge = std::make_unique<GaugeCell>();
+      break;
+    case Kind::kHistogram:
+      ins->histogram = std::make_unique<HistogramCell>();
+      break;
+  }
+  instruments_.push_back(std::move(ins));
+  return instruments_.back().get();
+}
+
+CounterCell* MetricsRegistry::counter(const std::string& name,
+                                      MetricLabels labels,
+                                      const std::string& help) {
+  return find_or_create(name, std::move(labels), help, Kind::kCounter)
+      ->counter.get();
+}
+
+GaugeCell* MetricsRegistry::gauge(const std::string& name,
+                                  MetricLabels labels,
+                                  const std::string& help) {
+  return find_or_create(name, std::move(labels), help, Kind::kGauge)
+      ->gauge.get();
+}
+
+HistogramCell* MetricsRegistry::histogram(const std::string& name,
+                                          MetricLabels labels,
+                                          const std::string& help) {
+  return find_or_create(name, std::move(labels), help, Kind::kHistogram)
+      ->histogram.get();
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return instruments_.size();
+}
+
+void MetricsRegistry::reset_values() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& ins : instruments_) {
+    switch (ins->kind) {
+      case Kind::kCounter:
+        ins->counter->reset();
+        break;
+      case Kind::kGauge:
+        ins->gauge->reset();
+        break;
+      case Kind::kHistogram:
+        ins->histogram->reset();
+        break;
+    }
+  }
+}
+
+std::string format_labels(const MetricLabels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += escape_text(labels[i].key) + "=\"" +
+           escape_text(labels[i].value) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+namespace {
+
+/// Labels with one extra `le` pair appended (histogram bucket lines).
+std::string bucket_labels(const MetricLabels& labels,
+                          const std::string& le) {
+  MetricLabels with = labels;
+  with.push_back({"le", le});
+  return format_labels(with);
+}
+
+}  // namespace
+
+std::string MetricsRegistry::text() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::string out;
+  // One family block per metric name, in first-registration order;
+  // every sample of a family (one per label set) stays inside its
+  // block as OpenMetrics requires.
+  std::vector<const Instrument*> ordered;
+  ordered.reserve(instruments_.size());
+  for (const auto& ins : instruments_) ordered.push_back(ins.get());
+
+  std::vector<bool> emitted(ordered.size(), false);
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    if (emitted[i]) continue;
+    const Instrument& head = *ordered[i];
+    const char* type = head.kind == Kind::kCounter     ? "counter"
+                       : head.kind == Kind::kGauge     ? "gauge"
+                                                       : "histogram";
+    if (!head.help.empty())
+      out += "# HELP " + head.name + " " + escape_text(head.help) + "\n";
+    out += "# TYPE " + head.name + " " + std::string(type) + "\n";
+    for (std::size_t j = i; j < ordered.size(); ++j) {
+      if (emitted[j] || ordered[j]->name != head.name) continue;
+      emitted[j] = true;
+      const Instrument& ins = *ordered[j];
+      const std::string labels = format_labels(ins.labels);
+      switch (ins.kind) {
+        case Kind::kCounter:
+          out += ins.name + "_total" + labels + " " +
+                 std::to_string(ins.counter->value()) + "\n";
+          break;
+        case Kind::kGauge:
+          out += ins.name + labels + " " +
+                 std::to_string(ins.gauge->value()) + "\n";
+          break;
+        case Kind::kHistogram: {
+          const HistogramSnapshot snap = ins.histogram->snapshot();
+          std::uint64_t cum = 0;
+          // Only the non-empty buckets are emitted (cumulative counts
+          // stay monotone on the sparse support); the overflow bucket
+          // is folded into the mandatory +Inf line below.
+          for (int b = 0; b < HistogramLayout::kOverflowBucket; ++b) {
+            if (snap.counts[b] == 0) continue;
+            cum += snap.counts[b];
+            out += ins.name + "_bucket" +
+                   bucket_labels(
+                       ins.labels,
+                       std::to_string(HistogramLayout::upper_bound(b))) +
+                   " " + std::to_string(cum) + "\n";
+          }
+          out += ins.name + "_bucket" +
+                 bucket_labels(ins.labels, "+Inf") + " " +
+                 std::to_string(snap.count) + "\n";
+          out += ins.name + "_count" + labels + " " +
+                 std::to_string(snap.count) + "\n";
+          out += ins.name + "_sum" + labels + " " +
+                 std::to_string(snap.sum) + "\n";
+          break;
+        }
+      }
+    }
+  }
+  out += "# EOF\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsExporter
+// ---------------------------------------------------------------------------
+
+MetricsExporter& MetricsExporter::global() {
+  static MetricsExporter* exporter = new MetricsExporter;
+  return *exporter;
+}
+
+void MetricsExporter::start(const std::string& path, long interval_ms) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (running_) return;
+  path_ = path;
+  interval_ms_ = interval_ms > 0 ? interval_ms : 1000;
+  stop_requested_ = false;
+  running_ = true;
+  std::signal(SIGUSR2, sigusr2_handler);
+  thread_ = std::thread([this] { loop(); });
+}
+
+void MetricsExporter::stop() {
+  // Serializes concurrent stop() calls (exit hook + explicit caller).
+  std::lock_guard<std::mutex> stop_lk(stop_mu_);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  dump_now();  // the final state always reaches the file
+  std::lock_guard<std::mutex> lk(mu_);
+  running_ = false;
+}
+
+bool MetricsExporter::running() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return running_;
+}
+
+std::uint64_t MetricsExporter::dump_count() const {
+  return dumps_.load(std::memory_order_relaxed);
+}
+
+bool MetricsExporter::dump_now() {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    path = path_;
+  }
+  if (path.empty()) return false;
+  const std::string body = MetricsRegistry::global().text();
+  // Atomic replace: a scraper tailing the file never sees a torn dump.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool wrote =
+      std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  dumps_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void MetricsExporter::flight_record() {
+  (void)dump_now();
+  TraceSession& session = TraceSession::global();
+  if (session.size() > 0) {
+    std::string path;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      path = path_;
+    }
+    if (!path.empty()) (void)session.export_json(path + ".trace.json");
+  }
+}
+
+void MetricsExporter::loop() {
+  // Wake in short slices so a SIGUSR2 flight record is serviced
+  // promptly even under a long dump interval.
+  constexpr long kSliceMs = 100;
+  long since_dump_ms = 0;
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!stop_requested_) {
+    const long slice = interval_ms_ < kSliceMs ? interval_ms_ : kSliceMs;
+    cv_.wait_for(lk, std::chrono::milliseconds(slice));
+    if (stop_requested_) break;
+    const bool flight =
+        g_flight_requests.exchange(0, std::memory_order_relaxed) != 0;
+    since_dump_ms += slice;
+    if (flight) {
+      lk.unlock();
+      flight_record();
+      lk.lock();
+      since_dump_ms = 0;
+    } else if (since_dump_ms >= interval_ms_) {
+      lk.unlock();
+      (void)dump_now();
+      lk.lock();
+      since_dump_ms = 0;
+    }
+  }
+}
+
+namespace {
+
+/// NDIRECT_METRICS_FILE=<path>: periodic OpenMetrics dumps for
+/// unmodified binaries, interval from NDIRECT_METRICS_INTERVAL_MS.
+/// The exit hook joins the dump thread before the NDIRECT_TRACE
+/// exporter runs (LIFO order in runtime/shutdown.h) — no static-
+/// destruction races.
+struct MetricsEnvAutoStart {
+  MetricsEnvAutoStart() {
+    const char* path = std::getenv("NDIRECT_METRICS_FILE");
+    if (path == nullptr || *path == '\0') return;
+    MetricsExporter::global().start(
+        path, env_long("NDIRECT_METRICS_INTERVAL_MS", 1000));
+    register_exit_hook("metrics-exporter",
+                       [] { MetricsExporter::global().stop(); });
+  }
+};
+const MetricsEnvAutoStart g_metrics_autostart;
+
+}  // namespace
+
+}  // namespace ndirect

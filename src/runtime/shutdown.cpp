@@ -1,0 +1,94 @@
+#include "runtime/shutdown.h"
+
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ndirect {
+namespace {
+
+struct Hook {
+  std::uint64_t token = 0;
+  const char* name = "";
+  std::function<void()> fn;
+};
+
+struct Chain {
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::vector<Hook> hooks;  ///< run back-to-front (LIFO)
+  std::uint64_t next_token = 1;
+  bool atexit_registered = false;
+  bool running = false;
+  std::thread::id runner;
+};
+
+// Leaked on purpose: hooks are unregistered by owners whose
+// destructors may run during static destruction, after a non-leaked
+// chain would already be dead (the exact ordering bug this file
+// exists to remove).
+Chain& chain() {
+  static Chain* c = new Chain;
+  return *c;
+}
+
+}  // namespace
+
+std::uint64_t register_exit_hook(const char* name,
+                                 std::function<void()> fn) {
+  Chain& c = chain();
+  std::lock_guard<std::mutex> lk(c.mu);
+  if (!c.atexit_registered) {
+    c.atexit_registered = true;
+    std::atexit(run_exit_hooks);
+  }
+  const std::uint64_t token = c.next_token++;
+  c.hooks.push_back(Hook{token, name, std::move(fn)});
+  return token;
+}
+
+void unregister_exit_hook(std::uint64_t token) {
+  Chain& c = chain();
+  std::unique_lock<std::mutex> lk(c.mu);
+  // If the chain is mid-run on another thread, the hook may be
+  // executing right now against state its owner is about to free:
+  // block until the whole chain finished. From the runner thread
+  // itself (a hook unregistering a sibling) there is nothing to wait
+  // for — the currently executing hook was already popped.
+  if (c.running && c.runner != std::this_thread::get_id())
+    c.done_cv.wait(lk, [&c] { return !c.running; });
+  for (auto it = c.hooks.begin(); it != c.hooks.end(); ++it) {
+    if (it->token == token) {
+      c.hooks.erase(it);
+      return;
+    }
+  }
+}
+
+void run_exit_hooks() {
+  Chain& c = chain();
+  std::unique_lock<std::mutex> lk(c.mu);
+  if (c.running) {  // concurrent caller: wait so "after" means after
+    c.done_cv.wait(lk, [&c] { return !c.running; });
+    return;
+  }
+  c.running = true;
+  c.runner = std::this_thread::get_id();
+  while (!c.hooks.empty()) {
+    Hook h = std::move(c.hooks.back());
+    c.hooks.pop_back();
+    lk.unlock();
+    try {
+      h.fn();
+    } catch (...) {
+      // Exit hooks must never take the process down with them.
+    }
+    lk.lock();
+  }
+  c.running = false;
+  c.done_cv.notify_all();
+}
+
+}  // namespace ndirect

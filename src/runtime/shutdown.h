@@ -1,0 +1,46 @@
+// Deterministic process-exit ordering for the observability plane.
+//
+// Before this existed, exit behaviour depended on static-destruction
+// luck: the NDIRECT_TRACE atexit exporter could run while a
+// serve::Server's executor lanes were still draining (recording trace
+// events into the ring mid-export), and the NDIRECT_METRICS_FILE dump
+// thread had no defined join point at all. This registry replaces that
+// with one explicit LIFO hook chain behind a single std::atexit
+// registration:
+//
+//   registration order                exit order (LIFO)
+//   1. trace autostart (static init)  3. export the trace ring
+//   2. metrics exporter (static init) 2. final dump + join dump thread
+//   3. live servers (runtime)         1. shutdown(drain) stragglers
+//
+// so by the time the trace ring is exported and the metrics file gets
+// its final write, every server lane has joined and nothing records
+// concurrently. Hooks unregister themselves when their owner is
+// destroyed normally (a Server that died before exit runs nothing).
+//
+// Hooks run exactly once, in LIFO registration order, on the first of:
+// process exit (atexit) or an explicit run_exit_hooks() call (tests).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace ndirect {
+
+/// Register `fn` to run at process exit (LIFO). `name` appears in
+/// nothing but debuggers; keep it short. Returns a token for
+/// unregister_exit_hook. Thread-safe.
+std::uint64_t register_exit_hook(const char* name,
+                                 std::function<void()> fn);
+
+/// Remove a registered hook. Safe against concurrent hook execution:
+/// if the chain is already running, this blocks until the chain is
+/// done (so an owner that unregisters in its destructor never has its
+/// hook touch freed state). Unknown/already-run tokens are a no-op.
+void unregister_exit_hook(std::uint64_t token);
+
+/// Run all registered hooks now, LIFO, each at most once (idempotent:
+/// a later atexit pass re-runs nothing). Test hook; atexit calls this.
+void run_exit_hooks();
+
+}  // namespace ndirect

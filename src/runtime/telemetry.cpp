@@ -1,8 +1,10 @@
 #include "runtime/telemetry.h"
 
 #include <cstdio>
+#include <mutex>
 
 #include "runtime/env.h"
+#include "runtime/metrics.h"
 
 namespace ndirect {
 namespace {
@@ -18,6 +20,32 @@ std::string fmt_double(double v) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.9g", v);
   return buf;
+}
+
+/// JSON string escaping for every string field the snapshot emits:
+/// quote/backslash get escaped, control bytes become \u00XX (a bare
+/// control byte makes strict parsers reject the document).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (u < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string json_string(const std::string& s) {
+  return "\"" + json_escape(s) + "\"";
 }
 
 }  // namespace
@@ -107,16 +135,16 @@ std::string TelemetrySnapshot::to_json() const {
                   ", \"counters\": {";
   for (int c = 0; c < kCounterCount; ++c) {
     if (c > 0) s += ", ";
-    s += "\"" + std::string(counter_name(static_cast<Counter>(c))) +
-         "\": " + std::to_string(total(static_cast<Counter>(c)));
+    s += json_string(counter_name(static_cast<Counter>(c))) + ": " +
+         std::to_string(total(static_cast<Counter>(c)));
   }
   s += "}, \"phase_fractions\": {";
   bool first = true;
   for (Counter pc : kPhaseCounters) {
     if (!first) s += ", ";
     first = false;
-    s += "\"" + std::string(counter_name(pc)) +
-         "\": " + fmt_double(phase_fraction(pc));
+    s += json_string(counter_name(pc)) + ": " +
+         fmt_double(phase_fraction(pc));
   }
   s += "}, \"busy_fraction\": {";
   double mn = 1.0, mx = 0.0, sum = 0.0;
@@ -146,6 +174,28 @@ std::string TelemetrySnapshot::to_json() const {
   }
   s += "]}";
   return s;
+}
+
+void TelemetrySnapshot::publish_metrics() const {
+  if (workers.empty()) return;
+  // One registry counter per engine counter, resolved once per
+  // process (the handles are stable for the registry's lifetime) and
+  // then bumped with relaxed adds — safe from any thread.
+  static CounterCell* cells[kCounterCount];
+  static std::once_flag once;
+  std::call_once(once, [] {
+    MetricsRegistry& reg = MetricsRegistry::global();
+    for (int c = 0; c < kCounterCount; ++c) {
+      cells[c] = reg.counter(
+          std::string("ndirect_engine_") +
+              counter_name(static_cast<Counter>(c)),
+          {}, "engine telemetry counter re-exported per conv run");
+    }
+  });
+  for (int c = 0; c < kCounterCount; ++c) {
+    const std::uint64_t v = total(static_cast<Counter>(c));
+    if (v > 0) cells[c]->inc(v);
+  }
 }
 
 WorkerTelemetry::WorkerTelemetry(int workers)

@@ -142,7 +142,18 @@ struct TelemetrySnapshot {
 
   /// {"workers":N,"wall_seconds":...,"counters":{...},
   ///  "phase_fractions":{...},"busy_fraction":{...},"per_worker":[...]}
+  /// Every string field is JSON-escaped; the output round-trips
+  /// through a strict parser (python3 -m json.tool in CI).
   std::string to_json() const;
+
+  /// Re-export this snapshot's totals into the process-wide metrics
+  /// registry (runtime/metrics.h): one monotonic counter
+  /// `ndirect_engine_<counter_name>` per engine counter, incremented
+  /// by this snapshot's value. Call with per-run deltas only (the
+  /// engine's per-run snapshot, not an accumulating sink) — the
+  /// registry adds, it does not overwrite. No-op for an all-zero
+  /// snapshot; a handful of relaxed atomic adds otherwise.
+  void publish_metrics() const;
 };
 
 /// The live registry a run writes into: `workers` cache-line-padded

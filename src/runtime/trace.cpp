@@ -6,6 +6,7 @@
 #include <mutex>
 
 #include "runtime/env.h"
+#include "runtime/shutdown.h"
 #include "runtime/telemetry.h"
 
 namespace ndirect {
@@ -75,8 +76,13 @@ std::vector<std::string> trace_lane_names() {
 }
 
 TraceSession& TraceSession::global() {
-  static TraceSession session;
-  return session;
+  // Leaked like the lane registry: whether this TU's statics are
+  // constructed before or after another TU registers the first exit
+  // hook (and with it the atexit(run_exit_hooks) callback) is link-
+  // order luck, so a destructible session could be torn down before
+  // the trace-export hook runs and the export would read a freed ring.
+  static TraceSession* session = new TraceSession;
+  return *session;
 }
 
 void TraceSession::start(std::size_t capacity) {
@@ -279,13 +285,20 @@ namespace {
 /// NDIRECT_TRACE=<path>: start tracing at load time, export at exit —
 /// observability for unmodified binaries (every example and bench gets
 /// tracing for free). Master-gated by NDIRECT_TELEMETRY.
+///
+/// The export runs through the runtime/shutdown.h hook chain, not a
+/// bare std::atexit: hooks registered later (the metrics dump thread,
+/// any live serve::Server) run first, so by the time the ring is
+/// exported every server lane has drained and joined and nothing is
+/// still recording (the old ordering depended on static-destruction
+/// luck).
 struct TraceEnvAutoStart {
   TraceEnvAutoStart() {
     const char* path = std::getenv("NDIRECT_TRACE");
     if (path == nullptr || *path == '\0' || !telemetry_enabled()) return;
     exporting_path() = path;
     TraceSession::global().start();
-    std::atexit([] {
+    register_exit_hook("trace-export", [] {
       TraceSession& session = TraceSession::global();
       session.stop();
       if (session.export_json(exporting_path())) {
@@ -298,8 +311,8 @@ struct TraceEnvAutoStart {
     });
   }
   static std::string& exporting_path() {
-    static std::string path;
-    return path;
+    static std::string* path = new std::string;  // leaked: read at exit
+    return *path;
   }
 };
 const TraceEnvAutoStart g_trace_autostart;

@@ -26,6 +26,10 @@ namespace ndirect::serve {
 /// batch completes (all times from the server's Clock, so exact under
 /// a VirtualClock).
 struct ServeStats {
+  /// The server-assigned request id (monotonic in submit order) — the
+  /// same id the serve_* trace spans carry as their "req" arg, so a
+  /// result can be joined against the timeline.
+  std::uint64_t request_id = 0;
   std::uint64_t arrival_ns = 0;   ///< submit() time
   std::uint64_t launch_ns = 0;    ///< when the batch started executing
   std::uint64_t done_ns = 0;      ///< when the result was delivered

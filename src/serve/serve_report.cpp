@@ -19,6 +19,28 @@ std::string fmt3(double v) {
   return buf;
 }
 
+/// JSON string escaping for the diagnoses array: quote/backslash get
+/// escaped, control bytes become \u00XX, so the document stays valid
+/// whatever the rule text contains.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (u < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 ServeReport build_serve_report(const Server& server) {
@@ -77,6 +99,19 @@ ServeReport build_serve_report(const Server& server) {
           dynamic_cast<const GraphLatencyModel*>(&server.model()))
     rep.model_scale = gm->scale();
 
+  if (const ServeInstruments* obs = server.instruments()) {
+    const HistogramSnapshot e2e = obs->e2e_ns->snapshot();
+    if (e2e.count > 0) {
+      rep.e2e_p50_ms = static_cast<double>(e2e.quantile(0.50)) * 1e-6;
+      rep.e2e_p95_ms = static_cast<double>(e2e.quantile(0.95)) * 1e-6;
+      rep.e2e_p99_ms = static_cast<double>(e2e.quantile(0.99)) * 1e-6;
+    }
+  }
+
+  const std::uint64_t now = server.now_ns();
+  for (const int w : SloMonitor::kWindowsS)
+    rep.slo_windows.push_back(server.slo().window(now, w));
+
   // Diagnoses: actionable mismatches only.
   if (rep.model_ratio > 0 &&
       (rep.model_ratio > 2.0 || rep.model_ratio < 0.5)) {
@@ -109,6 +144,11 @@ ServeReport build_serve_report(const Server& server) {
         "optimistic (model underpredicts or calibration lags)");
   }
 
+  // Fold in whatever the SLO watchdog sees right now.
+  for (std::string& d :
+       server.slo().evaluate(now, server.slo_evidence()))
+    rep.diagnoses.push_back(std::move(d));
+
   return rep;
 }
 
@@ -130,6 +170,19 @@ std::string ServeReport::to_text() const {
   s += "model: measured/predicted " + fmt3(model_ratio);
   if (model_scale > 0) s += ", calibration scale " + fmt3(model_scale);
   s += "\n";
+  if (e2e_p99_ms > 0) {
+    s += "e2e latency: p50 " + fmt3(e2e_p50_ms) + " ms, p95 " +
+         fmt3(e2e_p95_ms) + " ms, p99 " + fmt3(e2e_p99_ms) + " ms\n";
+  }
+  for (const SloWindowStats& w : slo_windows) {
+    if (w.finished() == 0) continue;
+    s += "slo " + std::to_string(w.window_s) + "s: goodput " +
+         fmt3(w.goodput_fraction() * 100) + "%, shed " +
+         fmt3(w.shed_fraction() * 100) + "%, p99 " +
+         fmt3(static_cast<double>(w.p99_ns) * 1e-6) + " ms (" +
+         std::to_string(w.served) + " served, " +
+         std::to_string(w.shed) + " shed)\n";
+  }
   if (!rows.empty()) {
     s += "batch size |  count | predicted ms | measured ms | ratio\n";
     for (const BatchRow& r : rows) {
@@ -161,6 +214,22 @@ std::string ServeReport::to_json() const {
   s += ", \"mean_batch\": " + fmt(mean_batch);
   s += ", \"model_ratio\": " + fmt(model_ratio);
   s += ", \"model_scale\": " + fmt(model_scale);
+  s += ", \"e2e_p50_ms\": " + fmt(e2e_p50_ms);
+  s += ", \"e2e_p95_ms\": " + fmt(e2e_p95_ms);
+  s += ", \"e2e_p99_ms\": " + fmt(e2e_p99_ms);
+  s += ", \"slo_windows\": [";
+  for (std::size_t i = 0; i < slo_windows.size(); ++i) {
+    const SloWindowStats& w = slo_windows[i];
+    if (i > 0) s += ", ";
+    s += "{\"window_s\": " + std::to_string(w.window_s) +
+         ", \"served\": " + std::to_string(w.served) +
+         ", \"on_time\": " + std::to_string(w.on_time) +
+         ", \"shed\": " + std::to_string(w.shed) +
+         ", \"goodput_fraction\": " + fmt(w.goodput_fraction()) +
+         ", \"shed_fraction\": " + fmt(w.shed_fraction()) +
+         ", \"p99_ns\": " + std::to_string(w.p99_ns) + "}";
+  }
+  s += "]";
   s += ", \"batch_rows\": [";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     if (i > 0) s += ", ";
@@ -173,7 +242,7 @@ std::string ServeReport::to_json() const {
   s += "], \"diagnoses\": [";
   for (std::size_t i = 0; i < diagnoses.size(); ++i) {
     if (i > 0) s += ", ";
-    s += "\"" + diagnoses[i] + "\"";
+    s += "\"" + json_escape(diagnoses[i]) + "\"";
   }
   s += "]}";
   return s;

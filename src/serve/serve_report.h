@@ -48,8 +48,20 @@ struct ServeReport {
   double model_scale = 0;  ///< calibration scale (1 = untouched;
                            ///< 0 when the model has no scale)
 
+  /// End-to-end latency percentiles from the server's registry
+  /// histogram (exact to within one log-bucket width); all zero when
+  /// the server runs with observe=false or served nothing.
+  double e2e_p50_ms = 0;
+  double e2e_p95_ms = 0;
+  double e2e_p99_ms = 0;
+
+  /// The SLO watchdog's rolling windows (1 s / 10 s / 60 s ending at
+  /// the report's build time, on the server's Clock).
+  std::vector<SloWindowStats> slo_windows;
+
   /// Human-readable mismatches ("model underpredicts 3.2x", "no
-  /// coalescing under load"); empty when serving matched the model.
+  /// coalescing under load") plus any active SLO-breach diagnoses
+  /// from the watchdog; empty when serving matched the model and SLO.
   std::vector<std::string> diagnoses;
 
   std::string to_text() const;

@@ -8,6 +8,8 @@
 #include <string>
 #include <utility>
 
+#include "runtime/metrics.h"
+#include "runtime/shutdown.h"
 #include "runtime/thread_pool.h"
 #include "runtime/trace.h"
 
@@ -44,7 +46,8 @@ Server::Server(GraphFactory factory, ServerOptions options)
       model_(options_.model),
       pool_(options_.pool != nullptr ? options_.pool
                                      : &ThreadPool::global()),
-      telemetry_(options_.executors + 1) {
+      telemetry_(options_.executors + 1),
+      slo_mon_(options_.slo) {
   if (!factory_)
     throw std::invalid_argument("serve::Server: null GraphFactory");
   // Build the batch-1 instance eagerly: it defines the accepted input
@@ -69,13 +72,27 @@ Server::Server(GraphFactory factory, ServerOptions options)
     std::lock_guard<std::mutex> g(graphs_mu_);
     free_graphs_[1].push_back(std::move(probe));
   }
+  if (options_.observe)
+    obs_ = std::make_unique<ServeInstruments>(options_.name,
+                                              options_.max_batch);
   busy_until_.assign(static_cast<std::size_t>(options_.executors), 0);
   lanes_.reserve(static_cast<std::size_t>(options_.executors));
   for (int lane = 0; lane < options_.executors; ++lane)
     lanes_.emplace_back([this, lane] { executor_loop(lane); });
+  // Drain at process exit *before* the metrics exporter and trace ring
+  // shut down (the hook chain is LIFO and those register at load time),
+  // so a server still live at exit never races the exporters' teardown.
+  exit_hook_ = register_exit_hook("serve-server",
+                                  [this] { shutdown(/*drain=*/true); });
 }
 
-Server::~Server() { shutdown(/*drain=*/true); }
+Server::~Server() {
+  // Drop the exit hook before tearing down: after this returns the
+  // chain can no longer call into a dying server (and if the chain is
+  // mid-run on another thread, unregister blocks until it finished).
+  unregister_exit_hook(exit_hook_);
+  shutdown(/*drain=*/true);
+}
 
 std::future<ServeResult> Server::submit(Tensor input,
                                         std::uint64_t deadline_budget_ns) {
@@ -99,9 +116,14 @@ std::future<ServeResult> Server::submit(Tensor input,
                       : saturating_add(now, deadline_budget_ns);
   std::future<ServeResult> fut = r.promise.get_future();
 
+  if (obs_) obs_->submitted->inc();
   {
     std::unique_lock<std::mutex> lk(queue_.mutex());
     ++stats_.submitted;
+    // Ids are assigned in submit order to *every* request, shed or
+    // served, so a shed request's trace instant still joins the
+    // timeline by id.
+    r.id = next_id_++;
     if (stopping_) {
       ++stats_.shed_shutdown;
       lk.unlock();
@@ -118,10 +140,13 @@ std::future<ServeResult> Server::submit(Tensor input,
            Counter::kServeShedArrival);
       return fut;
     }
-    r.id = next_id_++;
     ++stats_.admitted;
     queue_.push(std::move(r));
     stats_.queued = queue_.size();
+    if (obs_) {
+      obs_->admitted->inc();
+      obs_->queue_depth->set(static_cast<std::int64_t>(queue_.size()));
+    }
   }
   telemetry_.add(0, Counter::kServeAdmitted, 1);
   if (trace_on()) TraceSession::global().instant("serve_enqueue");
@@ -145,6 +170,9 @@ void Server::executor_loop(int lane) {
       if (!expired.empty()) {
         stats_.shed_expired += expired.size();
         stats_.queued = queue_.size();
+        if (obs_)
+          obs_->queue_depth->set(
+              static_cast<std::int64_t>(queue_.size()));
         lk.unlock();
         for (Request& r : expired)
           shed(std::move(r), ShedReason::kDeadlineExpired, lane + 1,
@@ -185,6 +213,8 @@ void Server::executor_loop(int lane) {
     busy_until_[static_cast<std::size_t>(lane)] =
         saturating_add(now, plan.predicted_ns);
     stats_.queued = queue_.size();
+    if (obs_)
+      obs_->queue_depth->set(static_cast<std::int64_t>(queue_.size()));
     lk.unlock();
     run_batch(lane, std::move(batch), plan, now);
     lk.lock();
@@ -206,10 +236,13 @@ void Server::run_batch(int lane, std::vector<Request> batch,
                 batch[static_cast<std::size_t>(i)].input.data(),
                 per_in * sizeof(float));
 
+  const std::uint64_t head_id = batch.front().id;
   std::unique_ptr<Graph> graph;
   Tensor output;
   std::exception_ptr error;
   std::uint64_t measured = 0;
+  if (trace_on())
+    TraceSession::global().begin("serve_execute", "batch", k);
   try {
     graph = acquire_graph(k);
     const std::uint64_t t0 = monotonic_ns();
@@ -218,6 +251,7 @@ void Server::run_batch(int lane, std::vector<Request> batch,
   } catch (...) {
     error = std::current_exception();
   }
+  if (trace_on()) TraceSession::global().end("serve_execute");
   const std::uint64_t done = clock_->now_ns();
 
   if (error) {
@@ -229,6 +263,7 @@ void Server::run_batch(int lane, std::vector<Request> batch,
       std::lock_guard<std::mutex> g(queue_.mutex());
       stats_.failed += static_cast<std::uint64_t>(k);
     }
+    if (obs_) obs_->failed->inc(static_cast<std::uint64_t>(k));
     for (Request& r : batch) r.promise.set_exception(error);
     return;
   }
@@ -236,11 +271,18 @@ void Server::run_batch(int lane, std::vector<Request> batch,
 
   if (options_.calibrate) model_->observe(k, measured);
   telemetry_.add(lane + 1, Counter::kServeBatches, 1);
+  if (obs_) {
+    obs_->batches->inc();
+    obs_->execute_ns->record(measured);
+    obs_->execute_by_batch[static_cast<std::size_t>(k)]->record(
+        measured);
+  }
   if (trace_on()) {
     TraceSession& ts = TraceSession::global();
     const std::uint64_t end = ts.now_ns();
     ts.complete("serve_batch", end > measured ? end - measured : 0,
-                measured, "batch", k);
+                measured, "batch", k, "req",
+                static_cast<std::int64_t>(head_id));
   }
 
   // Slice the [k, ...] batch output into per-request [1, ...] tensors.
@@ -258,6 +300,7 @@ void Server::run_batch(int lane, std::vector<Request> batch,
     std::memcpy(res.output.data(),
                 output.data() + static_cast<std::size_t>(i) * per_out,
                 per_out * sizeof(float));
+    res.stats.request_id = r.id;
     res.stats.arrival_ns = r.arrival_ns;
     res.stats.launch_ns = launch_ns;
     res.stats.done_ns = done;
@@ -269,10 +312,39 @@ void Server::run_batch(int lane, std::vector<Request> batch,
             ? std::numeric_limits<std::int64_t>::max()
             : static_cast<std::int64_t>(r.deadline_ns) -
                   static_cast<std::int64_t>(done);
-    if (r.deadline_ns != kNeverNs && res.stats.deadline_slack_ns < 0)
-      ++misses;
+    const bool on_time =
+        r.deadline_ns == kNeverNs || res.stats.deadline_slack_ns >= 0;
+    if (!on_time) ++misses;
     res.stats.predicted_batch_ns = plan.predicted_ns;
     res.stats.measured_batch_ns = measured;
+
+    const std::uint64_t e2e =
+        done > r.arrival_ns ? done - r.arrival_ns : 0;
+    slo_mon_.record_served(done, e2e, on_time);
+    if (obs_) {
+      obs_->served->inc();
+      obs_->queue_wait_ns->record(res.stats.queue_wait_ns);
+      obs_->e2e_ns->record(e2e);
+      obs_->e2e_by_batch[static_cast<std::size_t>(k)]->record(e2e);
+      if (r.deadline_ns != kNeverNs) {
+        obs_->deadline_slack_ns->record(
+            on_time ? static_cast<std::uint64_t>(
+                          res.stats.deadline_slack_ns)
+                    : 0);
+        if (!on_time) obs_->deadline_missed->inc();
+      }
+    }
+    if (trace_on()) {
+      // Back-dated 'X' span covering the request's time in the queue;
+      // the exporter sorts by timestamp, so out-of-order emission is
+      // fine. Durations are clock_ nanoseconds mapped onto the trace
+      // timeline ending "now".
+      TraceSession& ts = TraceSession::global();
+      const std::uint64_t tnow = ts.now_ns();
+      const std::uint64_t wait = res.stats.queue_wait_ns;
+      ts.complete("serve_queue", tnow > wait ? tnow - wait : 0, wait,
+                  "req", static_cast<std::int64_t>(r.id), "batch", k);
+    }
     results.push_back(std::move(res));
   }
 
@@ -287,13 +359,19 @@ void Server::run_batch(int lane, std::vector<Request> batch,
     records_.push_back(
         BatchRecord{k, plan.predicted_ns, measured});
   }
+  if (trace_on())
+    TraceSession::global().begin("serve_respond", "req",
+                                 static_cast<std::int64_t>(head_id));
   for (int i = 0; i < k; ++i)
     batch[static_cast<std::size_t>(i)].promise.set_value(
         std::move(results[static_cast<std::size_t>(i)]));
+  if (trace_on()) TraceSession::global().end("serve_respond");
 }
 
 void Server::shed(Request r, ShedReason reason, int slot, Counter c) {
   telemetry_.add(slot, c, 1);
+  slo_mon_.record_shed(clock_->now_ns(), reason);
+  if (obs_) obs_->shed[static_cast<int>(reason)]->inc();
   if (trace_on()) TraceSession::global().instant("serve_shed");
   r.promise.set_exception(std::make_exception_ptr(ShedError(reason)));
 }
@@ -310,6 +388,7 @@ std::unique_ptr<Graph> Server::acquire_graph(int batch) {
   }
   // Build outside the pool lock: graph construction (and its warm-up
   // forward) is the expensive part and other lanes must not stall on it.
+  graph_builds_.fetch_add(1, std::memory_order_relaxed);
   std::unique_ptr<Graph> graph = factory_(batch);
   if (!graph)
     throw std::runtime_error("serve::Server: GraphFactory returned null");
@@ -375,6 +454,25 @@ ServerStatsSnapshot Server::stats() const {
 std::vector<Server::BatchRecord> Server::batch_records() const {
   std::lock_guard<std::mutex> lk(queue_.mutex());
   return records_;
+}
+
+std::string Server::metrics_text() const {
+  return MetricsRegistry::global().text();
+}
+
+SloEvidence Server::slo_evidence() const {
+  SloEvidence ev;
+  {
+    std::lock_guard<std::mutex> lk(queue_.mutex());
+    if (stats_.predicted_ns_sum > 0)
+      ev.model_ratio =
+          static_cast<double>(stats_.measured_ns_sum) /
+          static_cast<double>(stats_.predicted_ns_sum);
+  }
+  if (const auto* g = dynamic_cast<const GraphLatencyModel*>(model_))
+    ev.model_scale = g->scale();
+  ev.filter_repacks = graph_builds_.load(std::memory_order_relaxed);
+  return ev;
 }
 
 }  // namespace ndirect::serve

@@ -38,6 +38,7 @@
 #include "serve/batching.h"
 #include "serve/clock.h"
 #include "serve/latency_model.h"
+#include "serve/observability.h"
 #include "serve/request_queue.h"
 
 namespace ndirect::serve {
@@ -48,6 +49,11 @@ namespace ndirect::serve {
 using GraphFactory = std::function<std::unique_ptr<Graph>(int batch)>;
 
 struct ServerOptions {
+  /// Tenant label: becomes the {server="..."} label on every registry
+  /// instrument this server registers, so multiple Server instances
+  /// (one per model — the multi-tenant shape) stay separable in one
+  /// OpenMetrics exposition.
+  std::string name = "default";
   int max_batch = 8;   ///< largest coalesced batch
   int executors = 1;   ///< concurrent batch lanes (graph leases)
   /// Deadline budget applied by submit(input) with no explicit budget;
@@ -73,6 +79,14 @@ struct ServerOptions {
   /// ThreadPool all graphs' convolutions dispatch onto.
   /// nullptr = ThreadPool::global().
   ThreadPool* pool = nullptr;
+  /// Register per-server instruments in the global MetricsRegistry and
+  /// record into them on every request. Off: the server stays out of
+  /// the registry entirely (the SLO monitor still runs — it is plain
+  /// per-server state, not a registry instrument).
+  bool observe = true;
+  /// The SLO the rolling watchdog judges traffic against. Defaults
+  /// disable every rule.
+  SloConfig slo{};
 };
 
 /// Aggregate serving counters (one consistent snapshot).
@@ -147,6 +161,24 @@ class Server {
   LatencyModel& model() { return *model_; }
   const LatencyModel& model() const { return *model_; }
 
+  /// The whole process's OpenMetrics exposition (this server's
+  /// instruments included) — what a /metrics endpoint would return.
+  std::string metrics_text() const;
+
+  /// The rolling-window SLO watchdog (always live; judge it with
+  /// slo().evaluate(now_ns(), slo_evidence())).
+  const SloMonitor& slo() const { return slo_mon_; }
+  /// Current time on this server's Clock (virtual under VirtualClock).
+  std::uint64_t now_ns() const { return clock_->now_ns(); }
+  /// Evidence for SLO breach attribution: overall measured/predicted
+  /// ratio, the model's EWMA calibration scale (0 when the model has
+  /// none), and the count of cold graph builds (each one repacks the
+  /// filter cache for a new batch size).
+  SloEvidence slo_evidence() const;
+  /// This server's registry handles; nullptr when options.observe is
+  /// false. Histogram snapshots answer p50/p95/p99 queries.
+  const ServeInstruments* instruments() const { return obs_.get(); }
+
  private:
   void executor_loop(int lane);
   void run_batch(int lane, std::vector<Request> batch,
@@ -180,6 +212,10 @@ class Server {
   std::map<int, std::vector<std::unique_ptr<Graph>>> free_graphs_;
 
   WorkerTelemetry telemetry_;
+  std::unique_ptr<ServeInstruments> obs_;  ///< null when !observe
+  SloMonitor slo_mon_;
+  std::atomic<std::uint64_t> graph_builds_{0};  ///< cold factory calls
+  std::uint64_t exit_hook_ = 0;  ///< runtime/shutdown.h registration
   std::vector<std::thread> lanes_;
   std::mutex join_mu_;  ///< serializes the shutdown join
 };

@@ -6,6 +6,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdlib>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <set>
@@ -94,6 +96,32 @@ TEST(WorkerTelemetry, MergeAddsPerWorkerRowsAndGrows) {
   EXPECT_EQ(a.workers[0].v[0], 4u);
   EXPECT_EQ(a.workers[1].v[0], 7u);
   EXPECT_DOUBLE_EQ(a.wall_seconds, 0.75);
+}
+
+TEST(WorkerTelemetry, SnapshotJsonRoundTripsThroughAStrictParser) {
+  // The exported document must satisfy a real parser, not just our own
+  // substring checks: pipe it through `python3 -m json.tool`, which
+  // rejects bare control bytes, trailing commas and unbalanced
+  // braces. (The escaping bug this guards against: un-escaped control
+  // characters in string fields made strict parsers reject the dump.)
+  if (std::system("python3 -c pass > /dev/null 2>&1") != 0)
+    GTEST_SKIP() << "python3 not available";
+  TelemetrySnapshot snap;
+  snap.workers.resize(3);
+  snap.workers[0].v[static_cast<int>(Counter::kTilesClaimed)] = 41;
+  snap.workers[1].v[static_cast<int>(Counter::kLocalSteals)] = 7;
+  snap.workers[2].v[static_cast<int>(Counter::kPackNs)] = 123456789;
+  snap.wall_seconds = 0.125;
+  const std::string path =
+      testing::TempDir() + "telemetry_roundtrip.json";
+  {
+    std::ofstream out(path);
+    out << snap.to_json();
+  }
+  const std::string cmd =
+      "python3 -m json.tool " + path + " > /dev/null 2>&1";
+  EXPECT_EQ(std::system(cmd.c_str()), 0)
+      << "json.tool rejected the snapshot document";
 }
 
 TEST(WorkerTelemetry, SnapshotJsonCarriesCountersAndFractions) {
