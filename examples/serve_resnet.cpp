@@ -10,9 +10,21 @@
 // periodic dump with NDIRECT_METRICS_FILE=/tmp/ndirect.prom, or send
 // the process SIGUSR2 for an on-demand flight record.
 //
+// With --admin-port=N the process mounts the HTTP admin plane
+// (DESIGN.md §17) and serves /metrics, /healthz, /readyz, /slo,
+// /report and the trace endpoints while traffic runs; --run-ms=N keeps
+// a continuous load loop going that long so there is something live to
+// scrape. SIGTERM/SIGINT then drain gracefully through the exit-hook
+// chain.
+//
 //   $ ./examples/serve_resnet            # reduced model, fast
 //   $ NDIRECT_EXAMPLE_FULL=1 ./examples/serve_resnet
+//   $ ./examples/serve_resnet --admin-port=9900 --run-ms=30000 &
+//   $ curl -s localhost:9900/metrics | head
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <deque>
 #include <future>
 #include <sstream>
 #include <string>
@@ -20,6 +32,8 @@
 
 #include "nn/models.h"
 #include "runtime/env.h"
+#include "runtime/shutdown.h"
+#include "serve/admin.h"
 #include "serve/serve_report.h"
 #include "serve/server.h"
 #include "tensor/rng.h"
@@ -27,7 +41,31 @@
 using namespace ndirect;
 using namespace ndirect::serve;
 
-int main() {
+int main(int argc, char** argv) {
+  long admin_port = -1;
+  long run_ms = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--admin-port=", 0) == 0) {
+      admin_port = std::strtol(arg.c_str() + 13, nullptr, 10);
+    } else if (arg.rfind("--run-ms=", 0) == 0) {
+      run_ms = std::strtol(arg.c_str() + 9, nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--admin-port=N] [--run-ms=N]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (admin_port >= 0) {
+    AdminOptions aopts;
+    aopts.port = static_cast<int>(admin_port);
+    AdminServer::global().start(aopts);
+    install_signal_shutdown();
+    std::printf("admin plane on 127.0.0.1:%d "
+                "(/metrics /healthz /readyz /slo /report /trace/*)\n",
+                AdminServer::global().port());
+  }
+
   const bool full = env_flag("NDIRECT_EXAMPLE_FULL");
   ModelOptions mopts;
   mopts.channel_divisor = full ? 1 : 8;
@@ -84,6 +122,40 @@ int main() {
     } catch (const ShedError& e) {
       std::printf("%-4d shed: %s\n", i, shed_reason_name(e.reason()));
     }
+  }
+
+  if (run_ms > 0) {
+    // Continuous load so the admin endpoints have live traffic to
+    // report on; a bounded in-flight window applies backpressure.
+    std::printf("\nserving continuous traffic for %ld ms...\n", run_ms);
+    const auto until = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(run_ms);
+    std::deque<std::future<ServeResult>> inflight;
+    unsigned long long sent = 0, done = 0, shed = 0;
+    std::uint64_t seed = 1000;
+    const auto harvest = [&](std::future<ServeResult>& f) {
+      try {
+        (void)f.get();
+        ++done;
+      } catch (const ShedError&) {
+        ++shed;
+      }
+    };
+    while (std::chrono::steady_clock::now() < until) {
+      Tensor image = make_input_nchw(1, 3, mopts.image_size,
+                                     mopts.image_size);
+      fill_random(image, seed++);
+      inflight.push_back(server.submit(std::move(image)));
+      ++sent;
+      while (inflight.size() >= 16) {
+        harvest(inflight.front());
+        inflight.pop_front();
+      }
+    }
+    for (std::future<ServeResult>& f : inflight) harvest(f);
+    std::printf("continuous load: %llu submitted, %llu served, "
+                "%llu shed\n",
+                sent, done, shed);
   }
 
   server.shutdown();

@@ -22,11 +22,17 @@ be enforced with --require (repeatable):
       --require ndirect_serve_requests:counter \
       --require ndirect_serve_e2e_ns:histogram
 
+The exposition can also be scraped live from the admin plane
+(serve/admin.h's GET /metrics) instead of read from a file:
+
+  check_metrics.py --url http://localhost:9900/metrics --require ...
+
 Exit status 0 on a valid exposition, 1 with a diagnostic otherwise.
 """
 import argparse
 import re
 import sys
+import urllib.request
 
 SAMPLE_RE = re.compile(
     r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"      # metric name
@@ -67,14 +73,32 @@ def split_family(name, families):
 def main():
     ap = argparse.ArgumentParser(
         description="Validate an OpenMetrics exposition")
-    ap.add_argument("path")
+    ap.add_argument("path", nargs="?",
+                    help="exposition file (omit with --url)")
+    ap.add_argument(
+        "--url", metavar="URL",
+        help="scrape the exposition from a live admin endpoint "
+             "instead of a file")
     ap.add_argument(
         "--require", action="append", default=[], metavar="FAMILY[:TYPE]",
         help="fail unless this family is present (and of this type)")
     args = ap.parse_args()
 
-    with open(args.path) as f:
-        text = f.read()
+    if bool(args.url) == bool(args.path):
+        ap.error("exactly one of PATH or --url is required")
+    if args.url:
+        try:
+            with urllib.request.urlopen(args.url, timeout=10) as resp:
+                ctype = resp.headers.get("Content-Type", "")
+                text = resp.read().decode("utf-8")
+        except OSError as e:
+            fail(f"scrape of {args.url} failed: {e}")
+        if "openmetrics-text" not in ctype:
+            fail(f"{args.url}: Content-Type {ctype!r} is not an "
+                 f"OpenMetrics exposition")
+    else:
+        with open(args.path) as f:
+            text = f.read()
     if not text.endswith("# EOF\n"):
         fail("document must terminate with '# EOF'")
     lines = text.splitlines()

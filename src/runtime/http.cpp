@@ -1,0 +1,548 @@
+#include "runtime/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace ndirect {
+
+namespace {
+
+bool iequals(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i])))
+      return false;
+  }
+  return true;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t')) --e;
+  return s.substr(b, e - b);
+}
+
+std::uint64_t steady_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Send the whole buffer, tolerating partial writes. MSG_NOSIGNAL so a
+/// client that hung up mid-response costs an errno, not a SIGPIPE.
+bool send_all(int fd, const char* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n =
+        ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Outcome of reading one request off a connection.
+enum class ReadStatus { kOk, kBadRequest, kTooLarge, kDisconnect };
+
+/// Read until the header block (and any Content-Length body) is
+/// complete, the deadline passes, the size cap trips, or the peer
+/// hangs up. poll-based so a stalled client never pins the handler
+/// past the deadline.
+ReadStatus read_request(int fd, std::size_t max_bytes, long timeout_ms,
+                        std::string* raw, std::size_t* header_end,
+                        std::size_t* body_len) {
+  const std::uint64_t deadline = steady_ms() +
+                                 static_cast<std::uint64_t>(
+                                     timeout_ms > 0 ? timeout_ms : 0);
+  *header_end = std::string::npos;
+  *body_len = 0;
+  char buf[4096];
+  for (;;) {
+    if (*header_end == std::string::npos) {
+      const std::size_t pos = raw->find("\r\n\r\n");
+      if (pos != std::string::npos) {
+        *header_end = pos + 4;
+        // Content-Length decides how much body to wait for; chunked
+        // or other transfer encodings are not supported (400 later).
+        std::size_t want = 0;
+        std::size_t line_start = raw->find("\r\n") + 2;
+        while (line_start < *header_end - 2) {
+          const std::size_t line_end = raw->find("\r\n", line_start);
+          const std::string line =
+              raw->substr(line_start, line_end - line_start);
+          const std::size_t colon = line.find(':');
+          if (colon != std::string::npos &&
+              iequals(trim(line.substr(0, colon)), "content-length")) {
+            const std::string v = trim(line.substr(colon + 1));
+            char* end = nullptr;
+            const unsigned long long parsed =
+                std::strtoull(v.c_str(), &end, 10);
+            if (end == v.c_str() || *end != '\0')
+              return ReadStatus::kBadRequest;
+            want = static_cast<std::size_t>(parsed);
+          }
+          line_start = line_end + 2;
+        }
+        if (*header_end + want > max_bytes) return ReadStatus::kTooLarge;
+        *body_len = want;
+      }
+    }
+    if (*header_end != std::string::npos &&
+        raw->size() >= *header_end + *body_len)
+      return ReadStatus::kOk;
+    if (raw->size() >= max_bytes) return ReadStatus::kTooLarge;
+
+    const std::uint64_t now = steady_ms();
+    if (now >= deadline) return ReadStatus::kDisconnect;
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int pr =
+        ::poll(&pfd, 1, static_cast<int>(deadline - now));
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return ReadStatus::kDisconnect;
+    }
+    if (pr == 0) return ReadStatus::kDisconnect;  // timed out
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ReadStatus::kDisconnect;
+    }
+    if (n == 0)
+      return raw->empty() ? ReadStatus::kDisconnect
+                          : ReadStatus::kBadRequest;  // truncated
+    raw->append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+/// Parse the complete request text into an HttpRequest. Returns false
+/// on any malformation (the caller answers 400).
+bool parse_request(const std::string& raw, std::size_t header_end,
+                   std::size_t body_len, HttpRequest* req) {
+  const std::size_t line_end = raw.find("\r\n");
+  if (line_end == std::string::npos || line_end >= header_end)
+    return false;
+  const std::string line = raw.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos
+                               : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) return false;
+  req->method = line.substr(0, sp1);
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string version = line.substr(sp2 + 1);
+  if (req->method.empty() || target.empty() || target[0] != '/')
+    return false;
+  if (version.rfind("HTTP/1.", 0) != 0) return false;
+  const std::size_t q = target.find('?');
+  if (q == std::string::npos) {
+    req->path = std::move(target);
+  } else {
+    req->path = target.substr(0, q);
+    req->query = target.substr(q + 1);
+  }
+
+  std::size_t pos = line_end + 2;
+  while (pos < header_end - 2) {
+    const std::size_t end = raw.find("\r\n", pos);
+    if (end == std::string::npos || end > header_end - 2) return false;
+    const std::string h = raw.substr(pos, end - pos);
+    const std::size_t colon = h.find(':');
+    if (colon == std::string::npos || colon == 0) return false;
+    req->headers.emplace_back(trim(h.substr(0, colon)),
+                              trim(h.substr(colon + 1)));
+    pos = end + 2;
+  }
+  if (const std::string* te = req->header("transfer-encoding");
+      te != nullptr && !iequals(*te, "identity"))
+    return false;  // chunked bodies are out of scope for an admin plane
+  req->body = raw.substr(header_end, body_len);
+  return true;
+}
+
+std::string render_response(const HttpResponse& res) {
+  std::string out = "HTTP/1.1 " + std::to_string(res.status) + " " +
+                    http_status_reason(res.status) + "\r\n";
+  out += "Content-Type: " + res.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(res.body.size()) + "\r\n";
+  for (const auto& [k, v] : res.headers) out += k + ": " + v + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += res.body;
+  return out;
+}
+
+HttpResponse plain_error(int status, const std::string& message) {
+  HttpResponse res;
+  res.status = status;
+  res.body = message + "\n";
+  return res;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::header(const std::string& name) const {
+  for (const auto& [k, v] : headers)
+    if (iequals(k, name)) return &v;
+  return nullptr;
+}
+
+std::string HttpRequest::query_param(const std::string& key,
+                                     const std::string& fallback) const {
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t end = query.find('&', pos);
+    if (end == std::string::npos) end = query.size();
+    const std::string pair = query.substr(pos, end - pos);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string::npos && pair.substr(0, eq) == key &&
+        eq + 1 < pair.size())
+      return pair.substr(eq + 1);
+    pos = end + 1;
+  }
+  return fallback;
+}
+
+const char* http_status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+HttpServer::HttpServer(HttpServerOptions options)
+    : options_(std::move(options)) {
+  options_.handler_threads = std::max(1, options_.handler_threads);
+  options_.max_request_bytes =
+      std::max<std::size_t>(512, options_.max_request_bytes);
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::route(const std::string& method, const std::string& path,
+                       HttpHandler handler) {
+  for (auto& [key, h] : routes_) {
+    if (key.first == method && key.second == path) {
+      h = std::move(handler);
+      return;
+    }
+  }
+  routes_.push_back({{method, path}, std::move(handler)});
+}
+
+void HttpServer::start() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (running_) return;
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0)
+    throw std::runtime_error("HttpServer: socket() failed: " +
+                             std::string(std::strerror(errno)));
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(),
+                  &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("HttpServer: bad bind address '" +
+                             options_.bind_address + "'");
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, options_.backlog) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    throw std::runtime_error("HttpServer: cannot listen on " +
+                             options_.bind_address + ":" +
+                             std::to_string(options_.port) + ": " + err);
+  }
+  socklen_t alen = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &alen);
+  bound_port_ = static_cast<int>(ntohs(addr.sin_port));
+
+  listen_fd_ = fd;
+  stop_requested_ = false;
+  running_ = true;
+  listener_ = std::thread([this] { listen_loop(); });
+  handlers_.reserve(static_cast<std::size_t>(options_.handler_threads));
+  for (int i = 0; i < options_.handler_threads; ++i)
+    handlers_.emplace_back([this] { handler_loop(); });
+}
+
+void HttpServer::stop() {
+  std::thread listener;
+  std::vector<std::thread> handlers;
+  std::deque<int> pending;
+  int listen_fd = -1;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+    running_ = false;
+    // shutdown() forces the blocking accept() to return immediately.
+    // The fd itself is closed only after the listener joined, so the
+    // descriptor number cannot be recycled under a racing accept().
+    if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+    listen_fd = listen_fd_;
+    listen_fd_ = -1;
+    listener = std::move(listener_);
+    handlers = std::move(handlers_);
+    pending = std::move(conn_queue_);
+    conn_queue_.clear();
+  }
+  conn_cv_.notify_all();
+  if (listener.joinable()) listener.join();
+  for (std::thread& t : handlers)
+    if (t.joinable()) t.join();
+  if (listen_fd >= 0) ::close(listen_fd);
+  for (const int fd : pending) ::close(fd);  // unanswered, by design
+}
+
+bool HttpServer::running() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return running_;
+}
+
+int HttpServer::port() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return bound_port_;
+}
+
+std::uint64_t HttpServer::requests_handled() const {
+  return handled_.load(std::memory_order_relaxed);
+}
+
+void HttpServer::listen_loop() {
+  for (;;) {
+    int fd;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (stop_requested_) return;
+      fd = listen_fd_;
+    }
+    const int conn = ::accept(fd, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;  // listener closed (stop) or unrecoverable
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (stop_requested_) {
+        ::close(conn);
+        return;
+      }
+      conn_queue_.push_back(conn);
+    }
+    conn_cv_.notify_one();
+  }
+}
+
+void HttpServer::handler_loop() {
+  for (;;) {
+    int fd;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      conn_cv_.wait(lk, [this] {
+        return stop_requested_ || !conn_queue_.empty();
+      });
+      if (stop_requested_) return;
+      fd = conn_queue_.front();
+      conn_queue_.pop_front();
+    }
+    handle_connection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpServer::handle_connection(int fd) {
+  // Bound the response write too: a client that stops reading costs
+  // at most write_timeout_ms per send, not a parked handler thread.
+  struct timeval tv;
+  tv.tv_sec = options_.write_timeout_ms / 1000;
+  tv.tv_usec = (options_.write_timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+  std::string raw;
+  std::size_t header_end = 0, body_len = 0;
+  const ReadStatus rs =
+      read_request(fd, options_.max_request_bytes,
+                   options_.read_timeout_ms, &raw, &header_end, &body_len);
+
+  HttpResponse res;
+  HttpRequest req;
+  switch (rs) {
+    case ReadStatus::kDisconnect:
+      return;  // nothing answerable arrived
+    case ReadStatus::kTooLarge:
+      res = plain_error(400, "request exceeds size cap");
+      break;
+    case ReadStatus::kBadRequest:
+      res = plain_error(400, "malformed request");
+      break;
+    case ReadStatus::kOk: {
+      if (!parse_request(raw, header_end, body_len, &req)) {
+        res = plain_error(400, "malformed request");
+        break;
+      }
+      const HttpHandler* handler = nullptr;
+      std::string allowed;  // methods registered for this path
+      for (const auto& [key, h] : routes_) {
+        if (key.second != req.path) continue;
+        if (!allowed.empty()) allowed += ", ";
+        allowed += key.first;
+        if (key.first == req.method) handler = &h;
+      }
+      if (handler == nullptr) {
+        if (allowed.empty()) {
+          res = plain_error(404, "no route for " + req.path);
+        } else {
+          res = plain_error(405, req.method + " not allowed for " +
+                                     req.path);
+          res.headers.push_back({"Allow", allowed});
+        }
+        break;
+      }
+      try {
+        res = (*handler)(req);
+      } catch (const std::exception& e) {
+        res = plain_error(500, std::string("handler error: ") + e.what());
+      } catch (...) {
+        res = plain_error(500, "handler error");
+      }
+      break;
+    }
+  }
+
+  const std::string wire = render_response(res);
+  (void)send_all(fd, wire.data(), wire.size());
+  handled_.fetch_add(1, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+HttpClientResponse http_fetch(const std::string& host, int port,
+                              const std::string& method,
+                              const std::string& path,
+                              const std::string& body, long timeout_ms) {
+  HttpClientResponse out;
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    out.error = "socket() failed";
+    return out;
+  }
+  struct timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    out.error = "bad host '" + host + "' (numeric IPv4 only)";
+    return out;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    out.error = std::string("connect failed: ") + std::strerror(errno);
+    ::close(fd);
+    return out;
+  }
+
+  std::string wire = method + " " + path + " HTTP/1.1\r\n";
+  wire += "Host: " + host + ":" + std::to_string(port) + "\r\n";
+  wire += "Connection: close\r\n";
+  if (!body.empty() || method == "POST")
+    wire += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  wire += "\r\n" + body;
+  if (!send_all(fd, wire.data(), wire.size())) {
+    out.error = "send failed";
+    ::close(fd);
+    return out;
+  }
+
+  std::string raw;
+  char buf[8192];
+  const std::uint64_t deadline =
+      steady_ms() + static_cast<std::uint64_t>(timeout_ms);
+  for (;;) {
+    if (steady_ms() >= deadline) {
+      out.error = "response timed out";
+      ::close(fd);
+      return out;
+    }
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      out.error = std::string("recv failed: ") + std::strerror(errno);
+      ::close(fd);
+      return out;
+    }
+    if (n == 0) break;  // server closed: response complete
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  const std::size_t header_end = raw.find("\r\n\r\n");
+  const std::size_t line_end = raw.find("\r\n");
+  if (header_end == std::string::npos || raw.rfind("HTTP/1.", 0) != 0) {
+    out.error = "malformed response";
+    return out;
+  }
+  const std::size_t sp = raw.find(' ');
+  if (sp == std::string::npos || sp + 4 > line_end) {
+    out.error = "malformed status line";
+    return out;
+  }
+  out.status = std::atoi(raw.c_str() + sp + 1);
+  // Pull Content-Type out of the headers; everything else is the
+  // caller's problem.
+  std::size_t pos = line_end + 2;
+  while (pos < header_end) {
+    std::size_t end = raw.find("\r\n", pos);
+    if (end == std::string::npos || end > header_end) end = header_end;
+    const std::string h = raw.substr(pos, end - pos);
+    const std::size_t colon = h.find(':');
+    if (colon != std::string::npos &&
+        iequals(trim(h.substr(0, colon)), "content-type"))
+      out.content_type = trim(h.substr(colon + 1));
+    pos = end + 2;
+  }
+  out.body = raw.substr(header_end + 4);
+  out.ok = true;
+  return out;
+}
+
+}  // namespace ndirect

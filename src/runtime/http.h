@@ -1,0 +1,169 @@
+// Minimal embedded HTTP/1.1 server for the admin plane (DESIGN.md §17).
+//
+// Dependency-free and deliberately small: one blocking-accept listener
+// thread feeding a fixed pool of handler threads over a connection
+// queue. Reads are poll-based with a per-connection deadline and a
+// request-size cap, so a stalled or malicious client can pin a handler
+// thread for at most `read_timeout_ms` and `max_request_bytes` of
+// memory; responses always carry an exact Content-Length and
+// `Connection: close` (one request per connection — the expected
+// clients are scrapers at ~1 Hz and curl, not browsers).
+//
+// Routing is exact-path: route(method, path, handler) registers a
+// handler returning an HttpResponse. The server owns the error paths a
+// scraper can trigger: 400 (malformed / oversized request), 404
+// (unknown path), 405 (known path, wrong method — with an Allow
+// header), 500 (handler threw); handlers return 503 themselves when a
+// resource is warming or draining (serve/admin.h's /readyz).
+//
+// This is an *admin* transport, not a data plane: correctness and
+// bounded resource use over throughput. Inference traffic never flows
+// through it.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace ndirect {
+
+/// One parsed request. Header keys are matched case-insensitively via
+/// header(); the target's query string (after '?') is split off into
+/// `query` so route paths stay exact.
+struct HttpRequest {
+  std::string method;  ///< "GET", "POST", ... (upper-case as sent)
+  std::string path;    ///< target path, query stripped
+  std::string query;   ///< raw query string ("" when absent)
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// Value of the first header matching `name` case-insensitively, or
+  /// nullptr when absent.
+  const std::string* header(const std::string& name) const;
+
+  /// Value of `key` in the query string ("k1=v1&k2=v2"), or `fallback`
+  /// when absent/empty. No percent-decoding (admin values are plain).
+  std::string query_param(const std::string& key,
+                          const std::string& fallback = "") const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+  /// Extra response headers, e.g. {"Allow", "GET"} on a 405.
+  std::vector<std::pair<std::string, std::string>> headers;
+};
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+struct HttpServerOptions {
+  std::string bind_address = "127.0.0.1";  ///< admin default: loopback
+  int port = 0;                            ///< 0 = ephemeral (port())
+  int handler_threads = 2;
+  std::size_t max_request_bytes = 64 * 1024;
+  long read_timeout_ms = 5000;   ///< per-connection request deadline
+  long write_timeout_ms = 5000;  ///< socket send timeout
+  int backlog = 16;
+};
+
+class HttpServer {
+ public:
+  explicit HttpServer(HttpServerOptions options = {});
+  ~HttpServer();  ///< stop()
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Register `handler` for exact (method, path). Must be called
+  /// before start(); re-registering the same pair replaces the handler.
+  void route(const std::string& method, const std::string& path,
+             HttpHandler handler);
+
+  /// Bind, listen, and spawn the listener + handler threads. Throws
+  /// std::runtime_error when the address cannot be bound.
+  void start();
+
+  /// Close the listener, drain the connection queue (pending
+  /// connections are closed unanswered), join every thread.
+  /// Idempotent; safe from any thread including exit hooks.
+  void stop();
+
+  bool running() const;
+
+  /// The bound port (resolves an ephemeral request) — valid after
+  /// start(), 0 before.
+  int port() const;
+
+  /// Requests fully answered (any status) since start().
+  std::uint64_t requests_handled() const;
+
+  const HttpServerOptions& options() const { return options_; }
+
+ private:
+  void listen_loop();
+  void handler_loop();
+  void handle_connection(int fd);
+
+  HttpServerOptions options_;
+  std::vector<std::pair<std::pair<std::string, std::string>, HttpHandler>>
+      routes_;  ///< ((method, path), handler)
+
+  mutable std::mutex mu_;
+  std::condition_variable conn_cv_;
+  std::deque<int> conn_queue_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+  int listen_fd_ = -1;
+  int bound_port_ = 0;
+  std::thread listener_;
+  std::vector<std::thread> handlers_;
+  std::atomic<std::uint64_t> handled_{0};
+};
+
+/// Reason phrase for an HTTP status code ("OK", "Not Found", ...).
+const char* http_status_reason(int status);
+
+// ---------------------------------------------------------------------------
+// Minimal blocking client — enough for self-scrapes, tests, and the
+// bench's 1 Hz scraper. One request per connection (Connection: close),
+// response read to EOF.
+// ---------------------------------------------------------------------------
+
+struct HttpClientResponse {
+  bool ok = false;     ///< transport-level success (any HTTP status)
+  int status = 0;      ///< 0 when !ok
+  std::string content_type;
+  std::string body;
+  std::string error;   ///< transport diagnostic when !ok
+};
+
+/// Perform one `method` request against host:port/path. `timeout_ms`
+/// bounds connect, send and the whole response read.
+HttpClientResponse http_fetch(const std::string& host, int port,
+                              const std::string& method,
+                              const std::string& path,
+                              const std::string& body = "",
+                              long timeout_ms = 5000);
+
+inline HttpClientResponse http_get(const std::string& host, int port,
+                                   const std::string& path,
+                                   long timeout_ms = 5000) {
+  return http_fetch(host, port, "GET", path, "", timeout_ms);
+}
+
+inline HttpClientResponse http_post(const std::string& host, int port,
+                                    const std::string& path,
+                                    const std::string& body = "",
+                                    long timeout_ms = 5000) {
+  return http_fetch(host, port, "POST", path, body, timeout_ms);
+}
+
+}  // namespace ndirect

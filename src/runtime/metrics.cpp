@@ -195,6 +195,23 @@ std::string bucket_labels(const MetricLabels& labels,
 }  // namespace
 
 std::string MetricsRegistry::text() const {
+  // The global exposition describes the observability plane itself:
+  // refresh the self-gauges before rendering, so every scrape carries
+  // a current trace-ring drop count and instrument census. Must happen
+  // before mu_ is taken (gauge() registers under it), and only for the
+  // global registry — private test registries stay untouched.
+  if (this == &global()) {
+    MetricsRegistry& g = global();
+    GaugeCell* dropped = g.gauge(
+        "ndirect_trace_dropped_events", {},
+        "Trace events lost to a full ring in the global trace session");
+    GaugeCell* instruments = g.gauge(
+        "ndirect_metrics_instruments", {},
+        "Instruments registered in the global metrics registry");
+    dropped->set(
+        static_cast<std::int64_t>(TraceSession::global().dropped()));
+    instruments->set(static_cast<std::int64_t>(g.size()));
+  }
   std::lock_guard<std::mutex> lk(mu_);
   std::string out;
   // One family block per metric name, in first-registration order;

@@ -1,10 +1,17 @@
 #include "runtime/shutdown.h"
 
+#include <atomic>
+#include <cerrno>
 #include <condition_variable>
+#include <csignal>
 #include <cstdlib>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include <unistd.h>
+
+#include "runtime/env.h"
 
 namespace ndirect {
 namespace {
@@ -90,5 +97,60 @@ void run_exit_hooks() {
   c.running = false;
   c.done_cv.notify_all();
 }
+
+namespace {
+
+int g_signal_pipe[2] = {-1, -1};
+
+// Async-signal-safe by construction: one write() on a pre-opened pipe.
+// Everything else (run_exit_hooks takes locks, joins threads) happens
+// on the watcher thread the write wakes.
+void on_shutdown_signal(int /*sig*/) {
+  const unsigned char byte = 1;
+  (void)!::write(g_signal_pipe[1], &byte, 1);
+}
+
+}  // namespace
+
+bool install_signal_shutdown() {
+  static std::atomic<bool> installed{false};
+  bool expected = false;
+  if (!installed.compare_exchange_strong(expected, true)) return false;
+  if (::pipe(g_signal_pipe) != 0) {
+    installed.store(false);
+    return false;
+  }
+  // The watcher outlives any normal return path (detached, blocked on
+  // the read); on a signal-free exit the process simply takes it down.
+  std::thread([] {
+    unsigned char byte = 0;
+    while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+    }
+    run_exit_hooks();
+    std::exit(0);
+  }).detach();
+  struct sigaction sa = {};
+  sa.sa_handler = on_shutdown_signal;
+  sigemptyset(&sa.sa_mask);
+  // One-shot: a second SIGTERM/SIGINT while the drain is running hits
+  // the default disposition and kills the process immediately.
+  sa.sa_flags = SA_RESETHAND;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+  return true;
+}
+
+namespace {
+
+/// NDIRECT_SIGNAL_SHUTDOWN=1 opts into graceful signal handling with
+/// no admin plane (the NDIRECT_ADMIN_PORT path installs it too).
+struct SignalAutostart {
+  SignalAutostart() {
+    if (env_flag("NDIRECT_SIGNAL_SHUTDOWN")) install_signal_shutdown();
+  }
+};
+const SignalAutostart g_signal_autostart;
+
+}  // namespace
 
 }  // namespace ndirect

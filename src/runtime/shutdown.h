@@ -43,4 +43,18 @@ void unregister_exit_hook(std::uint64_t token);
 /// a later atexit pass re-runs nothing). Test hook; atexit calls this.
 void run_exit_hooks();
 
+/// Install SIGTERM/SIGINT handlers that run the exit-hook chain once
+/// — close the admin transport, drain live servers, final metrics
+/// dump, trace export — and then exit(0). run_exit_hooks() is not
+/// async-signal-safe, so the handler only writes one byte down a
+/// self-pipe; a watcher thread (spawned here, not in the handler) does
+/// the real work. The handlers install with SA_RESETHAND: a second
+/// signal while the drain is still running kills the process with the
+/// default disposition — the escape hatch against a hung drain.
+///
+/// Idempotent; returns true when this call installed the handlers.
+/// Autostarts via NDIRECT_SIGNAL_SHUTDOWN=1 or as part of the
+/// NDIRECT_ADMIN_PORT admin plane (serve/admin.cpp).
+bool install_signal_shutdown();
+
 }  // namespace ndirect

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <mutex>
+#include <unordered_map>
 
 #include "runtime/env.h"
 #include "runtime/shutdown.h"
@@ -41,6 +43,40 @@ std::string json_escape(const std::string& s) {
     out += ch;
   }
   return out;
+}
+
+// Remove span events orphaned by a session edge. A session started
+// mid-span records the 'E' of a 'B' that predates it; one stopped
+// mid-span records a 'B' whose 'E' never arrives. Either breaks the
+// LIFO nesting trace viewers (and check_trace.py) insist on, so the
+// export drops exactly the unmatched halves: an 'E' that does not
+// close the innermost open 'B' of its lane, and any 'B' still open at
+// the end of the buffer. Matched pairs nested inside a dropped 'B'
+// survive — removing only the unmatched enclosing event keeps the
+// remaining events properly nested.
+void prune_unbalanced_spans(std::vector<TraceEvent>* evs) {
+  std::unordered_map<std::uint32_t, std::vector<std::size_t>> open;
+  std::vector<char> drop(evs->size(), 0);
+  for (std::size_t i = 0; i < evs->size(); ++i) {
+    const TraceEvent& ev = (*evs)[i];
+    if (ev.ph == 'B') {
+      open[ev.tid].push_back(i);
+    } else if (ev.ph == 'E') {
+      std::vector<std::size_t>& stack = open[ev.tid];
+      if (!stack.empty() &&
+          std::strcmp((*evs)[stack.back()].name, ev.name) == 0) {
+        stack.pop_back();
+      } else {
+        drop[i] = 1;
+      }
+    }
+  }
+  for (const auto& [tid, stack] : open)
+    for (std::size_t i : stack) drop[i] = 1;
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < evs->size(); ++i)
+    if (!drop[i]) (*evs)[w++] = (*evs)[i];
+  evs->resize(w);
 }
 
 void append_microseconds(std::string* out, std::uint64_t ns) {
@@ -220,6 +256,7 @@ std::vector<TraceEvent> TraceSession::events() const {
                    [](const TraceEvent& a, const TraceEvent& b) {
                      return a.ts_ns < b.ts_ns;
                    });
+  prune_unbalanced_spans(&evs);
   return evs;
 }
 

@@ -110,6 +110,10 @@ class TraceSession {
   std::size_t capacity() const;
 
   /// Ordered copy of the recorded events (sorted by ts; test hook).
+  /// 'B'/'E' spans cut by a session edge — an 'E' whose 'B' predates
+  /// start(), a 'B' whose 'E' never arrived before stop() — are
+  /// pruned so the export always nests LIFO, even for sessions
+  /// started or stopped mid-traffic over the admin plane.
   std::vector<TraceEvent> events() const;
 
   /// The full Chrome-tracing JSON object as a string.

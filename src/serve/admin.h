@@ -1,0 +1,122 @@
+// HTTP admin plane: live scrape, health/readiness, SLO and trace
+// endpoints over the embedded HTTP server (DESIGN.md §17).
+//
+// AdminServer mounts the whole observability stack on runtime/http.h:
+//
+//   GET  /metrics      OpenMetrics text from the live registry
+//                      (application/openmetrics-text version header)
+//   GET  /healthz      liveness: 200 "ok" while the process responds
+//   GET  /readyz       readiness: 200 only when every live
+//                      serve::Server is kReady (packed filters warmed,
+//                      not draining); 503 with a per-server state body
+//                      while warming, draining, stopped, or when no
+//                      server is registered yet
+//   GET  /slo          SloMonitor rolling windows + attributed breach
+//                      diagnoses per server, as JSON
+//   GET  /report       ServeReport JSON per server (warming servers
+//                      are listed but carry no report yet)
+//   POST /trace/start  begin a TraceSession on the global ring
+//                      (?events=N sizes the ring)
+//   POST /trace/stop   stop the session and return the chrome-trace
+//                      JSON body
+//
+// Servers become visible through a process-wide live-server registry:
+// serve::Server registers itself at the *top* of its constructor (so
+// /readyz reports "warming" during the packed-filter warm-up) and
+// unregisters at the top of its destructor (unregistration blocks
+// while a handler is iterating, so a handler never touches a dying
+// server).
+//
+// Exit ordering rides the runtime/shutdown.h hook chain: the admin
+// server re-fronts its hook whenever a new serve::Server registers,
+// so at process exit the admin transport closes *before* servers
+// drain — no scrape can observe a half-drained process.
+//
+// NDIRECT_ADMIN_PORT=<port> autostarts the global AdminServer at load
+// time (0 = ephemeral; the bound port is printed to stderr), binds to
+// NDIRECT_ADMIN_BIND (default 127.0.0.1), and installs the
+// SIGTERM/SIGINT graceful-shutdown handlers (runtime/shutdown.h) —
+// the full fleet-deployment surface with zero code changes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "runtime/http.h"
+
+namespace ndirect::serve {
+
+class Server;
+
+struct AdminOptions {
+  std::string bind_address = "127.0.0.1";
+  int port = 0;  ///< 0 = ephemeral; read the bound port with port()
+  int handler_threads = 2;
+};
+
+class AdminServer {
+ public:
+  /// The process-wide instance (what NDIRECT_ADMIN_PORT starts and
+  /// what live servers re-front the exit hook of). Tests may also
+  /// construct private instances.
+  static AdminServer& global();
+
+  AdminServer() = default;
+  ~AdminServer();  ///< stop()
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// Bind and serve the admin routes. Idempotent while running.
+  /// Throws std::runtime_error when the address cannot be bound.
+  void start(AdminOptions options = {});
+
+  /// Close the transport and join its threads. Idempotent; safe from
+  /// exit hooks and concurrent callers.
+  void stop();
+
+  bool running() const;
+  int port() const;  ///< bound port, 0 when not running
+
+  /// Re-register this admin server's exit hook so it runs before any
+  /// hook registered earlier (the chain is LIFO). Called by
+  /// register_live_server for the global instance; harmless no-op
+  /// when not running.
+  void refresh_exit_hook();
+
+  /// Requests answered since start (transport-level; test hook).
+  std::uint64_t requests_handled() const;
+
+ private:
+  void mount_routes(HttpServer& http);
+
+  mutable std::mutex mu_;
+  std::unique_ptr<HttpServer> http_;
+  std::uint64_t exit_hook_ = 0;  ///< 0 = none registered
+};
+
+// ---------------------------------------------------------------------------
+// Live-server registry: the process-wide set of serve::Server
+// instances the admin endpoints report over.
+// ---------------------------------------------------------------------------
+
+/// Add `s` to the registry (serve::Server constructor). Also re-fronts
+/// the global AdminServer's exit hook so the admin transport closes
+/// before this server's drain hook runs at exit.
+void register_live_server(Server* s);
+
+/// Remove `s`. Blocks until no admin handler is still iterating the
+/// registry, so the caller may destroy `s` immediately after.
+void unregister_live_server(Server* s);
+
+/// Run `fn` once per live server, in registration order, holding the
+/// registry lock (servers cannot unregister mid-iteration; keep `fn`
+/// cheap). The admin handlers and tests use this.
+void for_each_live_server(const std::function<void(Server&)>& fn);
+
+std::size_t live_server_count();
+
+}  // namespace ndirect::serve

@@ -19,9 +19,8 @@ std::string fmt3(double v) {
   return buf;
 }
 
-/// JSON string escaping for the diagnoses array: quote/backslash get
-/// escaped, control bytes become \u00XX, so the document stays valid
-/// whatever the rule text contains.
+}  // namespace
+
 std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
@@ -41,7 +40,15 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
-}  // namespace
+std::string slo_window_json(const SloWindowStats& w) {
+  return "{\"window_s\": " + std::to_string(w.window_s) +
+         ", \"served\": " + std::to_string(w.served) +
+         ", \"on_time\": " + std::to_string(w.on_time) +
+         ", \"shed\": " + std::to_string(w.shed) +
+         ", \"goodput_fraction\": " + fmt(w.goodput_fraction()) +
+         ", \"shed_fraction\": " + fmt(w.shed_fraction()) +
+         ", \"p99_ns\": " + std::to_string(w.p99_ns) + "}";
+}
 
 ServeReport build_serve_report(const Server& server) {
   const ServerStatsSnapshot stats = server.stats();
@@ -219,15 +226,8 @@ std::string ServeReport::to_json() const {
   s += ", \"e2e_p99_ms\": " + fmt(e2e_p99_ms);
   s += ", \"slo_windows\": [";
   for (std::size_t i = 0; i < slo_windows.size(); ++i) {
-    const SloWindowStats& w = slo_windows[i];
     if (i > 0) s += ", ";
-    s += "{\"window_s\": " + std::to_string(w.window_s) +
-         ", \"served\": " + std::to_string(w.served) +
-         ", \"on_time\": " + std::to_string(w.on_time) +
-         ", \"shed\": " + std::to_string(w.shed) +
-         ", \"goodput_fraction\": " + fmt(w.goodput_fraction()) +
-         ", \"shed_fraction\": " + fmt(w.shed_fraction()) +
-         ", \"p99_ns\": " + std::to_string(w.p99_ns) + "}";
+    s += slo_window_json(slo_windows[i]);
   }
   s += "]";
   s += ", \"batch_rows\": [";

@@ -74,4 +74,13 @@ struct ServeReport {
 /// traffic of interest has drained.
 ServeReport build_serve_report(const Server& server);
 
+/// One SloWindowStats as a JSON object — shared by
+/// ServeReport::to_json and the admin plane's /slo endpoint so both
+/// surfaces expose identical window documents.
+std::string slo_window_json(const SloWindowStats& w);
+
+/// JSON string escaping (quote/backslash escaped, control bytes to
+/// \u00XX) for diagnosis strings and server names.
+std::string json_escape(const std::string& s);
+
 }  // namespace ndirect::serve

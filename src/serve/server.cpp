@@ -12,8 +12,19 @@
 #include "runtime/shutdown.h"
 #include "runtime/thread_pool.h"
 #include "runtime/trace.h"
+#include "serve/admin.h"
 
 namespace ndirect::serve {
+
+const char* serve_state_name(ServeState state) {
+  switch (state) {
+    case ServeState::kWarming: return "warming";
+    case ServeState::kReady: return "ready";
+    case ServeState::kDraining: return "draining";
+    case ServeState::kStopped: return "stopped";
+  }
+  return "unknown";
+}
 
 namespace {
 
@@ -50,43 +61,59 @@ Server::Server(GraphFactory factory, ServerOptions options)
       slo_mon_(options_.slo) {
   if (!factory_)
     throw std::invalid_argument("serve::Server: null GraphFactory");
-  // Build the batch-1 instance eagerly: it defines the accepted input
-  // shape, seeds the default latency model, and pre-warms the most
-  // common pool entry before the lanes start.
-  std::unique_ptr<Graph> probe = factory_(1);
-  if (!probe)
-    throw std::invalid_argument(
-        "serve::Server: GraphFactory returned null");
-  probe->set_conv_pool(pool_);
-  input_shape_ = probe->shape_of(0);
-  if (input_shape_.N != 1)
-    throw std::invalid_argument(
-        "serve::Server: factory(1) built a graph with input batch " +
-        std::to_string(input_shape_.N));
-  if (model_ == nullptr) {
-    owned_model_ = std::make_unique<GraphLatencyModel>(*probe);
-    model_ = owned_model_.get();
+  // Visible to the admin plane from here on: /readyz answers 503
+  // ("warming") for this server while the probe build and packed-
+  // filter warm-up below are still running.
+  register_live_server(this);
+  try {
+    // Build the batch-1 instance eagerly: it defines the accepted input
+    // shape, seeds the default latency model, and pre-warms the most
+    // common pool entry before the lanes start.
+    std::unique_ptr<Graph> probe = factory_(1);
+    if (!probe)
+      throw std::invalid_argument(
+          "serve::Server: GraphFactory returned null");
+    probe->set_conv_pool(pool_);
+    input_shape_ = probe->shape_of(0);
+    if (input_shape_.N != 1)
+      throw std::invalid_argument(
+          "serve::Server: factory(1) built a graph with input batch " +
+          std::to_string(input_shape_.N));
+    if (model_ == nullptr) {
+      owned_model_ = std::make_unique<GraphLatencyModel>(*probe);
+      model_ = owned_model_.get();
+    }
+    if (options_.warmup) warm_graph(*probe);
+    {
+      std::lock_guard<std::mutex> g(graphs_mu_);
+      free_graphs_[1].push_back(std::move(probe));
+    }
+    if (options_.observe)
+      obs_ = std::make_unique<ServeInstruments>(options_.name,
+                                                options_.max_batch);
+    busy_until_.assign(static_cast<std::size_t>(options_.executors), 0);
+    lanes_.reserve(static_cast<std::size_t>(options_.executors));
+    for (int lane = 0; lane < options_.executors; ++lane)
+      lanes_.emplace_back([this, lane] { executor_loop(lane); });
+    // Drain at process exit *before* the metrics exporter and trace
+    // ring shut down (the hook chain is LIFO and those register at
+    // load time), so a server still live at exit never races the
+    // exporters' teardown. The admin plane re-fronts its own hook on
+    // register_live_server above, so it closes earlier still.
+    exit_hook_ = register_exit_hook("serve-server",
+                                    [this] { shutdown(/*drain=*/true); });
+  } catch (...) {
+    unregister_live_server(this);
+    throw;
   }
-  if (options_.warmup) warm_graph(*probe);
-  {
-    std::lock_guard<std::mutex> g(graphs_mu_);
-    free_graphs_[1].push_back(std::move(probe));
-  }
-  if (options_.observe)
-    obs_ = std::make_unique<ServeInstruments>(options_.name,
-                                              options_.max_batch);
-  busy_until_.assign(static_cast<std::size_t>(options_.executors), 0);
-  lanes_.reserve(static_cast<std::size_t>(options_.executors));
-  for (int lane = 0; lane < options_.executors; ++lane)
-    lanes_.emplace_back([this, lane] { executor_loop(lane); });
-  // Drain at process exit *before* the metrics exporter and trace ring
-  // shut down (the hook chain is LIFO and those register at load time),
-  // so a server still live at exit never races the exporters' teardown.
-  exit_hook_ = register_exit_hook("serve-server",
-                                  [this] { shutdown(/*drain=*/true); });
+  state_.store(ServeState::kReady, std::memory_order_release);
 }
 
 Server::~Server() {
+  // Invisible to the admin plane first: after this no /readyz, /slo or
+  // /report handler can still be iterating over a dying server
+  // (unregister blocks while a handler holds the registry).
+  unregister_live_server(this);
   // Drop the exit hook before tearing down: after this returns the
   // chain can no longer call into a dying server (and if the chain is
   // mid-run on another thread, unregister blocks until it finished).
@@ -241,8 +268,7 @@ void Server::run_batch(int lane, std::vector<Request> batch,
   Tensor output;
   std::exception_ptr error;
   std::uint64_t measured = 0;
-  if (trace_on())
-    TraceSession::global().begin("serve_execute", "batch", k);
+  const std::uint64_t exec_t0 = monotonic_ns();
   try {
     graph = acquire_graph(k);
     const std::uint64_t t0 = monotonic_ns();
@@ -251,7 +277,15 @@ void Server::run_batch(int lane, std::vector<Request> batch,
   } catch (...) {
     error = std::current_exception();
   }
-  if (trace_on()) TraceSession::global().end("serve_execute");
+  if (trace_on()) {
+    // Recorded as a complete ('X') span after the fact — a trace
+    // session started mid-batch must never see an unmatched 'E'.
+    TraceSession& ts = TraceSession::global();
+    const std::uint64_t dur = monotonic_ns() - exec_t0;
+    const std::uint64_t now = ts.now_ns();
+    ts.complete("serve_execute", now > dur ? now - dur : 0, dur,
+                "req", static_cast<std::int64_t>(head_id), "batch", k);
+  }
   const std::uint64_t done = clock_->now_ns();
 
   if (error) {
@@ -359,13 +393,17 @@ void Server::run_batch(int lane, std::vector<Request> batch,
     records_.push_back(
         BatchRecord{k, plan.predicted_ns, measured});
   }
-  if (trace_on())
-    TraceSession::global().begin("serve_respond", "req",
-                                 static_cast<std::int64_t>(head_id));
+  const std::uint64_t respond_t0 = monotonic_ns();
   for (int i = 0; i < k; ++i)
     batch[static_cast<std::size_t>(i)].promise.set_value(
         std::move(results[static_cast<std::size_t>(i)]));
-  if (trace_on()) TraceSession::global().end("serve_respond");
+  if (trace_on()) {
+    TraceSession& ts = TraceSession::global();
+    const std::uint64_t dur = monotonic_ns() - respond_t0;
+    const std::uint64_t now = ts.now_ns();
+    ts.complete("serve_respond", now > dur ? now - dur : 0, dur,
+                "req", static_cast<std::int64_t>(head_id), "batch", k);
+  }
 }
 
 void Server::shed(Request r, ShedReason reason, int slot, Counter c) {
@@ -421,6 +459,14 @@ std::uint64_t Server::earliest_free_at() const {
 }
 
 void Server::shutdown(bool drain) {
+  // kStopped never regresses to kDraining on a repeated shutdown call.
+  ServeState expected = ServeState::kReady;
+  if (!state_.compare_exchange_strong(expected, ServeState::kDraining,
+                                      std::memory_order_acq_rel)) {
+    expected = ServeState::kWarming;
+    state_.compare_exchange_strong(expected, ServeState::kDraining,
+                                   std::memory_order_acq_rel);
+  }
   std::vector<Request> dropped;
   {
     std::lock_guard<std::mutex> lk(queue_.mutex());
@@ -442,6 +488,7 @@ void Server::shutdown(bool drain) {
   // The queue's cv dies with this server; a VirtualClock may outlive
   // it (tests own both), so drop the registration before that.
   clock_->unregister_waiter(&queue_.cv());
+  state_.store(ServeState::kStopped, std::memory_order_release);
 }
 
 ServerStatsSnapshot Server::stats() const {

@@ -25,6 +25,7 @@
 // per-slice by the serving tests and DagFuzz's batch-invariance sweep.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <future>
@@ -47,6 +48,15 @@ namespace ndirect::serve {
 /// `batch`: same weights/topology for every N (e.g. capture a fixed
 /// seed and forward it to the model builders).
 using GraphFactory = std::function<std::unique_ptr<Graph>(int batch)>;
+
+/// Lifecycle a readiness probe (serve/admin.h's /readyz) can observe.
+/// kWarming covers construction — graph builds and the packed-filter
+/// warm-up forward; kReady means the executor lanes are accepting;
+/// kDraining begins at shutdown() entry; kStopped once the lanes have
+/// joined. Only kReady answers a readiness probe with 200.
+enum class ServeState { kWarming, kReady, kDraining, kStopped };
+
+const char* serve_state_name(ServeState state);
 
 struct ServerOptions {
   /// Tenant label: becomes the {server="..."} label on every registry
@@ -162,8 +172,19 @@ class Server {
   const LatencyModel& model() const { return *model_; }
 
   /// The whole process's OpenMetrics exposition (this server's
-  /// instruments included) — what a /metrics endpoint would return.
+  /// instruments included) — what the admin plane's /metrics returns.
   std::string metrics_text() const;
+
+  /// Where this server is in its lifecycle (see ServeState). Readable
+  /// from any thread at any point after construction *began*: the
+  /// server registers itself with the admin plane's live-server
+  /// registry before the warm-up work runs, so /readyz reports 503
+  /// while filters are still packing.
+  ServeState state() const {
+    return state_.load(std::memory_order_acquire);
+  }
+  /// True exactly when state() == kReady: warmed up and not draining.
+  bool ready() const { return state() == ServeState::kReady; }
 
   /// The rolling-window SLO watchdog (always live; judge it with
   /// slo().evaluate(now_ns(), slo_evidence())).
@@ -211,6 +232,7 @@ class Server {
   std::mutex graphs_mu_;
   std::map<int, std::vector<std::unique_ptr<Graph>>> free_graphs_;
 
+  std::atomic<ServeState> state_{ServeState::kWarming};
   WorkerTelemetry telemetry_;
   std::unique_ptr<ServeInstruments> obs_;  ///< null when !observe
   SloMonitor slo_mon_;

@@ -405,6 +405,33 @@ TEST(Trace, FullRingCountsDropsInsteadOfBlocking) {
   EXPECT_EQ(tr.events().size(), 8u);
 }
 
+TEST(Trace, EdgeOrphanedSpansArePrunedFromExport) {
+  if (!kTelemetryCompiled) GTEST_SKIP() << "telemetry compiled out";
+  TraceGuard guard;
+  TraceSession& tr = TraceSession::global();
+  // A session started mid-span (over the admin plane's POST
+  // /trace/start) sees the 'E' of a 'B' it never recorded; one
+  // stopped mid-span records a 'B' whose 'E' never arrives. Both
+  // unmatched halves must vanish from the export while matched pairs
+  // — including pairs nested inside the dangling 'B' — survive.
+  tr.start(64);
+  tr.end("pre-session");    // its 'B' predates the session
+  tr.begin("matched");
+  tr.end("matched");
+  tr.begin("cut-by-stop");  // its 'E' never arrives
+  tr.begin("inner");
+  tr.end("inner");
+  tr.stop();
+
+  const std::vector<TraceEvent> evs = tr.events();
+  ASSERT_EQ(evs.size(), 4u);
+  for (const TraceEvent& e : evs) {
+    const std::string name = e.name;
+    EXPECT_TRUE(name == "matched" || name == "inner") << name;
+  }
+  expect_balanced(evs);
+}
+
 TEST(Trace, OffSessionRecordsNothing) {
   TraceGuard guard;
   TraceSession& tr = TraceSession::global();
